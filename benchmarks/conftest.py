@@ -1,0 +1,45 @@
+"""Shared state for the figure-regeneration benchmarks.
+
+Programs are compiled and optimized once per session; the benchmark
+targets then measure the stage each figure depends on (analysis for
+Figure 16, code generation for Figure 15, VM execution for Figure 17).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BENCHMARKS, PERFORMANCE_PROGRAMS
+from repro.inlining.pipeline import optimize
+from repro.ir import compile_source
+
+
+@pytest.fixture(scope="session")
+def compiled_benchmarks():
+    """name -> uniform-model IRProgram for the Figure 14-16 set."""
+    return {
+        name: compile_source(source, f"{name}.icc")
+        for name, (source, _info) in BENCHMARKS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def compiled_performance_programs():
+    """name -> uniform-model IRProgram for the Figure 17 set."""
+    return {
+        name: compile_source(source, f"{name}.icc")
+        for name, source in PERFORMANCE_PROGRAMS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def optimized_builds(compiled_performance_programs):
+    """name -> {build: transformed IRProgram} for the Figure 17 set."""
+    builds = {}
+    for name, program in compiled_performance_programs.items():
+        builds[name] = {
+            "noinline": optimize(program, inline=False).program,
+            "inline": optimize(program, inline=True).program,
+            "manual": optimize(program, manual_only=True).program,
+        }
+    return builds

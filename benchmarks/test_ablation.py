@@ -1,0 +1,144 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables one mechanism and measures OOPACK + polyover
+(the benchmarks most sensitive to it), quantifying how much of the
+Figure 17 gain each mechanism contributes:
+
+- **stack allocation** of by-value-consumed children (vs keeping them
+  heap-allocated after the copy),
+- **array-element inlining layout** (SoA for narrow elements vs AoS),
+- **scalar passes** (method inlining + load CSE + DCE) on top of object
+  inlining,
+- **devirtualization only** (the no-inlining baseline's own win over the
+  fully dynamic model).
+"""
+
+import pytest
+
+from repro.bench.harness import PERFORMANCE_PROGRAMS
+from repro.inlining.pipeline import optimize
+from repro.ir import compile_source
+from repro.runtime import run_program
+
+
+@pytest.fixture(scope="module")
+def oopack_program():
+    return compile_source(PERFORMANCE_PROGRAMS["oopack"], "oopack.icc")
+
+
+@pytest.fixture(scope="module")
+def polyover_list_program():
+    return compile_source(PERFORMANCE_PROGRAMS["polyover (list)"], "polyover_list.icc")
+
+
+def _cycles(program):
+    return run_program(program).stats.cycles()
+
+
+def test_ablation_stack_allocation(benchmark, polyover_list_program):
+    """Disable the stack-allocation downgrade by zeroing the stackable
+    sets after planning — measures pure layout/deref gains."""
+    from repro.analysis import analyze
+    from repro.cloning.emit import transform_program
+    from repro.inlining.decisions import DecisionEngine
+    from repro.ir import validate_program
+
+    program = polyover_list_program
+
+    def build_and_run():
+        result = analyze(program)
+        plan = DecisionEngine(result).plan()
+        for candidate in plan.candidates.values():
+            candidate.stackable_allocations.clear()
+        outcome = transform_program(result, plan, devirtualize=True)
+        assert outcome.program is not None
+        validate_program(outcome.program)
+        return _cycles(outcome.program)
+
+    no_stack = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+    full = _cycles(optimize(program).program)
+    baseline = _cycles(optimize(program, inline=False).program)
+
+    benchmark.extra_info["baseline"] = baseline
+    benchmark.extra_info["inline_no_stack"] = no_stack
+    benchmark.extra_info["inline_full"] = full
+    benchmark.extra_info["stack_alloc_share"] = round(
+        (no_stack - full) / max(baseline - full, 1), 3
+    )
+    # Stack allocation contributes, but is not the whole story.
+    assert full <= no_stack <= baseline * 1.02
+
+
+def test_ablation_scalar_passes(benchmark, oopack_program):
+    """Object inlining with vs without the scalar passes."""
+    program = oopack_program
+
+    def run_without_passes():
+        report = optimize(
+            program,
+            inline_methods_pass=False,
+            cache_loads_pass=False,
+            dce_pass=False,
+        )
+        return _cycles(report.program)
+
+    without = benchmark.pedantic(run_without_passes, rounds=1, iterations=1)
+    with_passes = _cycles(optimize(program).program)
+    benchmark.extra_info["inline_without_scalar_passes"] = without
+    benchmark.extra_info["inline_with_scalar_passes"] = with_passes
+    assert with_passes <= without
+
+
+def test_ablation_devirtualization(benchmark, oopack_program):
+    """The baseline's own devirtualization win over fully dynamic code."""
+    program = oopack_program
+
+    def run_dynamic():
+        # No optimization at all: the raw uniform model.
+        return run_program(program).stats.cycles()
+
+    dynamic = benchmark.pedantic(run_dynamic, rounds=1, iterations=1)
+    devirt = _cycles(optimize(program, inline=False).program)
+    benchmark.extra_info["fully_dynamic"] = dynamic
+    benchmark.extra_info["devirtualized"] = devirt
+    assert devirt <= dynamic
+
+
+def test_ablation_parallel_layout(benchmark, oopack_program):
+    """SoA vs AoS layout for the complex-number arrays.
+
+    The layout heuristic picks SoA for two-field elements (OOPACK); this
+    ablation forces AoS and measures the difference.
+    """
+    from repro.ir import model as ir
+
+    program = oopack_program
+    report = optimize(program)
+
+    def force_aos_and_run():
+        for callable_ in report.program.callables():
+            for block in callable_.blocks:
+                block.instrs = [
+                    ir.make_instr(
+                        ir.NewArray,
+                        i.loc,
+                        dest=i.dest,
+                        size=i.size,
+                        inline_layout=i.inline_layout,
+                        parallel_layout=False,
+                        declared_inline=i.declared_inline,
+                    )
+                    if isinstance(i, ir.NewArray) and i.inline_layout
+                    else i
+                    for i in block.instrs
+                ]
+        return _cycles(report.program)
+
+    aos = benchmark.pedantic(force_aos_and_run, rounds=1, iterations=1)
+    soa = _cycles(optimize(program).program)
+    benchmark.extra_info["aos_cycles"] = aos
+    benchmark.extra_info["soa_cycles"] = soa
+    # Both layouts must stay far ahead of the uninlined baseline.
+    baseline = _cycles(optimize(program, inline=False).program)
+    benchmark.extra_info["baseline"] = baseline
+    assert max(aos, soa) < baseline

@@ -1,0 +1,41 @@
+"""Figure 14 — inlinable field counts.
+
+Benchmarks the full decision pipeline (analysis + use/assignment
+specialization) per benchmark and reports the paper's four bars as
+``extra_info``.  The shape assertions mirror §6.1: automatic ≥ declared
+everywhere, strictly greater on Silo/Richards/polyover, and ≤ ideal.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.bench.harness import BENCHMARKS
+from repro.inlining.decisions import DecisionEngine
+from repro.inlining.pipeline import candidate_is_declared_inline
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_figure14_counts(benchmark, compiled_benchmarks, name):
+    program = compiled_benchmarks[name]
+
+    def decide():
+        result = analyze(program)
+        return DecisionEngine(result).plan()
+
+    plan = benchmark.pedantic(decide, rounds=1, iterations=1)
+
+    info = BENCHMARKS[name][1]
+    candidates = list(plan.candidates.values())
+    total = len(candidates)
+    declared = sum(1 for c in candidates if candidate_is_declared_inline(program, c))
+    automatic = sum(1 for c in candidates if c.accepted)
+
+    benchmark.extra_info["total_object_fields"] = total
+    benchmark.extra_info["ideal"] = info.ideal_inlinable
+    benchmark.extra_info["declared_cpp"] = declared
+    benchmark.extra_info["automatic"] = automatic
+
+    assert automatic >= declared
+    assert automatic <= info.ideal_inlinable
+    if name in ("silo", "richards", "polyover"):
+        assert automatic > declared

@@ -1,0 +1,33 @@
+"""Figure 15 — generated code size with vs without object inlining.
+
+Benchmarks the code generator over both builds and reports the sizes.
+The paper found inlining does not bloat code (theirs shrank slightly
+thanks to Concert's method inliner, which we do not reproduce — see
+EXPERIMENTS.md); we assert the growth stays within a small bound.
+"""
+
+import pytest
+
+from repro.bench.harness import BENCHMARKS
+from repro.codegen import generate
+from repro.inlining.pipeline import optimize
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_figure15_code_size(benchmark, compiled_benchmarks, name):
+    program = compiled_benchmarks[name]
+    without = optimize(program, inline=False).program
+    with_inlining = optimize(program, inline=True).program
+
+    def emit_both():
+        return generate(without).size_bytes, generate(with_inlining).size_bytes
+
+    size_without, size_with = benchmark.pedantic(emit_both, rounds=1, iterations=1)
+
+    benchmark.extra_info["size_without_bytes"] = size_without
+    benchmark.extra_info["size_with_bytes"] = size_with
+    benchmark.extra_info["ratio"] = round(size_with / size_without, 3)
+
+    # Cloning must not explode generated code (paper: it shrinks; ours
+    # grows mildly without a method inliner — bound the divergence).
+    assert size_with < size_without * 1.5

@@ -1,0 +1,41 @@
+"""Figure 16 — analysis sensitivity cost.
+
+Benchmarks the flow analysis in the baseline (Concert) and inlining
+sensitivities and reports method contours per method — the paper's
+measure of the extra precision object inlining demands — plus the
+§6.2.2 object-contour observation.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, SENSITIVITY_CONCERT, analyze
+from repro.bench.harness import BENCHMARKS
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_figure16_contours(benchmark, compiled_benchmarks, name):
+    program = compiled_benchmarks[name]
+
+    def analyze_both():
+        baseline = analyze(program, AnalysisConfig(sensitivity=SENSITIVITY_CONCERT))
+        precise = analyze(program)
+        return baseline, precise
+
+    baseline, precise = benchmark.pedantic(analyze_both, rounds=1, iterations=1)
+
+    benchmark.extra_info["contours_per_method_without"] = round(
+        baseline.method_contours_per_method(), 2
+    )
+    benchmark.extra_info["contours_per_method_with"] = round(
+        precise.method_contours_per_method(), 2
+    )
+    benchmark.extra_info["object_contours_without"] = baseline.object_contour_count()
+    benchmark.extra_info["object_contours_with"] = precise.object_contour_count()
+
+    # The inlining analysis needs at least the baseline's sensitivity...
+    assert (
+        precise.method_contours_per_method()
+        >= baseline.method_contours_per_method() - 1e-9
+    )
+    # ...but object contours stay essentially unchanged (§6.2.2).
+    assert precise.object_contour_count() <= baseline.object_contour_count() * 1.3 + 5

@@ -1,0 +1,68 @@
+"""repro — a reproduction of *Automatic Inline Allocation of Objects*
+(Julian Dolby, PLDI 1997).
+
+The package implements, from scratch:
+
+- **mini-ICC++** (:mod:`repro.lang`): a dynamic uniform-object-model
+  language in the spirit of the paper's ICC++ input.
+- **IR** (:mod:`repro.ir`): a register CFG consumed by everything below.
+- **Concert-style analysis** (:mod:`repro.analysis`): context-sensitive
+  concrete type inference over method/object contours, plus the paper's
+  field-origin tag analysis (§4.1) and pass-by-value predicates (§4.2).
+- **Object inlining** (:mod:`repro.inlining`, :mod:`repro.cloning`): the
+  decision engine, class/method cloning, and the §5 program rewriting.
+- **An instrumented VM** (:mod:`repro.runtime`): simulated heap + cache
+  simulator + cost model, standing in for the paper's SparcStation runs.
+- **The paper's benchmarks** (:mod:`repro.bench`): OOPACK, Richards,
+  Silo, and polygon overlay, with harnesses regenerating Figures 14-17.
+
+Quickstart::
+
+    from repro import compile_source, optimize, run_program
+
+    program = compile_source(SOURCE)
+    report = optimize(program)                 # object inlining ON
+    result = run_program(report.program)
+    print(result.output, result.stats.cycles())
+"""
+
+from .analysis import AnalysisConfig, AnalysisResult, analyze
+from .inlining.decisions import Candidate, DecisionEngine, InlinePlan
+from .inlining.pipeline import OptimizeReport, optimize
+from .ir import compile_source, format_program, validate_program
+from .lang import parse_program, tokenize
+from .runtime import (
+    CacheConfig,
+    CostModel,
+    ExecutionStats,
+    Interpreter,
+    ReproRuntimeError,
+    RunResult,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analyze",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "CacheConfig",
+    "Candidate",
+    "compile_source",
+    "CostModel",
+    "DecisionEngine",
+    "ExecutionStats",
+    "format_program",
+    "InlinePlan",
+    "Interpreter",
+    "optimize",
+    "OptimizeReport",
+    "parse_program",
+    "ReproRuntimeError",
+    "run_program",
+    "RunResult",
+    "tokenize",
+    "validate_program",
+]

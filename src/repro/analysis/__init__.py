@@ -1,0 +1,65 @@
+"""The Concert-style context-sensitive flow analysis and the paper's
+object-inlining analyses (use specialization and assignment
+specialization).
+"""
+
+from .contours import (
+    ARRAY_CLASS,
+    AnalysisConfig,
+    ContourManager,
+    MethodContour,
+    ObjectContour,
+    SENSITIVITY_CONCERT,
+    SENSITIVITY_INLINING,
+)
+from .engine import AnalysisBudgetExceeded, FlowAnalysis, analyze
+from .results import AnalysisResult, IdentitySite, StoreSite
+from .tags import ELEM_FIELD, MAX_TAG_DEPTH, NOFIELD, Slot, Tag, format_tag, head, make_tag
+from .values import (
+    AbstractVal,
+    BOTTOM,
+    PRIM_BOOL,
+    PRIM_FLOAT,
+    PRIM_INT,
+    PRIM_NIL,
+    PRIM_STR,
+    join,
+    make_val,
+    obj_val,
+    prim_val,
+)
+
+__all__ = [
+    "AbstractVal",
+    "analyze",
+    "AnalysisBudgetExceeded",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "ARRAY_CLASS",
+    "BOTTOM",
+    "ContourManager",
+    "ELEM_FIELD",
+    "FlowAnalysis",
+    "format_tag",
+    "head",
+    "IdentitySite",
+    "join",
+    "make_tag",
+    "make_val",
+    "MAX_TAG_DEPTH",
+    "MethodContour",
+    "NOFIELD",
+    "obj_val",
+    "ObjectContour",
+    "PRIM_BOOL",
+    "PRIM_FLOAT",
+    "PRIM_INT",
+    "PRIM_NIL",
+    "PRIM_STR",
+    "prim_val",
+    "SENSITIVITY_CONCERT",
+    "SENSITIVITY_INLINING",
+    "Slot",
+    "StoreSite",
+    "Tag",
+]

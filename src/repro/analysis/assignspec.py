@@ -1,0 +1,343 @@
+"""Assignment specialization (§4.2 of the paper).
+
+Inlining a field copies the child's state into the container; that copy is
+only safe when nobody can observe that the child's identity changed.  The
+paper's criterion: the value stored into the inlined field must be
+*passable by value* — created locally (a ``new`` in this contour, or
+passed by value from every call site), never stored into persistent state
+elsewhere (``NoStore``), and never used after the consuming point
+(``UsesAfter`` empty).
+
+This module implements those predicates over the analysis results:
+
+- :meth:`AssignmentSpecializer.store_is_by_value` — the paper's
+  ``PassByValue``/``CallByValue`` chain rooted at one store site.
+- ``_nostore_formal`` — the paper's ``NoStore`` recursion into callees.
+
+Conservatisms (all fail-safe): values flowing through anything but
+``new`` and moves are not "created locally"; returning a value escapes
+it; any use textually reachable after the consuming point counts as
+``UsesAfter`` (loops make this reflexive); a value appearing twice among
+one call's arguments fails (it would alias two formals, the paper's
+"one aliased Point as both arguments" hazard).
+"""
+
+from __future__ import annotations
+
+from ..ir import model as ir
+from .defuse import DefUse, DefUseCache, Occurrence
+from .results import AnalysisResult, StoreSite
+
+
+class AssignmentSpecializer:
+    """Evaluates the §4.2 by-value predicates against an analysis result."""
+
+    def __init__(self, result: AnalysisResult) -> None:
+        self.result = result
+        self.defuse = DefUseCache(result.program)
+        self._nostore_cache: dict[tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point.
+
+    def store_is_by_value(self, store: StoreSite) -> tuple[bool, str]:
+        """Check the value flowing into one store site.
+
+        Returns (ok, reason); ``reason`` explains the first failure.
+        """
+        return self._passable(store.contour_id, store.src_reg, store.instr_uid, set())
+
+    # ------------------------------------------------------------------
+    # PassByValue / CallByValue.
+
+    def _passable(
+        self,
+        contour_id: int,
+        reg: int,
+        consuming_uid: int,
+        visited: set[tuple[int, int, int]],
+    ) -> tuple[bool, str]:
+        key = (contour_id, reg, consuming_uid)
+        if key in visited:
+            # A cycle in the pass-by-value chain (e.g. recursion) — refuse
+            # rather than assume.
+            return False, "cyclic by-value chain"
+        visited.add(key)
+
+        contour = self.result.method_contour(contour_id)
+        du = self.defuse.get(contour.callable_name)
+        if du is None:
+            return False, f"no IR for {contour.callable_name}"
+        if consuming_uid not in du.by_uid:
+            return False, "consuming instruction not found"
+        consuming_pos = du.by_uid[consuming_uid]
+
+        # 1. Every definition must be CreatedLocally (new / by-value chain).
+        defs = du.defs.get(reg, [])
+        if not defs:
+            if not du.is_formal(reg):
+                return False, f"r{reg} has no definition"
+            ok, reason = self._call_by_value(contour_id, reg, visited)
+            if not ok:
+                return False, reason
+        else:
+            for definition in defs:
+                instr = definition.instr
+                if isinstance(instr, (ir.New, ir.NewArray)):
+                    continue
+                if isinstance(instr, ir.Move):
+                    ok, reason = self._passable(
+                        contour_id, instr.src, consuming_uid, visited
+                    )
+                    if not ok:
+                        return False, reason
+                    continue
+                if isinstance(instr, (ir.CallFunction, ir.CallMethod, ir.CallStatic)):
+                    # A factory call: fresh if every callee returns a
+                    # locally created, never-stored value.
+                    ok, reason = self._call_returns_fresh(
+                        contour_id, instr.uid, visited
+                    )
+                    if not ok:
+                        return False, reason
+                    continue
+                return False, (
+                    f"not created locally: defined by {type(instr).__name__}"
+                )
+            if du.is_formal(reg):
+                # Both a formal and reassigned: the incoming value also
+                # reaches the store; require the call chain to be by-value.
+                ok, reason = self._call_by_value(contour_id, reg, visited)
+                if not ok:
+                    return False, reason
+
+        # 2. Check every use of the value (through move aliases).
+        aliases = self._alias_closure(du, reg)
+        consuming_hits = 0
+        for use in self._uses_of(du, aliases):
+            if self._is_closure_move(use, aliases):
+                continue
+            if use.instr.uid == consuming_uid:
+                consuming_hits += 1
+                continue
+            if du.possibly_after(consuming_pos, use.position) and not (
+                self._freshly_defined_before(du, use, consuming_pos)
+            ):
+                return False, (
+                    f"used after the store ({type(use.instr).__name__})"
+                )
+            ok, reason = self._use_does_not_store(contour_id, use, visited)
+            if not ok:
+                return False, reason
+        if consuming_hits > 1:
+            return False, "value aliased into multiple operands of the consuming call"
+        return True, "ok"
+
+    def _call_returns_fresh(
+        self, contour_id: int, call_uid: int, visited: set[tuple[int, int, int]]
+    ) -> tuple[bool, str]:
+        """True when every callee of the site returns a fresh value: one
+        created locally (or itself returned fresh) whose only escaping use
+        is the return itself."""
+        callees = self.result.callees_at(contour_id, call_uid)
+        if not callees:
+            return False, "call with no resolved callees"
+        for callee_id in callees:
+            callee = self.result.method_contour(callee_id)
+            if callee.summary:
+                return False, f"callee {callee.callable_name} widened"
+            callable_ = self.result.program.lookup_callable(callee.callable_name)
+            if callable_ is None:
+                return False, f"no IR for {callee.callable_name}"
+            for instr in callable_.instructions():
+                if isinstance(instr, ir.Return) and instr.src is not None:
+                    ok, reason = self._passable(callee_id, instr.src, instr.uid, visited)
+                    if not ok:
+                        return False, f"{callee.callable_name} does not return fresh: {reason}"
+        return True, "ok"
+
+    @staticmethod
+    def _freshly_defined_before(du: DefUse, use, consuming_pos) -> bool:
+        """Loop refinement: inside a cycle every position is "possibly
+        after" every other, but when the used register is (re)defined in
+        the consuming block *before* the use, and the use precedes the
+        consuming point, each iteration operates on a fresh value instance
+        — the textual def → use → consume order is definitive."""
+        use_block, use_index = use.position
+        consuming_block, consuming_index = consuming_pos
+        if use_block != consuming_block or use_index >= consuming_index:
+            return False
+        defs = du.defs.get(use.reg, [])
+        if not defs:
+            return False
+        for definition in defs:
+            def_block, def_index = definition.position
+            if def_block != use_block or def_index >= use_index:
+                return False
+        return True
+
+    def _call_by_value(
+        self, contour_id: int, formal_reg: int, visited: set[tuple[int, int, int]]
+    ) -> tuple[bool, str]:
+        """The paper's CallByValue: every call edge passes the actual by value."""
+        contour = self.result.method_contour(contour_id)
+        if contour.summary:
+            return False, "widened contour"
+        if not contour.callers:
+            return False, "formal with no recorded callers"
+        for caller_id, site_uid in contour.callers:
+            caller = self.result.method_contour(caller_id)
+            du = self.defuse.get(caller.callable_name)
+            if du is None or site_uid not in du.by_uid:
+                return False, "caller site not found"
+            position = du.by_uid[site_uid]
+            block_index, instr_index = position
+            caller_callable = self.result.program.lookup_callable(caller.callable_name)
+            call_instr = caller_callable.blocks[block_index].instrs[instr_index]
+            actual = self._actual_for_formal(call_instr, formal_reg)
+            if actual is None:
+                return False, "cannot map formal to an actual argument"
+            ok, reason = self._passable(caller_id, actual, site_uid, visited)
+            if not ok:
+                return False, f"call site in {caller.callable_name}: {reason}"
+        return True, "ok"
+
+    @staticmethod
+    def _actual_for_formal(call_instr: ir.Instr, formal_reg: int) -> int | None:
+        """Which caller register feeds ``formal_reg`` across this call."""
+        if isinstance(call_instr, ir.New):
+            # formal 0 is the freshly created object itself.
+            if formal_reg == 0:
+                return None
+            index = formal_reg - 1
+            if index < len(call_instr.args):
+                return call_instr.args[index]
+            return None
+        if isinstance(call_instr, (ir.CallMethod, ir.CallStatic)):
+            if formal_reg == 0:
+                return call_instr.recv
+            index = formal_reg - 1
+            if index < len(call_instr.args):
+                return call_instr.args[index]
+            return None
+        if isinstance(call_instr, ir.CallFunction):
+            if formal_reg < len(call_instr.args):
+                return call_instr.args[formal_reg]
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # NoStore.
+
+    def _use_does_not_store(
+        self,
+        contour_id: int,
+        use: Occurrence,
+        visited: set[tuple[int, int, int]],
+    ) -> tuple[bool, str]:
+        """The paper's NoStoreUse/NoStoreCall for one use occurrence."""
+        instr = use.instr
+        if isinstance(instr, (ir.SetField, ir.SetIndex)):
+            if use.role == "src":
+                return False, "stored into another object"
+            return True, "ok"  # used as the mutated container: a read of v
+        if isinstance(instr, ir.SetGlobal):
+            return False, "stored into a global"
+        if isinstance(instr, ir.Return):
+            return False, "returned to caller"
+        if isinstance(instr, (ir.CallMethod, ir.CallStatic, ir.CallFunction, ir.New)):
+            formal = self._formal_for_occurrence(instr, use)
+            if formal is None:
+                return False, "cannot map argument to callee formal"
+            for callee_id in self.result.callees_at(contour_id, instr.uid):
+                if not self._nostore_formal(callee_id, formal):
+                    callee = self.result.method_contour(callee_id)
+                    return False, f"callee {callee.callable_name} may store it"
+            return True, "ok"
+        # Reads, arithmetic, branches, builtins (print/assert) are harmless.
+        return True, "ok"
+
+    @staticmethod
+    def _formal_for_occurrence(instr: ir.Instr, use: Occurrence) -> int | None:
+        """The callee formal index this occurrence binds to."""
+        if use.role == "recv":
+            return 0
+        if not use.role.startswith("arg"):
+            return None
+        index = int(use.role[3:])
+        if isinstance(instr, (ir.CallMethod, ir.CallStatic, ir.New)):
+            return index + 1  # formal 0 is the receiver / new object
+        if isinstance(instr, ir.CallFunction):
+            return index
+        return None
+
+    def _nostore_formal(self, contour_id: int, formal_reg: int) -> bool:
+        """True if the contour never stores/escapes its ``formal_reg``."""
+        key = (contour_id, formal_reg)
+        if key in self._nostore_cache:
+            return self._nostore_cache[key]
+        # Optimistic at cycles: assume True while computing (greatest
+        # fixpoint — a real store on any path flips it to False).
+        self._nostore_cache[key] = True
+
+        contour = self.result.method_contour(contour_id)
+        du = self.defuse.get(contour.callable_name)
+        result = True
+        if du is None:
+            result = False
+        else:
+            aliases = self._alias_closure(du, formal_reg)
+            for use in self._uses_of(du, aliases):
+                if self._is_closure_move(use, aliases):
+                    continue
+                instr = use.instr
+                if isinstance(instr, (ir.SetField, ir.SetIndex)) and use.role == "src":
+                    result = False
+                elif isinstance(instr, ir.SetGlobal):
+                    result = False
+                elif isinstance(instr, ir.Return):
+                    result = False
+                elif isinstance(
+                    instr, (ir.CallMethod, ir.CallStatic, ir.CallFunction, ir.New)
+                ):
+                    formal = self._formal_for_occurrence(instr, use)
+                    if formal is None:
+                        result = False
+                    else:
+                        for callee_id in self.result.callees_at(contour_id, instr.uid):
+                            if not self._nostore_formal(callee_id, formal):
+                                result = False
+                                break
+                if not result:
+                    break
+        self._nostore_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Alias plumbing.
+
+    @staticmethod
+    def _alias_closure(du: DefUse, reg: int) -> set[int]:
+        """Registers the value may propagate to via Move instructions."""
+        aliases = {reg}
+        changed = True
+        while changed:
+            changed = False
+            for alias in list(aliases):
+                for use in du.uses.get(alias, []):
+                    instr = use.instr
+                    if isinstance(instr, ir.Move) and instr.dest not in aliases:
+                        aliases.add(instr.dest)
+                        changed = True
+        return aliases
+
+    @staticmethod
+    def _uses_of(du: DefUse, aliases: set[int]) -> list[Occurrence]:
+        occurrences: list[Occurrence] = []
+        for alias in aliases:
+            occurrences.extend(du.uses.get(alias, []))
+        return occurrences
+
+    @staticmethod
+    def _is_closure_move(use: Occurrence, aliases: set[int]) -> bool:
+        return isinstance(use.instr, ir.Move) and use.instr.dest in aliases

@@ -1,0 +1,150 @@
+"""Intra-callable def/use and ordering queries.
+
+The assignment-specialization predicates (§4.2) need, inside one
+callable, the definitions and uses of a register and an *after* relation
+between instruction positions (``UsesBefore`` / ``UsesAfter``).  A
+position Q is "possibly after" P when Q is reachable from P in the CFG
+(later in the same block, or in a block reachable from P's block —
+including around loop back edges, which makes the relation reflexive
+inside cycles; that is the conservative direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import model as ir
+
+#: (block index, instruction index) — a position inside a callable.
+Position = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Occurrence:
+    """One appearance of a register in an instruction."""
+
+    position: Position
+    instr: ir.Instr
+    role: str  # operand slot: 'src', 'obj', 'recv', 'arg0', 'arg1', 'dest', ...
+    reg: int
+
+
+def operand_roles(instr: ir.Instr) -> list[tuple[str, int]]:
+    """(role, register) pairs for every register the instruction reads.
+
+    Argument roles are indexed (``arg0``, ``arg1``, ...) so that the same
+    register appearing in two positions yields two distinct occurrences.
+    """
+    if isinstance(instr, (ir.Move, ir.UnOp)):
+        return [("src", instr.src)]
+    if isinstance(instr, ir.BinOp):
+        return [("lhs", instr.lhs), ("rhs", instr.rhs)]
+    if isinstance(instr, ir.New):
+        return [(f"arg{i}", a) for i, a in enumerate(instr.args)]
+    if isinstance(instr, ir.NewArray):
+        return [("size", instr.size)]
+    if isinstance(instr, ir.GetField):
+        return [("obj", instr.obj)]
+    if isinstance(instr, ir.GetFieldIndexed):
+        return [("obj", instr.obj), ("index", instr.index)]
+    if isinstance(instr, ir.SetFieldIndexed):
+        return [("obj", instr.obj), ("index", instr.index), ("src", instr.src)]
+    if isinstance(instr, ir.SetField):
+        return [("obj", instr.obj), ("src", instr.src)]
+    if isinstance(instr, ir.GetIndex):
+        return [("array", instr.array), ("index", instr.index)]
+    if isinstance(instr, ir.SetIndex):
+        return [("array", instr.array), ("index", instr.index), ("src", instr.src)]
+    if isinstance(instr, ir.ArrayLen):
+        return [("array", instr.array)]
+    if isinstance(instr, (ir.CallMethod, ir.CallStatic)):
+        return [("recv", instr.recv)] + [(f"arg{i}", a) for i, a in enumerate(instr.args)]
+    if isinstance(instr, (ir.CallFunction, ir.CallBuiltin)):
+        return [(f"arg{i}", a) for i, a in enumerate(instr.args)]
+    if isinstance(instr, ir.SetGlobal):
+        return [("src", instr.src)]
+    if isinstance(instr, ir.MakeView):
+        return [("array", instr.array), ("index", instr.index)]
+    if isinstance(instr, ir.Branch):
+        return [("cond", instr.cond)]
+    if isinstance(instr, ir.Return):
+        return [] if instr.src is None else [("src", instr.src)]
+    return []
+
+
+class DefUse:
+    """Def/use index plus position ordering for one callable."""
+
+    def __init__(self, callable_: ir.IRCallable) -> None:
+        self.callable = callable_
+        self.defs: dict[int, list[Occurrence]] = {}
+        self.uses: dict[int, list[Occurrence]] = {}
+        self.by_uid: dict[int, Position] = {}
+        for block_index, instr_index, instr in callable_.instructions_with_position():
+            position = (block_index, instr_index)
+            self.by_uid[instr.uid] = position
+            dest = instr.dst
+            if dest is not None:
+                self.defs.setdefault(dest, []).append(
+                    Occurrence(position, instr, "dest", dest)
+                )
+            for role, reg in operand_roles(instr):
+                self.uses.setdefault(reg, []).append(Occurrence(position, instr, role, reg))
+        self._reach = self._block_reachability()
+
+    def _block_reachability(self) -> list[set[int]]:
+        """reach[b] = blocks reachable from b via one or more edges."""
+        num = len(self.callable.blocks)
+        succs = [set(block.successors()) for block in self.callable.blocks]
+        reach: list[set[int]] = [set(s) for s in succs]
+        changed = True
+        while changed:
+            changed = False
+            for b in range(num):
+                expanded = set(reach[b])
+                for s in list(reach[b]):
+                    expanded |= reach[s]
+                if expanded != reach[b]:
+                    reach[b] = expanded
+                    changed = True
+        return reach
+
+    def possibly_after(self, anchor: Position, other: Position) -> bool:
+        """True if ``other`` may execute after ``anchor`` on some run."""
+        anchor_block, anchor_index = anchor
+        other_block, other_index = other
+        if anchor_block == other_block and other_index > anchor_index:
+            return True
+        if other_block in self._reach[anchor_block]:
+            return True
+        # Same block but earlier index still counts as "after" when the
+        # block sits inside a cycle (the loop re-enters it).
+        if (
+            anchor_block == other_block
+            and other_index <= anchor_index
+            and anchor_block in self._reach[anchor_block]
+        ):
+            return True
+        return False
+
+    def is_formal(self, reg: int) -> bool:
+        """True if ``reg`` carries an incoming value (this or a parameter)."""
+        return reg < self.callable.num_formals
+
+
+class DefUseCache:
+    """Lazily built :class:`DefUse` per callable name."""
+
+    def __init__(self, program: ir.IRProgram) -> None:
+        self._program = program
+        self._cache: dict[str, DefUse] = {}
+
+    def get(self, callable_name: str) -> DefUse | None:
+        if callable_name in self._cache:
+            return self._cache[callable_name]
+        callable_ = self._program.lookup_callable(callable_name)
+        if callable_ is None:
+            return None
+        defuse = DefUse(callable_)
+        self._cache[callable_name] = defuse
+        return defuse

@@ -1,0 +1,114 @@
+"""Analysis result container and query helpers.
+
+:class:`AnalysisResult` is the hand-off between the flow analysis and
+everything downstream: the use/assignment specialization decisions, the
+cloning partitioner, and the rewriting transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import model as ir
+from .contours import AnalysisConfig, ContourManager, MethodContour, ObjectContour
+from .tags import Slot
+from .values import AbstractVal, BOTTOM
+
+
+@dataclass(frozen=True, slots=True)
+class StoreSite:
+    """One SetField/SetIndex that stores into ``container_contour.field_name``."""
+
+    contour_id: int
+    instr_uid: int
+    callable_name: str
+    container_contour: int
+    field_name: str
+    value: AbstractVal
+    src_reg: int
+    obj_reg: int
+    is_index: bool
+
+
+@dataclass(frozen=True, slots=True)
+class IdentitySite:
+    """An ``==``/``!=`` whose operands may be heap objects."""
+
+    contour_id: int
+    instr_uid: int
+    callable_name: str
+    lhs: AbstractVal
+    rhs: AbstractVal
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything the transformation stages need from the analysis."""
+
+    program: ir.IRProgram
+    config: AnalysisConfig
+    manager: ContourManager
+    slots: dict[Slot, AbstractVal]
+    global_values: dict[str, AbstractVal]
+    #: per method contour: call-site uid -> callee method-contour ids.
+    call_edges: dict[int, dict[int, set[int]]]
+    #: per method contour: allocation-site uid -> object contour id.
+    allocations: dict[int, dict[int, int]]
+    #: (method contour id, instr uid) -> recorded operand snapshot.
+    facts: dict[tuple[int, int], dict[str, object]]
+    stores: list[StoreSite]
+    identity_sites: list[IdentitySite]
+    _stores_by_slot: dict[Slot, list[StoreSite]] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        for store in self.stores:
+            key = (store.container_contour, store.field_name)
+            self._stores_by_slot.setdefault(key, []).append(store)
+
+    # ------------------------------------------------------------------
+    # Contour queries.
+
+    def method_contour(self, contour_id: int) -> MethodContour:
+        return self.manager.method_contours[contour_id]
+
+    def object_contour(self, contour_id: int) -> ObjectContour:
+        return self.manager.object_contours[contour_id]
+
+    def contours_of(self, callable_name: str) -> list[MethodContour]:
+        ids = self.manager.contours_of_callable.get(callable_name, [])
+        return [self.manager.method_contours[i] for i in ids]
+
+    def slot_value(self, slot: Slot) -> AbstractVal:
+        return self.slots.get(slot, BOTTOM)
+
+    def stores_to_slot(self, slot: Slot) -> list[StoreSite]:
+        return self._stores_by_slot.get(slot, [])
+
+    def fact(self, contour_id: int, instr_uid: int) -> dict[str, object]:
+        return self.facts.get((contour_id, instr_uid), {})
+
+    def callees_at(self, contour_id: int, site_uid: int) -> set[int]:
+        return self.call_edges.get(contour_id, {}).get(site_uid, set())
+
+    # ------------------------------------------------------------------
+    # Widening / precision queries.
+
+    def contour_is_widened(self, contour_id: int) -> bool:
+        contour = self.manager.method_contours.get(contour_id)
+        return bool(contour and contour.summary)
+
+    def object_contour_is_widened(self, contour_id: int) -> bool:
+        contour = self.manager.object_contours.get(contour_id)
+        return bool(contour and contour.summary)
+
+    # ------------------------------------------------------------------
+    # Metrics (Figure 16).
+
+    def method_contours_per_method(self) -> float:
+        return self.manager.contours_per_method()
+
+    def method_contour_count(self) -> int:
+        return self.manager.method_contour_count()
+
+    def object_contour_count(self) -> int:
+        return self.manager.object_contour_count()

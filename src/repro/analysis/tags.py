@@ -1,0 +1,93 @@
+"""Field-origin tags (§4.1 of the paper).
+
+A *tag* records the chain of fields a value may have flowed out of:
+
+- ``NOFIELD`` (the empty chain) marks values that did not come from a
+  field access — results of ``new``, literals, primitives.
+- ``make_tag(slot, t)`` marks the result of reading field ``slot`` from an
+  object that itself carried tag ``t`` (tags are transitive on field
+  accesses to objects that were themselves the result of a field access).
+
+A slot is ``(container object-contour id, field name)``; array element
+slots use the pseudo-field :data:`ELEM_FIELD`.  ``head(tag)`` — the
+paper's ``Head`` — is the outermost (most recent) slot.
+
+Chains are capped at :data:`MAX_TAG_DEPTH` slots by truncating the oldest
+entries; only the head is consulted by the inlining decision, so
+truncation costs precision on deeply nested structures, never soundness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Pseudo-field naming the element slot of an array contour.
+ELEM_FIELD = "@elem"
+
+#: Maximum slots retained in one tag chain.  The inlining decision only
+#: consults the *head* of a tag (transparent slots are resolved through
+#: their stored content tags, not through the chain), so depth 1 keeps
+#: every decision identical while avoiding combinatorial chain blowup on
+#: recursive structures.  Deeper chains are supported (the paper's
+#: MakeTag is transitive) and exercised by the unit tests.
+MAX_TAG_DEPTH = 1
+
+#: Maximum distinct tags kept on one value before widening to TOP.
+MAX_TAG_WIDTH = 24
+
+#: (container contour id, field name)
+Slot = tuple[int, str]
+
+#: A tag: a (possibly empty) chain of slots, most recent first.
+Tag = tuple[Slot, ...]
+
+#: The tag of values that did not flow from any field.
+NOFIELD: Tag = ()
+
+#: Sentinel slot heading the TOP tag.
+TOP_SLOT: Slot = (-1, "@top")
+
+#: Widened tag: origin unknown.  Conservatively treated as "may be a raw
+#: object" by the inlining decision, which disqualifies any candidate
+#: whose values it mixes with.
+TOP: Tag = (TOP_SLOT,)
+
+
+_TOP_SET = frozenset({TOP})
+
+
+def cap_tags(tags: frozenset) -> frozenset:
+    """Widen over-wide tag sets to {TOP} (recursive-structure blowup).
+
+    TOP absorbs: once a set contains TOP it stays exactly {TOP}, keeping
+    the widening monotone (otherwise capped sets would oscillate between
+    {TOP} and regrown tag sets and the fixpoint would never terminate).
+    """
+    if TOP in tags or len(tags) > MAX_TAG_WIDTH:
+        return _TOP_SET
+    return tags
+
+
+def make_tag(slot: Slot, tag: Tag) -> Tag:
+    """The paper's ``MakeTag(f, tag)``: prepend ``slot``, capping depth."""
+    return (slot, *tag[: MAX_TAG_DEPTH - 1])
+
+
+def head(tag: Tag) -> Slot | None:
+    """The paper's ``Head(tag)``: the outermost slot, or None for NOFIELD."""
+    return tag[0] if tag else None
+
+
+def head_slots(tags: Iterable[Tag]) -> set[Slot]:
+    """All head slots among ``tags`` (NOFIELD contributes nothing)."""
+    return {tag[0] for tag in tags if tag}
+
+
+def has_nofield(tags: Iterable[Tag]) -> bool:
+    return any(not tag for tag in tags)
+
+
+def format_tag(tag: Tag) -> str:
+    if not tag:
+        return "NoField"
+    return ".".join(f"o{cid}:{field}" for cid, field in tag)

@@ -1,0 +1,105 @@
+"""Abstract values for the flow analysis.
+
+An :class:`AbstractVal` pairs
+
+- ``atoms`` — the concrete *types* a value may have: primitive kind names
+  (:data:`PRIM_INT` etc.) and object-contour ids (ints), and
+- ``tags`` — the §4.1 field-origin tags.
+
+Values are immutable; :func:`join` builds unions.  Tags are only kept on
+values that may reference heap objects (primitives cannot be inline
+allocated, and their uses are never rewritten).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from .tags import NOFIELD, Tag, cap_tags
+
+PRIM_INT = "int"
+PRIM_FLOAT = "float"
+PRIM_BOOL = "bool"
+PRIM_STR = "str"
+PRIM_NIL = "nil"
+
+PRIM_KINDS = frozenset({PRIM_INT, PRIM_FLOAT, PRIM_BOOL, PRIM_STR, PRIM_NIL})
+
+#: An atom is a primitive kind (str) or an object contour id (int).
+Atom = object
+
+_EMPTY: frozenset = frozenset()
+
+
+class AbstractVal(NamedTuple):
+    """One point of the analysis lattice."""
+
+    atoms: frozenset
+    tags: frozenset
+
+    def is_bottom(self) -> bool:
+        return not self.atoms
+
+    def object_contours(self) -> frozenset:
+        """The object-contour ids among the atoms."""
+        return frozenset(a for a in self.atoms if isinstance(a, int))
+
+    def prims(self) -> frozenset:
+        return frozenset(a for a in self.atoms if isinstance(a, str))
+
+    def may_be_object(self) -> bool:
+        return any(isinstance(a, int) for a in self.atoms)
+
+    def may_be_nil(self) -> bool:
+        return PRIM_NIL in self.atoms
+
+
+BOTTOM = AbstractVal(_EMPTY, _EMPTY)
+
+
+def prim_val(*kinds: str) -> AbstractVal:
+    """An abstract value holding only the given primitive kinds."""
+    return AbstractVal(frozenset(kinds), _EMPTY)
+
+
+def obj_val(contour_id: int, tags: Iterable[Tag] = (NOFIELD,)) -> AbstractVal:
+    """An abstract value holding exactly one object contour."""
+    return AbstractVal(frozenset({contour_id}), frozenset(tags))
+
+
+def make_val(atoms: Iterable[Atom], tags: Iterable[Tag]) -> AbstractVal:
+    """Construct a value, dropping tags unless an object atom is present.
+
+    Tag sets wider than :data:`repro.analysis.tags.MAX_TAG_WIDTH` widen to
+    ``{TOP}`` — conservative for every client (TOP resolves as a possibly
+    raw object and so disqualifies candidates it mixes with).
+    """
+    atom_set = frozenset(atoms)
+    if any(isinstance(a, int) for a in atom_set):
+        return AbstractVal(atom_set, cap_tags(frozenset(tags)))
+    return AbstractVal(atom_set, _EMPTY)
+
+
+def join(*values: AbstractVal) -> AbstractVal:
+    """Least upper bound of the given values."""
+    atoms: set = set()
+    tags: set = set()
+    for value in values:
+        atoms |= value.atoms
+        tags |= value.tags
+    return make_val(atoms, tags)
+
+
+def const_atom(value: object) -> str:
+    """The primitive kind of a literal constant."""
+    if value is None:
+        return PRIM_NIL
+    if isinstance(value, bool):
+        return PRIM_BOOL
+    if isinstance(value, int):
+        return PRIM_INT
+    if isinstance(value, float):
+        return PRIM_FLOAT
+    if isinstance(value, str):
+        return PRIM_STR
+    raise TypeError(f"unexpected constant {value!r}")

@@ -1,0 +1,193 @@
+"""Regeneration of every figure in the paper's evaluation (§6).
+
+Each ``figure*`` function returns structured rows; ``render`` turns any
+of them into an aligned text table.  The benchmark harness caches one
+full run so all four figures can be produced together (the CLI's
+``bench --figure all``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..inlining.pipeline import candidate_is_declared_inline
+from .harness import BENCHMARKS, BenchmarkRun, run_all, run_performance_suite
+from .metadata import FieldCounts
+
+
+@dataclass(slots=True)
+class FigureData:
+    """One regenerated figure: header, rows, and a short caption."""
+
+    figure: str
+    caption: str
+    header: list[str]
+    rows: list[list[object]]
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        text_rows = [[_fmt(cell) for cell in row] for row in self.rows]
+        for row in text_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [f"{self.figure}: {self.caption}"]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in text_rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — inlinable field counts.
+
+
+def field_counts(run: BenchmarkRun) -> FieldCounts:
+    """The four Figure 14 bars for one benchmark run."""
+    plan = run.builds["inline"].report.plan
+    candidates = list(plan.candidates.values())
+    declared = sum(
+        1 for c in candidates if candidate_is_declared_inline(run.program, c)
+    )
+    return FieldCounts(
+        benchmark=run.name,
+        total_object_fields=len(candidates),
+        ideal_inlinable=run.info.ideal_inlinable if run.info else 0,
+        declared_inline_cpp=declared,
+        automatically_inlined=sum(1 for c in candidates if c.accepted),
+    )
+
+
+def figure14(runs: dict[str, BenchmarkRun] | None = None) -> FigureData:
+    """Inlinable field counts per benchmark (paper Figure 14)."""
+    runs = runs or run_all()
+    rows = []
+    for name in BENCHMARKS:
+        counts = field_counts(runs[name])
+        rows.append(
+            [
+                counts.benchmark,
+                counts.total_object_fields,
+                counts.ideal_inlinable,
+                counts.declared_inline_cpp,
+                counts.automatically_inlined,
+            ]
+        )
+    return FigureData(
+        figure="Figure 14",
+        caption="Inlinable field counts (object-holding locations)",
+        header=["benchmark", "total", "ideal", "declared C++", "automatic"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — generated code size.
+
+
+def figure15(runs: dict[str, BenchmarkRun] | None = None) -> FigureData:
+    """Generated code size with vs without inlining (paper Figure 15)."""
+    runs = runs or run_all()
+    rows = []
+    for name in BENCHMARKS:
+        run = runs[name]
+        without = run.builds["noinline"].code_size
+        with_inlining = run.builds["inline"].code_size
+        rows.append(
+            [
+                name,
+                round(without / 1024, 1),
+                round(with_inlining / 1024, 1),
+                round(with_inlining / without, 3),
+            ]
+        )
+    return FigureData(
+        figure="Figure 15",
+        caption="Generated code size in KiB (reachable C-like code)",
+        header=["benchmark", "without KiB", "with KiB", "ratio"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 16 — analysis sensitivity (method contours per method).
+
+
+def figure16(runs: dict[str, BenchmarkRun] | None = None) -> FigureData:
+    """Method contours required per method (paper Figure 16), plus the
+    §6.2.2 observation that object contours do not grow."""
+    runs = runs or run_all()
+    rows = []
+    for name in BENCHMARKS:
+        run = runs[name]
+        without = run.builds["noinline"].report.analysis
+        with_inlining = run.builds["inline"].report.analysis
+        rows.append(
+            [
+                name,
+                round(without.method_contours_per_method(), 2),
+                round(with_inlining.method_contours_per_method(), 2),
+                without.object_contour_count(),
+                with_inlining.object_contour_count(),
+            ]
+        )
+    return FigureData(
+        figure="Figure 16",
+        caption="Method contours per method; object contours (§6.2.2)",
+        header=[
+            "benchmark",
+            "contours/method w/o",
+            "contours/method w/",
+            "obj contours w/o",
+            "obj contours w/",
+        ],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — performance.
+
+
+def figure17(runs: dict[str, BenchmarkRun] | None = None) -> FigureData:
+    """Runtime normalized to Concert-without-inlining (paper Figure 17).
+
+    Lower is better; the 'G++ -O2' column is the manual-inlining proxy.
+    """
+    runs = runs or run_performance_suite()
+    rows = []
+    for name, run in runs.items():
+        rows.append(
+            [
+                name,
+                1.0,
+                round(run.normalized_time("inline"), 3),
+                round(run.normalized_time("manual"), 3),
+                round(run.speedup("inline"), 2),
+            ]
+        )
+    return FigureData(
+        figure="Figure 17",
+        caption="Runtime normalized to Concert without inlining (lower is better)",
+        header=[
+            "benchmark",
+            "Concert w/o",
+            "Concert w/",
+            "manual (G++ proxy)",
+            "speedup",
+        ],
+        rows=rows,
+    )
+
+
+def all_figures() -> list[FigureData]:
+    """Regenerate every figure, sharing one benchmark run."""
+    runs = run_all()
+    performance = run_performance_suite()
+    return [figure14(runs), figure15(runs), figure16(runs), figure17(performance)]

@@ -1,0 +1,148 @@
+"""Benchmark harness: compiles, optimizes, and runs every benchmark in
+the three build configurations and collects everything the figures need.
+
+Builds (matching the paper's Figure 17 bars):
+
+- ``noinline`` — Concert without object inlining (devirtualization only).
+- ``inline``   — Concert with object inlining.
+- ``manual``   — the G++ ``-O2`` proxy: only manually annotated locations
+  are inlined.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis import AnalysisConfig
+from ..codegen import generate
+from ..inlining.pipeline import OptimizeReport, optimize
+from ..ir import compile_source
+from ..ir.model import IRProgram
+from ..runtime import CacheConfig, run_program
+from ..runtime.interp import RunResult
+from .metadata import BenchmarkInfo
+from .programs import oopack, polyover, richards, silo
+
+BUILDS = ("noinline", "inline", "manual")
+
+#: name -> (source text, info).  ``polyover`` is the combined program used
+#: for Figures 14-16; the array/list splits are separate Figure 17 entries.
+BENCHMARKS: dict[str, tuple[str, BenchmarkInfo]] = {
+    "oopack": (oopack.SOURCE, oopack.INFO),
+    "richards": (richards.SOURCE, richards.INFO),
+    "silo": (silo.SOURCE, silo.INFO),
+    "polyover": (polyover.SOURCE, polyover.INFO),
+}
+
+#: Figure 17 additionally reports polyover's two variants separately.
+PERFORMANCE_PROGRAMS: dict[str, str] = {
+    "oopack": oopack.SOURCE,
+    "richards": richards.SOURCE,
+    "silo": silo.SOURCE,
+    "polyover (array)": polyover.SOURCE_ARRAY,
+    "polyover (list)": polyover.SOURCE_LIST,
+}
+
+
+@dataclass(slots=True)
+class BuildResult:
+    """One build of one benchmark."""
+
+    build: str
+    report: OptimizeReport
+    run: RunResult
+    code_size: int
+    optimize_seconds: float
+    run_seconds: float
+
+    @property
+    def cycles(self) -> int:
+        return self.run.stats.cycles()
+
+
+@dataclass(slots=True)
+class BenchmarkRun:
+    """All builds of one benchmark, plus the uniform-model reference run."""
+
+    name: str
+    info: BenchmarkInfo | None
+    program: IRProgram
+    reference_output: list[str]
+    builds: dict[str, BuildResult] = field(default_factory=dict)
+
+    def speedup(self, build: str) -> float:
+        """Speedup of ``build`` over the no-inlining baseline."""
+        return self.builds["noinline"].cycles / self.builds[build].cycles
+
+    def normalized_time(self, build: str) -> float:
+        """Runtime normalized to Concert-without-inlining (Figure 17)."""
+        return self.builds[build].cycles / self.builds["noinline"].cycles
+
+
+_OPTIMIZE_KW: dict[str, dict[str, bool]] = {
+    "noinline": {"inline": False},
+    "inline": {"inline": True},
+    "manual": {"manual_only": True},
+}
+
+
+def run_benchmark(
+    name: str,
+    source: str,
+    info: BenchmarkInfo | None = None,
+    builds: tuple[str, ...] = BUILDS,
+    cache_config: CacheConfig | None = None,
+    config: AnalysisConfig | None = None,
+) -> BenchmarkRun:
+    """Compile, optimize, and execute one benchmark in each build."""
+    program = compile_source(source, f"{name}.icc")
+    reference = run_program(program, cache_config)
+    bench = BenchmarkRun(
+        name=name,
+        info=info,
+        program=program,
+        reference_output=list(reference.output),
+    )
+    for build in builds:
+        started = time.perf_counter()
+        report = optimize(program, config=config, **_OPTIMIZE_KW[build])
+        optimized_at = time.perf_counter()
+        run = run_program(report.program, cache_config)
+        finished = time.perf_counter()
+        if run.output != bench.reference_output:
+            raise AssertionError(
+                f"{name}/{build}: transformed program output diverged:\n"
+                f"  expected {bench.reference_output}\n  actual   {run.output}"
+            )
+        bench.builds[build] = BuildResult(
+            build=build,
+            report=report,
+            run=run,
+            code_size=generate(report.program).size_bytes,
+            optimize_seconds=optimized_at - started,
+            run_seconds=finished - optimized_at,
+        )
+    return bench
+
+
+def run_named(name: str, builds: tuple[str, ...] = BUILDS, **kwargs) -> BenchmarkRun:
+    """Run one of the four paper benchmarks by name."""
+    source, info = BENCHMARKS[name]
+    return run_benchmark(name, source, info, builds, **kwargs)
+
+
+def run_all(builds: tuple[str, ...] = BUILDS, **kwargs) -> dict[str, BenchmarkRun]:
+    """Run every Figure 14-16 benchmark."""
+    return {
+        name: run_named(name, builds, **kwargs) for name in BENCHMARKS
+    }
+
+
+def run_performance_suite(**kwargs) -> dict[str, BenchmarkRun]:
+    """Run the Figure 17 program set (polyover split by variant)."""
+    results: dict[str, BenchmarkRun] = {}
+    for name, source in PERFORMANCE_PROGRAMS.items():
+        info = BENCHMARKS.get(name, (None, None))[1]
+        results[name] = run_benchmark(name, source, info, BUILDS, **kwargs)
+    return results

@@ -1,0 +1,49 @@
+"""Benchmark descriptors.
+
+Each benchmark module exposes a mini-ICC++ ``SOURCE`` and a
+:class:`BenchmarkInfo` with the hand-determined ground truth Figure 14
+needs: how many object-holding locations exist, how many a human could
+ideally inline given aliasing constraints, and which known-limit
+structures must *not* be inlined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkInfo:
+    """Static facts about one benchmark program."""
+
+    name: str
+    description: str
+    #: Hand count of inlinable locations given ideal aliasing knowledge
+    #: (the paper's "could ideally be inlined" bar of Figure 14).
+    ideal_inlinable: int
+    #: Locations the paper's known limitations should leave uninlined,
+    #: described as substrings expected in candidate describe() output.
+    expected_rejected: tuple[str, ...] = ()
+    #: Locations that must be accepted, same matching rule.
+    expected_accepted: tuple[str, ...] = ()
+    notes: str = ""
+
+
+@dataclass(slots=True)
+class FieldCounts:
+    """The four bars of Figure 14 for one benchmark."""
+
+    benchmark: str
+    total_object_fields: int
+    ideal_inlinable: int
+    declared_inline_cpp: int
+    automatically_inlined: int
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "benchmark": self.benchmark,
+            "total": self.total_object_fields,
+            "ideal": self.ideal_inlinable,
+            "declared_cpp": self.declared_inline_cpp,
+            "automatic": self.automatically_inlined,
+        }

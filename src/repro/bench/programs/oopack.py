@@ -1,0 +1,103 @@
+"""OOPACK ComplexBenchmark (mini-ICC++ port).
+
+OOPACK is KAI's suite of kernels testing whether a compiler removes
+object-oriented abstraction.  The paper reports timings for the
+ComplexBenchmark kernel: arrays of complex-number *objects* that C++
+would inline-allocate (``Complex a[N]``) but a uniform object model
+stores as arrays of references.
+
+Object inlining converts the three arrays to parallel-array layout
+(the paper notes the Fortran-style layout helps cache behaviour) and
+stack-allocates the per-element constructor results.
+"""
+
+from __future__ import annotations
+
+from ..metadata import BenchmarkInfo
+
+SOURCE = r"""
+// OOPACK ComplexBenchmark: c[i] = c[i] + a[i]*b[i] over arrays of
+// complex-number objects, iterated to amortize setup.
+
+class Complex {
+  var re;
+  var im;
+  def init(r, i) {
+    this.re = r;
+    this.im = i;
+  }
+  def norm() {
+    return this.re * this.re + this.im * this.im;
+  }
+}
+
+var N = 512;
+var ITERS = 8;
+
+def make_operand(n, scale, bias) {
+  // In C++ these are arrays of Complex values (inline allocated).
+  var a = inline_array(n);
+  for (var i = 0; i < n; i = i + 1) {
+    var x = float(i % 97) * scale + bias;
+    var y = float((i * 13) % 89) * scale - bias;
+    a[i] = new Complex(x * 0.01, y * 0.01);
+  }
+  return a;
+}
+
+def make_accumulator(n) {
+  var c = inline_array(n);
+  for (var i = 0; i < n; i = i + 1) {
+    c[i] = new Complex(0.0, 0.0);
+  }
+  return c;
+}
+
+def complex_kernel(a, b, c, n) {
+  // c[i] = c[i] + a[i] * b[i].  As in the C++ original, each iteration
+  // constructs a complex value into the destination slot; the uniform
+  // model pays a heap allocation for it, inline allocation does not.
+  for (var i = 0; i < n; i = i + 1) {
+    var ci = c[i];
+    var ai = a[i];
+    var bi = b[i];
+    var nr = ci.re + ai.re * bi.re - ai.im * bi.im;
+    var ni = ci.im + ai.re * bi.im + ai.im * bi.re;
+    c[i] = new Complex(nr, ni);
+  }
+}
+
+def checksum(c, n) {
+  var total = 0.0;
+  for (var i = 0; i < n; i = i + 1) {
+    total = total + c[i].norm();
+  }
+  return total;
+}
+
+def main() {
+  var a = make_operand(N, 1.0, 0.5);
+  var b = make_operand(N, 2.0, -0.25);
+  var c = make_accumulator(N);
+  for (var iter = 0; iter < ITERS; iter = iter + 1) {
+    complex_kernel(a, b, c, N);
+  }
+  print("oopack complex checksum", checksum(c, N));
+}
+"""
+
+INFO = BenchmarkInfo(
+    name="oopack",
+    description=(
+        "KAI OOPACK ComplexBenchmark: complex multiply-accumulate over "
+        "arrays of complex-number objects"
+    ),
+    ideal_inlinable=2,
+    expected_accepted=("array-site",),
+    expected_rejected=(),
+    notes=(
+        "All three arrays of Complex are declared inline in C++ "
+        "(inline_array); the automatic optimizer must match the manual "
+        "allocation exactly (Figure 14: automatic == declared for OOPACK)."
+    ),
+)

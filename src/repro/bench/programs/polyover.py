@@ -1,0 +1,382 @@
+"""Polygon overlay (mini-ICC++ port).
+
+The benchmark from *Parallel Programming Using C++* (Wilson & Lu):
+compute the overlay of two polygon maps — every non-empty pairwise
+intersection between map A and map B — using several data-structure
+strategies.  The paper reports two variants (Figure 17 shows both):
+
+- **array**: maps as arrays of polygons (inline allocated in C++), plus
+  a spatial-hash grid whose buckets are chains of *pool-allocated cons
+  cells that reference each other* — the paper's most interesting case,
+  requiring the analysis to flow tags through object fields.
+- **list**: maps as cons lists; map cells and result cells merge with
+  their polygons (cons + data combined — not expressible in C++).
+
+Known limit reproduced: the post-pass "summary" list stores polygons
+*read back out of result cells*, so assignment specialization cannot
+prove ownership and those cells stay unmerged — the analog of the
+paper's "a list constructed in a loop cannot be blocked" limitation.
+"""
+
+from __future__ import annotations
+
+from ..metadata import BenchmarkInfo
+
+_COMMON = r"""
+// Polygon overlay: intersect two maps of axis-aligned boxes.
+
+var seed = 99991;
+
+def next_random(limit) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return (seed / 65536) % limit;
+}
+
+class Polygon {
+  var xl;
+  var yl;
+  var xh;
+  var yh;
+  def init(xl, yl, xh, yh) {
+    this.xl = xl;
+    this.yl = yl;
+    this.xh = xh;
+    this.yh = yh;
+  }
+  def area() {
+    return (this.xh - this.xl) * (this.yh - this.yl);
+  }
+}
+
+def random_box(span) {
+  // A small box inside the [0, 1000)^2 map plane.
+  var x = float(next_random(960));
+  var y = float(next_random(960));
+  var w = 2.0 + float(next_random(span));
+  var h = 2.0 + float(next_random(span));
+  return new Polygon(x, y, x + w, y + h);
+}
+
+// Result list: freshly computed intersection polygons merged with their
+// cons cells (cannot be expressed with C++ inline declarations).
+class RCell {
+  var poly;
+  var next;
+  def init(poly, next) {
+    this.poly = poly;
+    this.next = next;
+  }
+}
+
+var result_count = 0;
+var result_area = 0.0;
+
+def tally_results(results) {
+  result_count = 0;
+  result_area = 0.0;
+  var r = results;
+  while (r != nil) {
+    result_count = result_count + 1;
+    result_area = result_area + r.poly.area();
+    r = r.next;
+  }
+}
+
+// The post-pass summary list stores polygons read back out of result
+// cells: ownership cannot be proven, so these cells stay unmerged (the
+// paper's loop-constructed-list limitation analog).
+class SCell {
+  var poly;
+  var next;
+  def init(poly, next) {
+    this.poly = poly;
+    this.next = next;
+  }
+}
+
+def summarize_large(results, threshold) {
+  var summary = nil;
+  var r = results;
+  while (r != nil) {
+    var p = r.poly;
+    if (p.area() > threshold) {
+      summary = new SCell(p, summary);
+    }
+    r = r.next;
+  }
+  var n = 0;
+  var s = summary;
+  while (s != nil) {
+    n = n + 1;
+    s = s.next;
+  }
+  return n;
+}
+"""
+
+_LIST = r"""
+// ---------------------------------------------------------------------
+// List variant: maps as cons lists, O(n^2) pairwise intersection.
+
+class MCell {
+  var poly;
+  var next;
+  def init(poly, next) {
+    this.poly = poly;
+    this.next = next;
+  }
+}
+
+def make_map_list(n, span) {
+  var head = nil;
+  for (var i = 0; i < n; i = i + 1) {
+    head = new MCell(random_box(span), head);
+  }
+  return head;
+}
+
+def overlay_lists(map_a, map_b) {
+  var out = nil;
+  var pa = map_a;
+  while (pa != nil) {
+    var a = pa.poly;
+    var axl = a.xl;
+    var ayl = a.yl;
+    var axh = a.xh;
+    var ayh = a.yh;
+    var pb = map_b;
+    while (pb != nil) {
+      var b = pb.poly;
+      var ixl = max(axl, b.xl);
+      var iyl = max(ayl, b.yl);
+      var ixh = min(axh, b.xh);
+      var iyh = min(ayh, b.yh);
+      if (ixl < ixh && iyl < iyh) {
+        out = new RCell(new Polygon(ixl, iyl, ixh, iyh), out);
+      }
+      pb = pb.next;
+    }
+    pa = pa.next;
+  }
+  return out;
+}
+
+def run_list_variant(n) {
+  seed = 99991;
+  var map_a = make_map_list(n, 170);
+  var map_b = make_map_list(n, 170);
+  var results = overlay_lists(map_a, map_b);
+  tally_results(results);
+  var big = summarize_large(results, 220.0);
+  print("polyover list", result_count, big, result_area);
+}
+"""
+
+_ARRAY = r"""
+// ---------------------------------------------------------------------
+// Array variant: maps as arrays of polygons (inline allocated in C++),
+// map B bucketed into a spatial grid of pool-allocated cons cells that
+// reference each other through their next fields.
+
+var GRID = 16;
+var CELL_POOL_CAP = 3072;
+var pool_used = 0;
+
+def make_map_array(n, span) {
+  var a = inline_array(n);
+  for (var i = 0; i < n; i = i + 1) {
+    a[i] = random_box(span);
+  }
+  return a;
+}
+
+// Grid chain cell: carries a copy of the box plus a reference to the
+// next cell *in the same pool array* (cells reference each other).
+class GCell {
+  var is_end;
+  var xl;
+  var yl;
+  var xh;
+  var yh;
+  var next;
+  def init(is_end, xl, yl, xh, yh, next) {
+    this.is_end = is_end;
+    this.xl = xl;
+    this.yl = yl;
+    this.xh = xh;
+    this.yh = yh;
+    this.next = next;
+  }
+}
+
+def bucket_of(v) {
+  var b = int(v) * GRID / 1000;
+  if (b < 0) {
+    b = 0;
+  }
+  if (b >= GRID) {
+    b = GRID - 1;
+  }
+  return b;
+}
+
+def build_grid(map_b, n) {
+  // Pool of chain cells, inline allocated (tuned C++ uses a cell pool).
+  var pool = inline_array(CELL_POOL_CAP);
+  pool[0] = new GCell(true, 0.0, 0.0, 0.0, 0.0, nil);
+  pool_used = 1;
+  var heads = array(GRID * GRID);
+  var sentinel = pool[0];
+  for (var g = 0; g < GRID * GRID; g = g + 1) {
+    heads[g] = sentinel;
+  }
+  for (var i = 0; i < n; i = i + 1) {
+    var p = map_b[i];
+    var pxl = p.xl;
+    var pyl = p.yl;
+    var pxh = p.xh;
+    var pyh = p.yh;
+    var bx0 = bucket_of(pxl);
+    var bx1 = bucket_of(pxh);
+    var by0 = bucket_of(pyl);
+    var by1 = bucket_of(pyh);
+    for (var bx = bx0; bx <= bx1; bx = bx + 1) {
+      for (var by = by0; by <= by1; by = by + 1) {
+        var g2 = bx * GRID + by;
+        pool[pool_used] = new GCell(false, pxl, pyl, pxh, pyh, heads[g2]);
+        heads[g2] = pool[pool_used];
+        pool_used = pool_used + 1;
+      }
+    }
+  }
+  return heads;
+}
+
+def overlay_grid(map_a, heads, n) {
+  var out = nil;
+  for (var i = 0; i < n; i = i + 1) {
+    var a = map_a[i];
+    var axl = a.xl;
+    var ayl = a.yl;
+    var axh = a.xh;
+    var ayh = a.yh;
+    var bx0 = bucket_of(axl);
+    var bx1 = bucket_of(axh);
+    var by0 = bucket_of(ayl);
+    var by1 = bucket_of(ayh);
+    for (var bx = bx0; bx <= bx1; bx = bx + 1) {
+      for (var by = by0; by <= by1; by = by + 1) {
+        var c = heads[bx * GRID + by];
+        while (!c.is_end) {
+          var ixl = max(axl, c.xl);
+          var iyl = max(ayl, c.yl);
+          var ixh = min(axh, c.xh);
+          var iyh = min(ayh, c.yh);
+          if (ixl < ixh && iyl < iyh) {
+            // Note: a pair can land in several shared buckets; count
+            // it once by attributing it to its lowest-left bucket.
+            if (bx == bucket_of(ixl) && by == bucket_of(iyl)) {
+              out = new RCell(new Polygon(ixl, iyl, ixh, iyh), out);
+            }
+          }
+          c = c.next;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+def overlay_arrays(map_a, map_b, n) {
+  // Straight pairwise overlay across the two polygon arrays.
+  var out = nil;
+  for (var i = 0; i < n; i = i + 1) {
+    var a = map_a[i];
+    var axl = a.xl;
+    var ayl = a.yl;
+    var axh = a.xh;
+    var ayh = a.yh;
+    for (var j = 0; j < n; j = j + 1) {
+      var b = map_b[j];
+      var ixl = max(axl, b.xl);
+      var iyl = max(ayl, b.yl);
+      var ixh = min(axh, b.xh);
+      var iyh = min(ayh, b.yh);
+      if (ixl < ixh && iyl < iyh) {
+        out = new RCell(new Polygon(ixl, iyl, ixh, iyh), out);
+      }
+    }
+  }
+  return out;
+}
+
+def run_array_variant(n, rounds) {
+  seed = 99991;
+  var map_a = make_map_array(n, 90);
+  var map_b = make_map_array(n, 90);
+  var results = nil;
+  for (var r = 0; r < rounds; r = r + 1) {
+    results = overlay_arrays(map_a, map_b, n);
+  }
+  tally_results(results);
+  var big = summarize_large(results, 220.0);
+  print("polyover array", result_count, big, result_area);
+
+  // Second algorithm: spatial grid of pool-allocated chain cells (the
+  // paper's "array of cons cells storing references to each other").
+  var heads = build_grid(map_b, n);
+  var grid_results = overlay_grid(map_a, heads, n);
+  tally_results(grid_results);
+  print("polyover grid", result_count, result_area, pool_used);
+}
+"""
+
+_MAIN_BOTH = r"""
+def main() {
+  run_array_variant(380, 2);
+  run_list_variant(240);
+}
+"""
+
+_MAIN_ARRAY = r"""
+def main() {
+  run_array_variant(380, 2);
+}
+"""
+
+_MAIN_LIST = r"""
+def main() {
+  run_list_variant(240);
+}
+"""
+
+
+def source(variant: str = "both") -> str:
+    """Assemble the benchmark source for one driver variant."""
+    if variant == "both":
+        return _COMMON + _LIST + _ARRAY + _MAIN_BOTH
+    if variant == "array":
+        return _COMMON + _ARRAY + _MAIN_ARRAY
+    if variant == "list":
+        return _COMMON + _LIST + _MAIN_LIST
+    raise ValueError(f"unknown polyover variant {variant!r}")
+
+
+SOURCE = source("both")
+SOURCE_ARRAY = source("array")
+SOURCE_LIST = source("list")
+
+INFO = BenchmarkInfo(
+    name="polyover",
+    description="Polygon-map overlay with array (spatial grid of pooled "
+    "cons cells) and list strategies",
+    ideal_inlinable=5,
+    expected_accepted=("RCell.poly", "MCell.poly", "array-site"),
+    expected_rejected=("SCell.poly", "GCell.next"),
+    notes=(
+        "Map arrays and the cell pool are inline allocated in C++ "
+        "(inline_array); result/map cons cells merge with their polygons "
+        "automatically (not expressible in C++).  The summary list built "
+        "from field reads reproduces the paper's loop-list limitation."
+    ),
+)

@@ -1,0 +1,373 @@
+"""Richards operating-system simulator (mini-ICC++ port).
+
+The classic Deutsch/Richards task scheduler: an idle task drives two
+device tasks, two handler tasks, and a worker task by circulating work
+and device packets through priority queues.
+
+Two inlining opportunities the paper calls out:
+
+- ``Packet.a2`` — a four-slot data array, ``int data[4]`` in C++
+  (declared inline there): inlined as an *embedded fixed-length array*.
+- ``Task.priv`` — the private data pointer, ``void*`` in C++ and hence
+  **not declarable inline there**: every task subclass stores a different
+  record type, so the automatic optimizer splits the Task class per
+  subclass and inlines each record independently (Figure 14's
+  "automatic > declared" for Richards).
+
+Known limit reproduced: the global ``tasktab`` array holds tasks of
+different classes (and tasks are compared against nil while walking the
+run list), so its elements are *not* inlined — the paper's polymorphic
+task-array limitation.
+"""
+
+from __future__ import annotations
+
+from ..metadata import BenchmarkInfo
+
+SOURCE = r"""
+// Deutsch-Richards OS simulator.
+
+var ID_IDLE = 0;
+var ID_WORKER = 1;
+var ID_HANDLER_A = 2;
+var ID_HANDLER_B = 3;
+var ID_DEVICE_A = 4;
+var ID_DEVICE_B = 5;
+
+var KIND_DEVICE = 0;
+var KIND_WORK = 1;
+
+var COUNT = 1000;
+
+// Scheduler state.
+var task_list = nil;
+var current_task = nil;
+var current_id = 0;
+var tasktab = nil;
+var queue_count = 0;
+var hold_count = 0;
+
+// 16-bit xor, bit by bit (the language has no bitwise operators).
+def xor_bits(a, b) {
+  var result = 0;
+  var bit = 1;
+  for (var i = 0; i < 16; i = i + 1) {
+    var abit = a % 2;
+    var bbit = b % 2;
+    if (abit != bbit) {
+      result = result + bit;
+    }
+    a = (a - abit) / 2;
+    b = (b - bbit) / 2;
+    bit = bit * 2;
+  }
+  return result;
+}
+
+class Packet {
+  var link;
+  var id;
+  var kind;
+  var a1;
+  var inline a2;   // int data[4] in the C++ original
+  def init(link, id, kind) {
+    this.link = link;
+    this.id = id;
+    this.kind = kind;
+    this.a1 = 0;
+    var d = array(4);
+    for (var i = 0; i < 4; i = i + 1) {
+      d[i] = 0;
+    }
+    this.a2 = d;
+  }
+}
+
+def packet_append(pkt, list) {
+  pkt.link = nil;
+  if (list == nil) {
+    return pkt;
+  }
+  var p = list;
+  while (p.link != nil) {
+    p = p.link;
+  }
+  p.link = pkt;
+  return list;
+}
+
+// Per-task private data records: the C++ original stores these through a
+// void* slot, so they cannot be declared inline there.
+class IdleRec {
+  var control;
+  var count;
+  def init(control, count) {
+    this.control = control;
+    this.count = count;
+  }
+}
+class WorkerRec {
+  var destination;
+  var count;
+  def init(destination, count) {
+    this.destination = destination;
+    this.count = count;
+  }
+}
+class HandlerRec {
+  var work_in;
+  var device_in;
+  def init() {
+    this.work_in = nil;
+    this.device_in = nil;
+  }
+}
+class DeviceRec {
+  var pending;
+  def init() {
+    this.pending = nil;
+  }
+}
+
+class Task {
+  var link;
+  var id;
+  var pri;
+  var queue;
+  var held;
+  var waiting;
+  var runnable;
+  var priv;        // void* in C++: cannot be declared inline there
+  def init(id, pri, queue, waiting, runnable, priv) {
+    this.link = task_list;
+    this.id = id;
+    this.pri = pri;
+    this.queue = queue;
+    this.held = false;
+    this.waiting = waiting;
+    this.runnable = runnable;
+    this.priv = priv;
+    task_list = this;
+    tasktab[id] = this;
+  }
+  def is_held_or_suspended() {
+    return this.held || (this.waiting && !this.runnable);
+  }
+  def take_packet() {
+    // Dequeue the pending packet when in the waiting-with-packet state.
+    var msg = nil;
+    if (this.waiting && this.runnable) {
+      msg = this.queue;
+      this.queue = msg.link;
+      this.waiting = false;
+      this.runnable = this.queue != nil;
+    }
+    return msg;
+  }
+  def run_task() {
+    var msg = this.take_packet();
+    return this.run(msg);
+  }
+  def check_priority_add(task, pkt) {
+    if (this.queue == nil) {
+      this.queue = pkt;
+      this.runnable = true;
+      if (this.pri > task.pri) {
+        return this;
+      }
+    } else {
+      this.queue = packet_append(pkt, this.queue);
+    }
+    return task;
+  }
+}
+
+def release(id) {
+  var t = tasktab[id];
+  if (t == nil) {
+    return t;
+  }
+  t.held = false;
+  if (t.pri > current_task.pri) {
+    return t;
+  }
+  return current_task;
+}
+
+def hold_self() {
+  hold_count = hold_count + 1;
+  current_task.held = true;
+  return current_task.link;
+}
+
+def suspend_self() {
+  current_task.waiting = true;
+  return current_task;
+}
+
+def queue_packet(pkt) {
+  var t = tasktab[pkt.id];
+  if (t == nil) {
+    return t;
+  }
+  queue_count = queue_count + 1;
+  pkt.link = nil;
+  pkt.id = current_id;
+  return t.check_priority_add(current_task, pkt);
+}
+
+class IdleTask : Task {
+  def run(pkt) {
+    var rec = this.priv;
+    rec.count = rec.count - 1;
+    if (rec.count == 0) {
+      return hold_self();
+    }
+    if (rec.control % 2 == 0) {
+      rec.control = rec.control / 2;
+      return release(ID_DEVICE_A);
+    }
+    rec.control = xor_bits(rec.control / 2, 53256);
+    return release(ID_DEVICE_B);
+  }
+}
+
+class WorkerTask : Task {
+  def run(pkt) {
+    var rec = this.priv;
+    if (pkt == nil) {
+      return suspend_self();
+    }
+    var dest = ID_HANDLER_A;
+    if (rec.destination == ID_HANDLER_A) {
+      dest = ID_HANDLER_B;
+    }
+    rec.destination = dest;
+    pkt.id = dest;
+    pkt.a1 = 0;
+    var d = pkt.a2;
+    for (var i = 0; i < 4; i = i + 1) {
+      rec.count = rec.count + 1;
+      if (rec.count > 26) {
+        rec.count = 1;
+      }
+      d[i] = 64 + rec.count;
+    }
+    return queue_packet(pkt);
+  }
+}
+
+class HandlerTask : Task {
+  def run(pkt) {
+    var rec = this.priv;
+    if (pkt != nil) {
+      if (pkt.kind == KIND_WORK) {
+        rec.work_in = packet_append(pkt, rec.work_in);
+      } else {
+        rec.device_in = packet_append(pkt, rec.device_in);
+      }
+    }
+    var work = rec.work_in;
+    if (work != nil) {
+      var count = work.a1;
+      if (count < 4) {
+        var dev = rec.device_in;
+        if (dev != nil) {
+          rec.device_in = dev.link;
+          var wd = work.a2;
+          dev.a1 = wd[count];
+          work.a1 = count + 1;
+          return queue_packet(dev);
+        }
+      } else {
+        rec.work_in = work.link;
+        return queue_packet(work);
+      }
+    }
+    return suspend_self();
+  }
+}
+
+class DeviceTask : Task {
+  def run(pkt) {
+    var rec = this.priv;
+    if (pkt == nil) {
+      var pending = rec.pending;
+      if (pending == nil) {
+        return suspend_self();
+      }
+      rec.pending = nil;
+      return queue_packet(pending);
+    }
+    rec.pending = pkt;
+    return hold_self();
+  }
+}
+
+def schedule() {
+  current_task = task_list;
+  while (current_task != nil) {
+    if (current_task.is_held_or_suspended()) {
+      current_task = current_task.link;
+    } else {
+      current_id = current_task.id;
+      current_task = current_task.run_task();
+    }
+  }
+}
+
+def main() {
+  tasktab = array(6);
+  for (var i = 0; i < 6; i = i + 1) {
+    tasktab[i] = nil;
+  }
+  queue_count = 0;
+  hold_count = 0;
+  task_list = nil;
+
+  // Idle task: runnable, no queue.
+  var idle = new IdleTask(ID_IDLE, 0, nil, false, true, new IdleRec(1, COUNT));
+
+  // Worker task: waiting with two work packets.
+  var wq = new Packet(nil, ID_WORKER, KIND_WORK);
+  wq = new Packet(wq, ID_WORKER, KIND_WORK);
+  var worker = new WorkerTask(
+      ID_WORKER, 1000, wq, true, true, new WorkerRec(ID_HANDLER_A, 0));
+
+  // Handler tasks: waiting with three device packets each.
+  var ha = new Packet(nil, ID_DEVICE_A, KIND_DEVICE);
+  ha = new Packet(ha, ID_DEVICE_A, KIND_DEVICE);
+  ha = new Packet(ha, ID_DEVICE_A, KIND_DEVICE);
+  var handler_a = new HandlerTask(
+      ID_HANDLER_A, 2000, ha, true, true, new HandlerRec());
+
+  var hb = new Packet(nil, ID_DEVICE_B, KIND_DEVICE);
+  hb = new Packet(hb, ID_DEVICE_B, KIND_DEVICE);
+  hb = new Packet(hb, ID_DEVICE_B, KIND_DEVICE);
+  var handler_b = new HandlerTask(
+      ID_HANDLER_B, 3000, hb, true, true, new HandlerRec());
+
+  // Device tasks: waiting, no packet.
+  var dev_a = new DeviceTask(ID_DEVICE_A, 4000, nil, true, false, new DeviceRec());
+  var dev_b = new DeviceTask(ID_DEVICE_B, 5000, nil, true, false, new DeviceRec());
+
+  schedule();
+
+  print("richards queue_count", queue_count, "hold_count", hold_count);
+  assert_true(queue_count == 2322);
+  assert_true(hold_count == 928);
+}
+"""
+
+INFO = BenchmarkInfo(
+    name="richards",
+    description="Deutsch-Richards OS simulator with polymorphic task records",
+    ideal_inlinable=2,
+    expected_accepted=("Packet.a2", "Task.priv"),
+    expected_rejected=("Task.link", "Task.queue", "array-site"),
+    notes=(
+        "Task.priv is the void* private data pointer C++ cannot declare "
+        "inline; the optimizer inlines it per subclass (automatic > "
+        "declared).  The polymorphic tasktab array is a known limit."
+    ),
+)

@@ -1,0 +1,109 @@
+"""Full-evaluation markdown report.
+
+Runs the complete benchmark matrix once and renders every figure plus
+per-build VM statistics into a single markdown document — the artifact a
+downstream user regenerates to compare against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from . import figures
+from .harness import BENCHMARKS, BenchmarkRun, run_all, run_performance_suite
+
+
+def _markdown_table(header: list[str], rows: list[list[object]]) -> str:
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _stats_section(runs: dict[str, BenchmarkRun]) -> str:
+    header = [
+        "benchmark", "build", "cycles", "instructions", "heap allocs",
+        "stack allocs", "heap reads", "cache misses", "dyn dispatches",
+    ]
+    rows: list[list[object]] = []
+    for name, run in runs.items():
+        for build in ("noinline", "inline", "manual"):
+            stats = run.builds[build].run.stats
+            rows.append(
+                [
+                    name,
+                    build,
+                    stats.cycles(),
+                    stats.instructions,
+                    stats.allocations,
+                    stats.stack_allocations,
+                    stats.heap_reads,
+                    stats.cache.misses,
+                    stats.dynamic_dispatches,
+                ]
+            )
+    return _markdown_table(header, rows)
+
+
+def _decisions_section(runs: dict[str, BenchmarkRun]) -> str:
+    lines: list[str] = []
+    for name in BENCHMARKS:
+        run = runs[name]
+        lines.append(f"### {name}")
+        lines.append("")
+        plan = run.builds["inline"].report.plan
+        for candidate in plan.candidates.values():
+            if candidate.accepted:
+                lines.append(f"- **{candidate.describe()}** — inlined")
+            else:
+                lines.append(
+                    f"- {candidate.describe()} — kept as reference "
+                    f"({candidate.reject_reason})"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report() -> str:
+    """Run everything and render the markdown report."""
+    runs = run_all()
+    performance = run_performance_suite()
+
+    sections: list[str] = [
+        "# Object Inlining — full evaluation report",
+        "",
+        "Regenerated from scratch by `repro.bench.report`; compare against "
+        "EXPERIMENTS.md.",
+        "",
+    ]
+    for figure in (
+        figures.figure14(runs),
+        figures.figure15(runs),
+        figures.figure16(runs),
+        figures.figure17(performance),
+    ):
+        sections.append(f"## {figure.figure} — {figure.caption}")
+        sections.append("")
+        sections.append(_markdown_table(figure.header, figure.rows))
+        sections.append("")
+
+    sections.append("## Per-build VM statistics (Figure 17 programs)")
+    sections.append("")
+    sections.append(_stats_section(performance))
+    sections.append("")
+    sections.append("## Inlining decisions per benchmark")
+    sections.append("")
+    sections.append(_decisions_section(runs))
+    return "\n".join(sections)
+
+
+def write_report(path: str) -> str:
+    """Generate the report and write it to ``path``; returns the path."""
+    text = generate_report()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

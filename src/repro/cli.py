@@ -1,0 +1,179 @@
+"""Command-line driver.
+
+Usage::
+
+    repro run PROGRAM.icc [--inline | --manual | --noinline]
+    repro analyze PROGRAM.icc
+    repro ir PROGRAM.icc [--optimized]
+    repro codegen PROGRAM.icc [--optimized]
+    repro bench --figure {14,15,16,17,all}
+
+(also runnable as ``python -m repro.cli ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import figures as bench_figures
+from .bench.harness import run_all, run_performance_suite
+from .codegen import generate
+from .inlining.pipeline import optimize
+from .ir import compile_source, format_program
+from .runtime import run_program
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_source(handle.read(), path)
+
+
+def _build_program(args: argparse.Namespace):
+    program = _load(args.program)
+    if args.noinline:
+        return optimize(program, inline=False).program
+    if args.manual:
+        return optimize(program, manual_only=True).program
+    if args.inline:
+        return optimize(program, inline=True).program
+    return program
+
+
+def _add_build_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--inline", action="store_true", help="apply object inlining (Concert w/)"
+    )
+    group.add_argument(
+        "--noinline",
+        action="store_true",
+        help="devirtualization only (Concert w/o inlining)",
+    )
+    group.add_argument(
+        "--manual",
+        action="store_true",
+        help="inline only manually annotated locations (G++ proxy)",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _build_program(args)
+    if args.profile:
+        from .runtime import profile_program
+
+        report = profile_program(program)
+        for line in report.result.output:
+            print(line)
+        print(report.render(), file=sys.stderr)
+        return 0
+    result = run_program(program)
+    for line in result.output:
+        print(line)
+    if args.stats:
+        for key, value in result.stats.summary().items():
+            print(f"# {key} = {value}", file=sys.stderr)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load(args.program)
+    report = optimize(program, inline=True)
+    print(f"method contours: {report.analysis.method_contour_count()}")
+    print(f"object contours: {report.analysis.object_contour_count()}")
+    print(f"contours/method: {report.analysis.method_contours_per_method():.2f}")
+    print("candidates:")
+    for candidate in report.plan.candidates.values():
+        status = "ACCEPT" if candidate.accepted else f"reject: {candidate.reject_reason}"
+        print(f"  {candidate.describe():30s} {status}")
+    stats = report.clone_stats
+    print(
+        f"clones: {stats.method_partitions} method partitions, "
+        f"{stats.class_variants} class variants, {stats.view_classes} view classes"
+    )
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    print(format_program(_build_program(args)))
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    result = generate(_build_program(args))
+    print(result.text)
+    print(
+        f"// {result.size_bytes} bytes, {result.reachable_callables} callables, "
+        f"{result.reachable_classes} classes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.output:
+        from .bench.report import write_report
+
+        path = write_report(args.output)
+        print(f"wrote {path}")
+        return 0
+    wanted = args.figure
+    if wanted in ("14", "15", "16"):
+        runs = run_all()
+        figure = getattr(bench_figures, f"figure{wanted}")(runs)
+        print(figure.render())
+    elif wanted == "17":
+        print(bench_figures.figure17(run_performance_suite()).render())
+    else:
+        for figure in bench_figures.all_figures():
+            print(figure.render())
+            print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Object inlining for a uniform object model (PLDI 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="compile (+optionally optimize) and run")
+    run_parser.add_argument("program")
+    _add_build_flags(run_parser)
+    run_parser.add_argument("--stats", action="store_true", help="print VM statistics")
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-callable (inclusive) cycle profile",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    analyze_parser = sub.add_parser("analyze", help="report analysis + inlining decisions")
+    analyze_parser.add_argument("program")
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    ir_parser = sub.add_parser("ir", help="dump the IR")
+    ir_parser.add_argument("program")
+    _add_build_flags(ir_parser)
+    ir_parser.set_defaults(func=cmd_ir)
+
+    cg_parser = sub.add_parser("codegen", help="emit C-like code")
+    cg_parser.add_argument("program")
+    _add_build_flags(cg_parser)
+    cg_parser.set_defaults(func=cmd_codegen)
+
+    bench_parser = sub.add_parser("bench", help="regenerate the paper's figures")
+    bench_parser.add_argument(
+        "--figure", choices=["14", "15", "16", "17", "all"], default="all"
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", help="write the full markdown report to FILE"
+    )
+    bench_parser.set_defaults(func=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Class/method cloning and the program rewriting that installs object
+inlining (§3.2.2 and §5 of the paper)."""
+
+from .emit import CloneStats, TransformOutcome, Transformer, transform_program
+from .variants import VariantMap, mangle, mangle_indexed
+from .vectors import VectorBuilder, VectorResult
+
+__all__ = [
+    "CloneStats",
+    "mangle",
+    "mangle_indexed",
+    "transform_program",
+    "TransformOutcome",
+    "Transformer",
+    "VariantMap",
+    "VectorBuilder",
+    "VectorResult",
+]

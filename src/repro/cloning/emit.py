@@ -1,0 +1,828 @@
+"""Method cloning and program emission (§3.2.2, §5 of the paper).
+
+The pipeline here is:
+
+1. **Partition refinement** — contours of each callable are grouped by
+   their decision vectors; the vectors are then extended with the
+   partition ids of each call site's callees and re-grouped until stable.
+   This is the paper's iterative caller-splitting: when cloning a callee
+   would re-introduce a dynamic dispatch, the callers split too.
+2. **Naming** — each partition needs a method/function name; dynamic
+   dispatch sites demand that specific partitions own the plain name on
+   specific class variants.  Unsatisfiable demands are *conflicts*: the
+   responsible candidates are reported for rejection and the whole
+   transformation re-plans.
+3. **Emission** — class variants and view classes are materialized, clone
+   bodies are rewritten according to their partition's actions (field
+   redirection, copy expansion, allocation variants, call binding), and a
+   new :class:`~repro.ir.model.IRProgram` is assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.results import AnalysisResult
+from ..inlining.decisions import CandidateKey, InlinePlan
+from ..ir import model as ir
+from .variants import VariantMap
+from .vectors import VectorBuilder, VectorResult
+
+
+class TransformInternalError(Exception):
+    """An invariant of the transformation was violated (a compiler bug)."""
+
+
+@dataclass(slots=True)
+class CloneStats:
+    """Reporting counters for Figures 15/16 style tables."""
+
+    method_partitions: int = 0
+    function_partitions: int = 0
+    class_variants: int = 0
+    view_classes: int = 0
+    installed_methods: int = 0
+
+
+@dataclass(slots=True)
+class TransformOutcome:
+    """Either a transformed program or the candidates to reject."""
+
+    program: ir.IRProgram | None
+    conflicts: set[CandidateKey]
+    stats: CloneStats = field(default_factory=CloneStats)
+
+
+@dataclass(slots=True)
+class _Partition:
+    pid: int
+    callable_name: str
+    contours: list[int]
+
+    @property
+    def representative(self) -> int:
+        return self.contours[0]
+
+
+class Transformer:
+    """Runs partitioning, naming, and emission for one plan."""
+
+    def __init__(
+        self,
+        result: AnalysisResult,
+        plan: InlinePlan,
+        devirtualize: bool = True,
+    ) -> None:
+        self.result = result
+        self.plan = plan
+        self.program = result.program
+        self.devirtualize = devirtualize
+        self.variants = VariantMap(result, plan)
+        self.conflicts: set[CandidateKey] = set()
+        self.vectors: VectorResult | None = None
+        self.partitions: dict[int, _Partition] = {}
+        self.partition_of: dict[int, int] = {}  # contour id -> pid
+        #: pid -> list of (install class, final name); methods only.
+        self.installs: dict[int, list[tuple[str, str]]] = {}
+        #: (class, name) -> pid, for installed methods.
+        self._slot_owner: dict[tuple[str, str], int] = {}
+        self._function_names: dict[int, str] = {}
+        self.stats = CloneStats()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+
+    def run(self) -> TransformOutcome:
+        builder = VectorBuilder(self.result, self.plan, self.variants, self.devirtualize)
+        self.vectors = builder.build()
+        self.conflicts |= builder.conflicts
+        if self.conflicts:
+            return TransformOutcome(program=None, conflicts=self.conflicts)
+
+        self._partition()
+        self._assign_names()
+        if self.conflicts:
+            return TransformOutcome(program=None, conflicts=self.conflicts)
+        program = self._emit()
+        if self.conflicts:
+            return TransformOutcome(program=None, conflicts=self.conflicts)
+        self.stats.class_variants = len(self.variants.variants)
+        self.stats.view_classes = len(self.variants.view_classes)
+        return TransformOutcome(program=program, conflicts=set(), stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # Phase 1: partition refinement.
+
+    def _base_vector(self, contour_id: int) -> tuple:
+        actions = self.vectors.actions.get(contour_id, {})
+        return tuple(sorted(actions.items()))
+
+    def _partition(self) -> None:
+        # Initial grouping by base vector, per callable.
+        groups: dict[tuple, list[int]] = {}
+        for contour in self.result.manager.method_contours.values():
+            key = (contour.callable_name, self._base_vector(contour.id))
+            groups.setdefault(key, []).append(contour.id)
+
+        pid = 0
+        for key in sorted(groups, key=repr):
+            members = sorted(groups[key])
+            self.partitions[pid] = _Partition(pid, key[0], members)
+            for cid in members:
+                self.partition_of[cid] = pid
+            pid += 1
+
+        # Refine by callee partitions until stable.
+        while True:
+            refined: dict[tuple, list[int]] = {}
+            for partition in self.partitions.values():
+                for cid in partition.contours:
+                    edges = self.result.call_edges.get(cid, {})
+                    callee_sig = tuple(
+                        (site, frozenset(self.partition_of[c] for c in callees))
+                        for site, callees in sorted(edges.items())
+                    )
+                    key = (partition.callable_name, self._base_vector(cid), callee_sig)
+                    refined.setdefault(key, []).append(cid)
+            if len(refined) == len(self.partitions):
+                break
+            self.partitions.clear()
+            pid = 0
+            for key in sorted(refined, key=repr):
+                members = sorted(refined[key])
+                self.partitions[pid] = _Partition(pid, key[0], members)
+                for cid in members:
+                    self.partition_of[cid] = pid
+                pid += 1
+
+    # ------------------------------------------------------------------
+    # Phase 2: install targets, dynamic demands, and naming.
+
+    def _is_method(self, callable_name: str) -> bool:
+        return "::" in callable_name
+
+    def _method_base_name(self, callable_name: str) -> str:
+        return callable_name.split("::", 1)[1]
+
+    def _defining_class(self, callable_name: str) -> str:
+        return callable_name.split("::", 1)[0]
+
+    def _ancestor_for(self, class_name: str, defining_source: str) -> str | None:
+        """Walk a (variant or original) class chain to the class whose
+        *source* is ``defining_source``."""
+        current: str | None = class_name
+        while current is not None:
+            info = self.variants.variants.get(current)
+            if info is not None:
+                if info.source_class == defining_source:
+                    return current
+                current = info.parent
+            else:
+                if current == defining_source:
+                    return current
+                current = self.program.classes[current].superclass
+        return None
+
+    def _desired_installs(self, partition: _Partition) -> set[tuple[str, str]]:
+        """(install class, desired base name) pairs for a method partition."""
+        defining = self._defining_class(partition.callable_name)
+        base = self._method_base_name(partition.callable_name)
+        targets: set[tuple[str, str]] = set()
+        for cid in partition.contours:
+            contour = self.result.method_contour(cid)
+            if not contour.arg_values:
+                continue
+            recv = contour.arg_values[0]
+            rep = self._receiver_rep(recv)
+            if rep == "view-array":
+                for key, element in self._view_classes_of(recv):
+                    targets.add((self.variants.view_classes[(key, element)].name, base))
+            elif isinstance(rep, tuple):  # field candidate key
+                candidate = self.plan.candidates[rep]
+                for variant in self._container_variants(candidate, recv):
+                    anchor = self._ancestor_for(variant, candidate.declaring_class)
+                    if anchor is None:
+                        self.conflicts.add(candidate.key)
+                        continue
+                    targets.add((anchor, f"{base}@{candidate.field_name}"))
+            else:  # raw receiver
+                for ocid in recv.object_contours():
+                    obj = self.result.object_contour(ocid)
+                    if obj.is_array:
+                        continue
+                    variant = self.variants.variant_name(ocid)
+                    anchor = self._ancestor_for(variant, defining)
+                    if anchor is not None:
+                        targets.add((anchor, base))
+        return targets
+
+    def _receiver_rep(self, recv) -> object:
+        from ..inlining.decisions import RAW, UNKNOWN
+
+        if not recv.may_be_object():
+            return RAW
+        reps = self.plan.representations(recv)
+        if UNKNOWN in reps:
+            atoms = recv.object_contours()
+            for candidate in self.plan.candidates.values():
+                if candidate.accepted and candidate.child_contours & atoms:
+                    self.conflicts.add(candidate.key)
+            return RAW
+        keys = [rep for rep in reps if rep != RAW]
+        if not keys:
+            return RAW
+        if len(keys) == 1 and RAW not in reps:
+            key = keys[0]
+            if self.plan.candidates[key].kind == "array":
+                return "view-array"
+            return key
+        for key in keys:
+            self.conflicts.add(key)
+        return RAW
+
+    def _view_classes_of(self, recv) -> set[tuple[CandidateKey, str]]:
+        found: set[tuple[CandidateKey, str]] = set()
+        for candidate in self.plan.candidates.values():
+            if not candidate.accepted or candidate.kind != "array":
+                continue
+            if candidate.child_contours & recv.object_contours():
+                for desc in candidate.child_desc_of.values():
+                    if desc[0] == "class":
+                        found.add((candidate.key, desc[1]))
+        return found
+
+    def _container_variants(self, candidate, child_value) -> set[str]:
+        children = child_value.object_contours()
+        containers: set[str] = set()
+        for slot in candidate.slots:
+            if self.result.slot_value(slot).object_contours() & children:
+                containers.add(self.variants.variant_name(slot[0]))
+        return containers
+
+    def _assign_names(self) -> None:
+        # Dynamic demands: (class, base name) -> pid.  Both rewritten sends
+        # that stay dynamic and *untouched* sends (e.g. a possibly-nil
+        # receiver keeps its dynamic error path) dispatch by name at
+        # runtime, so the callee partitions they reach must own that name
+        # on the concrete receiver classes.  Unrewritten `new` runs `init`
+        # by name the same way.
+        demands: dict[tuple[str, str], int] = {}
+        for partition in self.partitions.values():
+            rep_cid = partition.representative
+            callable_ = self.program.lookup_callable(partition.callable_name)
+            if callable_ is None:
+                continue
+            actions = self.vectors.actions.get(rep_cid, {})
+            for instr in callable_.instructions():
+                action = actions.get(instr.uid)
+                if action is not None and action[0] in ("sendr", "sendi", "sendv"):
+                    self._collect_demands(rep_cid, instr.uid, action, demands)
+                elif action is None and isinstance(instr, ir.CallMethod):
+                    self._collect_plain_demands(rep_cid, instr.uid, demands)
+                elif action is None and isinstance(instr, ir.New):
+                    self._collect_plain_demands(rep_cid, instr.uid, demands)
+        if self.conflicts:
+            return
+
+        # Desired installs per method partition.
+        desired: dict[int, set[tuple[str, str]]] = {}
+        for partition in self.partitions.values():
+            if self._is_method(partition.callable_name):
+                desired[partition.pid] = self._desired_installs(partition)
+        if self.conflicts:
+            return
+
+        # Dynamic demands pin clones onto concrete classes; make sure the
+        # demanded partitions install there.
+        for slot, pid in demands.items():
+            desired.setdefault(pid, set()).add(slot)
+
+        # Assign final names per (class, base): the demanded partition (or
+        # the lowest pid) owns the plain name; the rest get @p<pid> suffixes.
+        by_slot: dict[tuple[str, str], list[int]] = {}
+        for pid, targets in desired.items():
+            for slot in targets:
+                by_slot.setdefault(slot, []).append(pid)
+        for slot, pids in sorted(by_slot.items()):
+            class_name, base = slot
+            owner = demands.get(slot)
+            if owner is None or owner not in pids:
+                if owner is not None:
+                    # A dynamic site needs a partition here that never
+                    # installs here — inconsistent; blame involved candidates.
+                    self._blame(pids + [owner])
+                    continue
+                owner = min(pids)
+            for pid in sorted(set(pids)):
+                name = base if pid == owner else f"{base}@p{pid}"
+                self.installs.setdefault(pid, []).append((class_name, name))
+                self._slot_owner[(class_name, name)] = pid
+
+        # Function partition names.
+        by_function: dict[str, list[int]] = {}
+        for partition in self.partitions.values():
+            if not self._is_method(partition.callable_name):
+                by_function.setdefault(partition.callable_name, []).append(partition.pid)
+        for fname, pids in by_function.items():
+            pids = sorted(set(pids))
+            if fname in (ir.IRProgram.ENTRY_FUNCTION, ir.IRProgram.GLOBAL_INIT) and len(pids) > 1:
+                raise TransformInternalError(f"entry function {fname} split into clones")
+            for index, pid in enumerate(pids):
+                self._function_names[pid] = fname if index == 0 else f"{fname}@p{pid}"
+
+    def _collect_demands(
+        self,
+        contour_id: int,
+        uid: int,
+        action: tuple,
+        demands: dict[tuple[str, str], int],
+    ) -> None:
+        """Register (class, name) -> partition requirements of dynamic sites."""
+        callees = self.result.callees_at(contour_id, uid)
+        callee_pids = {self.partition_of[c] for c in callees}
+        if len(callee_pids) <= 1 and action[0] == "sendr" and len(action[2]) <= 1:
+            return  # statically bindable; no demand
+        if action[0] == "sendv" and len(callee_pids) <= 1:
+            return
+        if action[0] == "sendi" and len(callee_pids) <= 1 and len(action[3]) <= 1:
+            return
+        # Dynamic: every callee partition must own the base name on the
+        # *concrete* class(es) its receivers dispatch through (dispatch
+        # starts at the runtime class, so per-class clones under the plain
+        # name are exactly how cloning keeps dynamic sites correct).
+        for callee_id in callees:
+            pid = self.partition_of[callee_id]
+            callee = self.result.method_contour(callee_id)
+            partition = self.partitions[pid]
+            base = self._method_base_name(partition.callable_name)
+            if action[0] == "sendi":
+                candidate = self.plan.candidates[action[1]]
+                base = f"{base}@{candidate.field_name}"
+                classes = set(
+                    self._container_variants(candidate, callee.arg_values[0])
+                )
+            elif action[0] == "sendv":
+                classes = {
+                    self.variants.view_classes[(key, element)].name
+                    for key, element in self._view_classes_of(callee.arg_values[0])
+                }
+            else:
+                classes = set()
+                for ocid in callee.arg_values[0].object_contours():
+                    obj = self.result.object_contour(ocid)
+                    if obj.is_array:
+                        continue
+                    classes.add(self.variants.variant_name(ocid))
+            for class_name in classes:
+                if class_name is None:
+                    continue
+                slot = (class_name, base)
+                existing = demands.get(slot)
+                if existing is not None and existing != pid:
+                    self._blame([existing, pid])
+                    return
+                demands[slot] = pid
+
+    def _collect_plain_demands(
+        self, contour_id: int, uid: int, demands: dict[tuple[str, str], int]
+    ) -> None:
+        """Demands of an unrewritten dynamic send / implicit-init new: every
+        callee partition must own the *original* method name on the concrete
+        receiver classes it serves."""
+        for callee_id in self.result.callees_at(contour_id, uid):
+            pid = self.partition_of[callee_id]
+            callee = self.result.method_contour(callee_id)
+            partition = self.partitions[pid]
+            if not self._is_method(partition.callable_name) or not callee.arg_values:
+                continue
+            base = self._method_base_name(partition.callable_name)
+            for ocid in callee.arg_values[0].object_contours():
+                obj = self.result.object_contour(ocid)
+                if obj.is_array:
+                    continue
+                slot = (self.variants.variant_name(ocid), base)
+                existing = demands.get(slot)
+                if existing is not None and existing != pid:
+                    self._blame([existing, pid])
+                    return
+                demands[slot] = pid
+
+    def _blame(self, pids: list[int]) -> None:
+        """Reject every candidate mentioned in the given partitions' vectors."""
+        blamed = False
+        for pid in pids:
+            partition = self.partitions.get(pid)
+            if partition is None:
+                continue
+            for cid in partition.contours:
+                for action in self.vectors.actions.get(cid, {}).values():
+                    for element in action:
+                        if isinstance(element, tuple) and element in self.plan.candidates:
+                            self.conflicts.add(element)
+                            blamed = True
+        if not blamed:
+            # No candidate to blame: fall back to rejecting everything so
+            # the pipeline degenerates to devirtualization-only (sound).
+            accepted = [
+                key for key, candidate in self.plan.candidates.items() if candidate.accepted
+            ]
+            if not accepted:
+                raise TransformInternalError(
+                    "naming conflict with no inlining candidates involved"
+                )
+            self.conflicts.update(accepted)
+
+    # ------------------------------------------------------------------
+    # Phase 3: emission.
+
+    def _emit(self) -> ir.IRProgram:
+        new_classes: dict[str, ir.IRClass] = {}
+        for name, cls in self.program.classes.items():
+            new_classes[name] = ir.IRClass(
+                name=cls.name,
+                superclass=cls.superclass,
+                fields=list(cls.fields),
+                methods=dict(cls.methods),
+                inline_fields=set(cls.inline_fields),
+                inlined_state=dict(cls.inlined_state),
+                source_name=cls.source_name or cls.name,
+            )
+        self.variants.emit_classes(new_classes)
+
+        new_functions: dict[str, ir.IRCallable] = dict(self.program.functions)
+
+        for partition in sorted(self.partitions.values(), key=lambda p: p.pid):
+            callable_ = self.program.lookup_callable(partition.callable_name)
+            if callable_ is None:
+                continue
+            if self._is_method(partition.callable_name):
+                self.stats.method_partitions += 1
+                for install_class, final_name in self.installs.get(partition.pid, []):
+                    body = self._rewrite_body(callable_, partition, install_class)
+                    body.name = f"{install_class}::{final_name}"
+                    body.class_name = install_class
+                    target = new_classes.get(install_class)
+                    if target is None:
+                        raise TransformInternalError(
+                            f"install class {install_class} missing"
+                        )
+                    target.methods[final_name] = body
+                    self.stats.installed_methods += 1
+            else:
+                self.stats.function_partitions += 1
+                final_name = self._function_names[partition.pid]
+                body = self._rewrite_body(callable_, partition, None)
+                body.name = final_name
+                new_functions[final_name] = body
+
+        program = ir.IRProgram(
+            classes=new_classes,
+            functions=new_functions,
+            global_names=list(self.program.global_names),
+        )
+        return program
+
+    # ------------------------------------------------------------------
+    # Call binding helpers (shared by demand collection and emission).
+
+    def _static_target(
+        self, contour_id: int, uid: int, action: tuple, install_class: str | None
+    ) -> tuple[str, str] | None:
+        """(class, name) for a statically bindable call site, else None."""
+        callees = self.result.callees_at(contour_id, uid)
+        callee_pids = {self.partition_of[c] for c in callees}
+        if len(callee_pids) != 1:
+            return None
+        pid = callee_pids.pop()
+        partition = self.partitions[pid]
+        if not self._is_method(partition.callable_name):
+            return None
+        entries = self.installs.get(pid, [])
+
+        def entry_in_chain(start_class: str) -> tuple[str, str] | None:
+            chain = self._chain_of(start_class)
+            for chain_class in chain:
+                for class_name, name in entries:
+                    if class_name == chain_class:
+                        return (class_name, name)
+            return None
+
+        if action[0] == "sendr":
+            if len(action[2]) != 1:
+                return None
+            _defining, recv_variant = action[2][0]
+            return entry_in_chain(recv_variant)
+        if action[0] == "sendi":
+            if len(action[3]) != 1:
+                return None
+            return entry_in_chain(action[3][0])
+        if action[0] == "sendv":
+            view = action[2]
+            for class_name, name in entries:
+                if class_name == view:
+                    return (class_name, name)
+            return None
+        if action[0] == "static":
+            # Super call: resolve the entry visible from the installing
+            # class's chain (falling back to any entry).
+            anchor_chain = self._chain_of(install_class) if install_class else []
+            for class_name, name in entries:
+                if class_name in anchor_chain:
+                    return (class_name, name)
+            if entries:
+                return entries[0]
+            return None
+        return None
+
+    def _chain_of(self, class_name: str) -> list[str]:
+        chain: list[str] = []
+        current: str | None = class_name
+        while current is not None:
+            chain.append(current)
+            info = self.variants.variants.get(current)
+            if info is not None:
+                current = info.parent
+            else:
+                current = self.program.classes[current].superclass
+        return chain
+
+    def _dynamic_name(self, contour_id: int, uid: int, action: tuple) -> str:
+        """Method name for a dynamic send (demands ensured installability)."""
+        callees = self.result.callees_at(contour_id, uid)
+        if callees:
+            pid = self.partition_of[next(iter(callees))]
+            base = self._method_base_name(self.partitions[pid].callable_name)
+        else:
+            base = action[1] if action[0] in ("sendr", "sendv") else action[2]
+        if action[0] == "sendi":
+            candidate = self.plan.candidates[action[1]]
+            return f"{base}@{candidate.field_name}"
+        return base
+
+    # ------------------------------------------------------------------
+    # Body rewriting.
+
+    def _rewrite_body(
+        self,
+        callable_: ir.IRCallable,
+        partition: _Partition,
+        install_class: str | None,
+    ) -> ir.IRCallable:
+        contour_id = partition.representative
+        actions = self.vectors.actions.get(contour_id, {})
+        next_reg = callable_.num_regs
+        new_blocks: list[ir.Block] = []
+
+        def fresh() -> int:
+            nonlocal next_reg
+            reg = next_reg
+            next_reg += 1
+            return reg
+
+        for block in callable_.blocks:
+            new_block = ir.Block()
+            for instr in block.instrs:
+                replacement = self._rewrite_instr(
+                    instr,
+                    actions.get(instr.uid),
+                    contour_id,
+                    install_class,
+                    fresh,
+                )
+                new_block.instrs.extend(replacement)
+            new_blocks.append(new_block)
+
+        return ir.IRCallable(
+            name=callable_.name,
+            params=callable_.params,
+            num_regs=next_reg,
+            blocks=new_blocks,
+            is_method=callable_.is_method,
+            class_name=callable_.class_name,
+            source_name=callable_.source_name or callable_.name,
+        )
+
+    def _rewrite_instr(
+        self,
+        instr: ir.Instr,
+        action: tuple | None,
+        contour_id: int,
+        install_class: str | None,
+        fresh,
+    ) -> list[ir.Instr]:
+        loc = instr.loc
+        if action is None:
+            return [_recopy(instr)]
+
+        kind = action[0]
+        if kind == "newc":
+            return self._rewrite_new(instr, action, contour_id, install_class, fresh)
+        if kind == "newarr":
+            return [
+                ir.make_instr(
+                    ir.NewArray, loc, dest=instr.dest, size=instr.size,
+                    inline_layout=action[1], parallel_layout=action[2],
+                )
+            ]
+        if kind == "elide":
+            return [ir.make_instr(ir.Move, loc, dest=instr.dest, src=instr.obj)]
+        if kind == "gren":
+            return [
+                ir.make_instr(
+                    ir.GetField, loc, dest=instr.dest, obj=instr.obj, field_name=action[1]
+                )
+            ]
+        if kind == "sren":
+            return [
+                ir.make_instr(
+                    ir.SetField, loc, obj=instr.obj, field_name=action[1], src=instr.src
+                )
+            ]
+        if kind == "copyf":
+            return self._emit_copy_field(instr, action, fresh)
+        if kind == "gidx":
+            return [
+                ir.make_instr(
+                    ir.GetFieldIndexed, loc, dest=instr.dest, obj=instr.array,
+                    base_field=action[1], length=action[2], index=instr.index,
+                )
+            ]
+        if kind == "sidx":
+            return [
+                ir.make_instr(
+                    ir.SetFieldIndexed, loc, obj=instr.array, base_field=action[1],
+                    length=action[2], index=instr.index, src=instr.src,
+                )
+            ]
+        if kind == "lenk":
+            return [ir.make_instr(ir.Const, loc, dest=instr.dest, value=action[1])]
+        if kind == "view":
+            return [
+                ir.make_instr(
+                    ir.MakeView, loc, dest=instr.dest, array=instr.array,
+                    index=instr.index, class_name=action[1],
+                )
+            ]
+        if kind == "copye":
+            return self._emit_copy_element(instr, action, fresh)
+        if kind in ("sendr", "sendi", "sendv"):
+            target = self._static_target(contour_id, instr.uid, action, install_class)
+            if target is not None:
+                class_name, name = target
+                return [
+                    ir.make_instr(
+                        ir.CallStatic, loc, dest=instr.dest, recv=instr.recv,
+                        class_name=class_name, method_name=name, args=instr.args,
+                    )
+                ]
+            name = self._dynamic_name(contour_id, instr.uid, action)
+            return [
+                ir.make_instr(
+                    ir.CallMethod, loc, dest=instr.dest, recv=instr.recv,
+                    method_name=name, args=instr.args,
+                )
+            ]
+        if kind == "static":
+            target = self._static_target(contour_id, instr.uid, action, install_class)
+            if target is None:
+                # Unreached super call (no callee contours): keep original.
+                return [_recopy(instr)]
+            class_name, name = target
+            return [
+                ir.make_instr(
+                    ir.CallStatic, loc, dest=instr.dest, recv=instr.recv,
+                    class_name=class_name, method_name=name, args=instr.args,
+                )
+            ]
+        if kind == "fn":
+            callees = self.result.callees_at(contour_id, instr.uid)
+            if not callees:
+                return [_recopy(instr)]
+            pid = self.partition_of[next(iter(callees))]
+            return [
+                ir.make_instr(
+                    ir.CallFunction, loc, dest=instr.dest,
+                    func_name=self._function_names[pid], args=instr.args,
+                )
+            ]
+        raise TransformInternalError(f"unknown action {kind}")
+
+    def _rewrite_new(
+        self,
+        instr: ir.New,
+        action: tuple,
+        contour_id: int,
+        install_class: str | None,
+        fresh,
+    ) -> list[ir.Instr]:
+        _kind, variant, stack = action
+        callees = self.result.callees_at(contour_id, instr.uid)
+        if not callees:
+            # No constructor: plain allocation under the variant class.
+            return [
+                ir.make_instr(
+                    ir.New, instr.loc, dest=instr.dest, class_name=variant,
+                    args=instr.args, on_stack=stack, skip_init=True,
+                )
+            ]
+        pid = self.partition_of[next(iter(callees))]
+        entries = self.installs.get(pid, [])
+        chain = self._chain_of(variant)
+        target: tuple[str, str] | None = None
+        for class_name, name in entries:
+            if class_name in chain:
+                target = (class_name, name)
+                break
+        if target is None:
+            raise TransformInternalError(
+                f"no init install for {variant} (partition {pid})"
+            )
+        sink = fresh()
+        return [
+            ir.make_instr(
+                ir.New, instr.loc, dest=instr.dest, class_name=variant,
+                args=(), on_stack=stack, skip_init=True,
+            ),
+            ir.make_instr(
+                ir.CallStatic, instr.loc, dest=sink, recv=instr.dest,
+                class_name=target[0], method_name=target[1], args=instr.args,
+            ),
+        ]
+
+    def _emit_copy_field(self, instr: ir.SetField, action: tuple, fresh) -> list[ir.Instr]:
+        _kind, field_name, desc = action
+        loc = instr.loc
+        out: list[ir.Instr] = []
+        if desc[0] == "class":
+            _tag, _cls, child_fields = desc
+            for child_field in child_fields:
+                temp = fresh()
+                out.append(
+                    ir.make_instr(
+                        ir.GetField, loc, dest=temp, obj=instr.src,
+                        field_name=child_field,
+                    )
+                )
+                out.append(
+                    ir.make_instr(
+                        ir.SetField, loc, obj=instr.obj,
+                        field_name=f"{field_name}__{child_field}", src=temp,
+                    )
+                )
+        else:  # embedded fixed-length array
+            length = desc[1]
+            for i in range(length):
+                index_reg = fresh()
+                temp = fresh()
+                out.append(ir.make_instr(ir.Const, loc, dest=index_reg, value=i))
+                out.append(
+                    ir.make_instr(
+                        ir.GetIndex, loc, dest=temp, array=instr.src, index=index_reg
+                    )
+                )
+                out.append(
+                    ir.make_instr(
+                        ir.SetField, loc, obj=instr.obj,
+                        field_name=f"{field_name}__{i}", src=temp,
+                    )
+                )
+        return out
+
+    def _emit_copy_element(self, instr: ir.SetIndex, action: tuple, fresh) -> list[ir.Instr]:
+        _kind, view_class, _element_class, child_fields = action
+        loc = instr.loc
+        view = fresh()
+        out: list[ir.Instr] = [
+            ir.make_instr(
+                ir.MakeView, loc, dest=view, array=instr.array, index=instr.index,
+                class_name=view_class,
+            )
+        ]
+        for child_field in child_fields:
+            temp = fresh()
+            out.append(
+                ir.make_instr(
+                    ir.GetField, loc, dest=temp, obj=instr.src, field_name=child_field
+                )
+            )
+            out.append(
+                ir.make_instr(
+                    ir.SetField, loc, obj=view, field_name=child_field, src=temp
+                )
+            )
+        return out
+
+
+def _recopy(instr: ir.Instr) -> ir.Instr:
+    """Copy an instruction with a fresh uid (bodies must not share uids)."""
+    from dataclasses import replace
+
+    return replace(instr, uid=ir.fresh_uid())
+
+
+def transform_program(
+    result: AnalysisResult, plan: InlinePlan, devirtualize: bool = True
+) -> TransformOutcome:
+    """Apply cloning + inlining rewriting; returns conflicts for replanning
+    if the plan is not consistently emittable."""
+    return Transformer(result, plan, devirtualize).run()

@@ -1,0 +1,253 @@
+"""Class cloning (§5.1–§5.2 of the paper).
+
+When a polymorphic field is inlined, containers that hold different child
+classes need different layouts, so the container class is split into
+*variants* — one per combination of child descriptors over the accepted
+candidates in its layout.  Array-element inlining similarly creates a
+synthetic *view class* per (array site, element class) whose instances
+are the ``(array, index)`` fat pointers.
+
+Layout rule (§5.2): the inlined field is replaced in place by the child's
+first field and the child's remaining fields are appended at the end of
+the container class's own field segment, so subclass layouts stay
+conforming.  (Our VM addresses fields by name, so conformance is a
+code-size/locality property rather than a correctness requirement; we
+keep the paper's rule anyway so the emitted layouts match the paper.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.results import AnalysisResult
+from ..inlining.decisions import Candidate, CandidateKey, ChildDesc, InlinePlan
+from ..ir import model as ir
+
+
+def mangle(field_name: str, child_field: str) -> str:
+    """Container field holding one piece of inlined child state."""
+    return f"{field_name}__{child_field}"
+
+
+def mangle_indexed(field_name: str, index: int) -> str:
+    """Container field holding slot ``index`` of an embedded array."""
+    return f"{field_name}__{index}"
+
+
+#: A variant combo: mapping candidate key -> child descriptor (or None when
+#: this contour never stores the field), for every accepted field candidate
+#: in the class's layout.
+Combo = tuple[tuple[CandidateKey, ChildDesc | None], ...]
+
+
+@dataclass(slots=True)
+class VariantInfo:
+    """One emitted container-class variant."""
+
+    name: str
+    source_class: str
+    parent: str | None  # variant name of the superclass
+    combo: Combo
+    #: candidate key -> InlinedFieldInfo-ish: (field, desc, state names)
+    inlined: dict[CandidateKey, tuple[str, ChildDesc]] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ViewClassInfo:
+    """One synthetic element-view class for an inlined array site."""
+
+    name: str
+    candidate_key: CandidateKey
+    element_class: str
+
+
+class VariantMap:
+    """Computes and owns all class variants and view classes."""
+
+    def __init__(self, result: AnalysisResult, plan: InlinePlan) -> None:
+        self.result = result
+        self.plan = plan
+        self.program = result.program
+        #: object contour id -> class name to allocate (variant or original).
+        self.variant_of_contour: dict[int, str] = {}
+        #: variant name -> info (only classes whose layout changed).
+        self.variants: dict[str, VariantInfo] = {}
+        #: (candidate key, element class) -> view class info.
+        self.view_classes: dict[tuple[CandidateKey, str], ViewClassInfo] = {}
+        self._by_class_combo: dict[tuple[str, Combo], str] = {}
+        self._counters: dict[str, int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def variant_name(self, contour_id: int) -> str:
+        """Class to allocate for this object contour."""
+        if contour_id in self.variant_of_contour:
+            return self.variant_of_contour[contour_id]
+        return self.result.object_contour(contour_id).class_name
+
+    def view_class(self, candidate: Candidate, element_class: str) -> str:
+        key = (candidate.key, element_class)
+        info = self.view_classes.get(key)
+        if info is None:
+            info = ViewClassInfo(
+                name=f"{element_class}@elem{candidate.site_uid}",
+                candidate_key=candidate.key,
+                element_class=element_class,
+            )
+            self.view_classes[key] = info
+        return info.name
+
+    def changed_classes(self) -> set[str]:
+        """Source classes that acquired at least one variant."""
+        return {info.source_class for info in self.variants.values()}
+
+    # ------------------------------------------------------------------
+    # Construction.
+
+    def _accepted_fields_in_chain(self, class_name: str) -> list[Candidate]:
+        """Accepted field candidates declared anywhere in the class chain."""
+        chain = set(self.program.superclass_chain(class_name))
+        found = [
+            candidate
+            for candidate in self.plan.candidates.values()
+            if candidate.accepted
+            and candidate.kind == "field"
+            and candidate.declaring_class in chain
+        ]
+        found.sort(key=lambda c: (c.declaring_class, c.field_name))
+        return found
+
+    def _combo_for_contour(self, contour_id: int, class_name: str) -> Combo:
+        parts: list[tuple[CandidateKey, ChildDesc | None]] = []
+        for candidate in self._accepted_fields_in_chain(class_name):
+            parts.append((candidate.key, candidate.child_desc_of.get(contour_id)))
+        return tuple(parts)
+
+    def _build(self) -> None:
+        for contour in self.result.manager.object_contours.values():
+            if contour.is_array:
+                continue
+            combo = self._combo_for_contour(contour.id, contour.class_name)
+            if not any(desc is not None for _key, desc in combo):
+                continue  # nothing inlined for this contour's class
+            self.variant_of_contour[contour.id] = self._ensure_variant(
+                contour.class_name, combo
+            )
+        # View classes are created on demand by vector computation; array
+        # candidates register theirs eagerly here for determinism.
+        for candidate in self.plan.candidates.values():
+            if candidate.accepted and candidate.kind == "array":
+                for desc in candidate.child_desc_of.values():
+                    if desc[0] == "class":
+                        self.view_class(candidate, desc[1])
+
+    def _ensure_variant(self, class_name: str, combo: Combo) -> str:
+        key = (class_name, combo)
+        existing = self._by_class_combo.get(key)
+        if existing is not None:
+            return existing
+
+        count = self._counters.get(class_name, 0) + 1
+        self._counters[class_name] = count
+        name = f"{class_name}${count}"
+
+        cls = self.program.classes[class_name]
+        parent: str | None = None
+        if cls.superclass is not None:
+            parent_combo = self._restrict_combo(combo, cls.superclass)
+            if any(desc is not None for _key, desc in parent_combo):
+                parent = self._ensure_variant(cls.superclass, parent_combo)
+            else:
+                parent = cls.superclass
+
+        info = VariantInfo(name=name, source_class=class_name, parent=parent, combo=combo)
+        for candidate_key, desc in combo:
+            if desc is None:
+                continue
+            candidate = self.plan.candidates[candidate_key]
+            if candidate.declaring_class == class_name:
+                info.inlined[candidate_key] = (candidate.field_name, desc)
+        self.variants[name] = info
+        self._by_class_combo[key] = name
+        return name
+
+    def _restrict_combo(self, combo: Combo, ancestor: str) -> Combo:
+        chain = set(self.program.superclass_chain(ancestor))
+        return tuple(
+            (key, desc)
+            for key, desc in combo
+            if self.plan.candidates[key].declaring_class in chain
+        )
+
+    # ------------------------------------------------------------------
+    # Class emission.
+
+    def emit_classes(self, into: dict[str, ir.IRClass]) -> None:
+        """Add variant and view classes to ``into`` (name -> IRClass)."""
+        # Parents must be registered before layout queries run, so emit all
+        # class shells first.
+        for info in self.variants.values():
+            into[info.name] = self._emit_variant(info)
+        for view in self.view_classes.values():
+            into[view.name] = ir.IRClass(
+                name=view.name,
+                superclass=None,
+                fields=list(self.program.layout(view.element_class)),
+                methods={},
+                source_name=view.element_class,
+            )
+
+    def _emit_variant(self, info: VariantInfo) -> ir.IRClass:
+        source = self.program.classes[info.source_class]
+        fields: list[str] = []
+        appended: list[str] = []
+        inlined_state: dict[str, ir.InlinedFieldInfo] = {}
+        for field_name in source.fields:
+            desc = self._desc_for_field(info, field_name)
+            if desc is None:
+                fields.append(field_name)
+                continue
+            state_names = self._state_fields(field_name, desc)
+            if state_names:
+                # §5.2: first child field replaces the inlined slot, the
+                # rest go at the end of this class's own segment.
+                fields.append(state_names[0][1])
+                appended.extend(name for _child, name in state_names[1:])
+            if desc[0] == "class":
+                inlined_state[field_name] = ir.InlinedFieldInfo(
+                    field_name=field_name,
+                    child_class=desc[1],
+                    state_fields=tuple(state_names),
+                )
+        fields.extend(appended)
+        return ir.IRClass(
+            name=info.name,
+            superclass=info.parent,
+            fields=fields,
+            methods={},
+            inline_fields=set(source.inline_fields),
+            inlined_state=inlined_state,
+            source_name=info.source_class,
+        )
+
+    def _desc_for_field(self, info: VariantInfo, field_name: str) -> ChildDesc | None:
+        for candidate_key, desc in info.combo:
+            candidate = self.plan.candidates[candidate_key]
+            if (
+                candidate.declaring_class == info.source_class
+                and candidate.field_name == field_name
+            ):
+                return desc
+        return None
+
+    def _state_fields(self, field_name: str, desc: ChildDesc) -> list[tuple[str, str]]:
+        """(child field, container field) pairs for one inlined slot."""
+        if desc[0] == "class":
+            return [
+                (child_field, mangle(field_name, child_field))
+                for child_field in self.program.layout(desc[1])
+            ]
+        length = desc[1]
+        return [(str(i), mangle_indexed(field_name, i)) for i in range(length)]

@@ -1,0 +1,392 @@
+"""Per-contour specialization decision vectors.
+
+For every method contour the transformation derives, per instruction, the
+*action* the rewrite will apply there (redirect a field access, expand a
+copy, pick an allocation variant, bind a call...).  Contours of one
+callable with identical vectors are *compatible* in the paper's sense
+(§3.2.2) and end up in the same clone; the partition refinement in
+:mod:`repro.cloning.emit` additionally splits callers whose callees split.
+
+Actions are plain hashable tuples so vectors can key partitions directly.
+Conflicts (sites that cannot be rewritten consistently, e.g. a value that
+may be either an inline array or a plain array) are reported back as the
+candidate keys to reject; the pipeline replans without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.results import AnalysisResult
+from ..analysis.values import AbstractVal
+from ..inlining.decisions import Candidate, CandidateKey, InlinePlan, RAW, UNKNOWN
+from ..ir import model as ir
+from .variants import VariantMap, mangle, mangle_indexed
+
+#: contour id -> instr uid -> action tuple.
+ActionMap = dict[int, dict[int, tuple]]
+
+
+@dataclass(slots=True)
+class VectorResult:
+    actions: ActionMap
+    conflicts: set[CandidateKey] = field(default_factory=set)
+
+
+class VectorBuilder:
+    """Derives the action map for one analyzed program."""
+
+    def __init__(
+        self,
+        result: AnalysisResult,
+        plan: InlinePlan,
+        variants: VariantMap,
+        devirtualize: bool = True,
+    ) -> None:
+        self.result = result
+        self.plan = plan
+        self.variants = variants
+        self.devirtualize = devirtualize
+        self.program = result.program
+        self.conflicts: set[CandidateKey] = set()
+        self._stackable: set[tuple[int, int]] = set()
+        for candidate in plan.candidates.values():
+            if candidate.accepted:
+                self._stackable |= candidate.stackable_allocations
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> VectorResult:
+        actions: ActionMap = {}
+        for contour in self.result.manager.method_contours.values():
+            callable_ = self.program.lookup_callable(contour.callable_name)
+            if callable_ is None:
+                continue
+            contour_actions: dict[int, tuple] = {}
+            for instr in callable_.instructions():
+                action = self._action_for(contour.id, instr)
+                if action is not None:
+                    contour_actions[instr.uid] = action
+            actions[contour.id] = contour_actions
+        return VectorResult(actions=actions, conflicts=self.conflicts)
+
+    # ------------------------------------------------------------------
+    # Helpers.
+
+    def _fact(self, contour_id: int, uid: int) -> dict[str, object]:
+        return self.result.fact(contour_id, uid)
+
+    def _single_rep(self, value: AbstractVal) -> object | None:
+        """The unique representation of a value, or None for raw/unknown."""
+        if not value.may_be_object():
+            return None
+        reps = self.plan.representations(value)
+        if UNKNOWN in reps:
+            atoms = value.object_contours()
+            for candidate in self.plan.candidates.values():
+                if candidate.accepted and candidate.child_contours & atoms:
+                    self.conflicts.add(candidate.key)
+            return None
+        keys = [rep for rep in reps if rep != RAW]
+        if not keys:
+            return None
+        if len(keys) > 1 or RAW in reps:
+            # Purity should have prevented this; reject defensively.
+            for key in keys:
+                self.conflicts.add(key)
+            return None
+        return keys[0]
+
+    def _field_candidate_for(self, value: AbstractVal, field_name: str) -> Candidate | None:
+        """Accepted candidate when every object contour of ``value`` has
+        ``field_name`` as an accepted inlined field; conflicts otherwise."""
+        keys: set[CandidateKey | None] = set()
+        for cid in value.object_contours():
+            contour = self.result.object_contour(cid)
+            if contour.is_array:
+                keys.add(None)
+                continue
+            declaring = None
+            for name in self.program.superclass_chain(contour.class_name):
+                if field_name in self.program.classes[name].fields:
+                    declaring = name
+                    break
+            if declaring is None:
+                keys.add(None)
+                continue
+            key = ("field", declaring, field_name)
+            candidate = self.plan.candidates.get(key)
+            if candidate is not None and candidate.accepted:
+                keys.add(key)
+            else:
+                keys.add(None)
+        if keys == {None} or not keys:
+            return None
+        if None in keys or len(keys) > 1:
+            for key in keys:
+                if key is not None:
+                    self.conflicts.add(key)
+            return None
+        (key,) = keys
+        return self.plan.candidates[key]
+
+    def _array_candidate_for(self, value: AbstractVal) -> Candidate | None:
+        """Accepted element candidate covering every array contour of value."""
+        keys: set[CandidateKey | None] = set()
+        for cid in value.object_contours():
+            contour = self.result.object_contour(cid)
+            if not contour.is_array:
+                keys.add(None)
+                continue
+            key = ("array", contour.site_uid)
+            candidate = self.plan.candidates.get(key)
+            if candidate is not None and candidate.accepted:
+                keys.add(key)
+            else:
+                keys.add(None)
+        if keys == {None} or not keys:
+            return None
+        if None in keys or len(keys) > 1:
+            for key in keys:
+                if key is not None:
+                    self.conflicts.add(key)
+            return None
+        (key,) = keys
+        return self.plan.candidates[key]
+
+    def _unique_desc(self, candidate: Candidate, value: AbstractVal) -> tuple | None:
+        """The child descriptor shared by all of value's container contours."""
+        descs = {
+            candidate.child_desc_of.get(cid)
+            for cid in value.object_contours()
+            if cid in candidate.container_contours
+        }
+        descs.discard(None)
+        if len(descs) != 1:
+            self.conflicts.add(candidate.key)
+            return None
+        return descs.pop()
+
+    def _expanded_desc(self, desc: tuple) -> tuple:
+        if desc[0] == "class":
+            return ("class", desc[1], tuple(self.program.layout(desc[1])))
+        return desc  # ('array', k)
+
+    def _container_variants(self, candidate: Candidate, child_value: AbstractVal) -> tuple:
+        """Variant names of the containers holding these child contours."""
+        children = child_value.object_contours()
+        containers: set[str] = set()
+        for slot in candidate.slots:
+            if self.result.slot_value(slot).object_contours() & children:
+                containers.add(self.variants.variant_name(slot[0]))
+        return tuple(sorted(containers))
+
+    # ------------------------------------------------------------------
+    # Per-instruction action derivation.
+
+    def _action_for(self, contour_id: int, instr: ir.Instr) -> tuple | None:
+        kind = type(instr)
+        if kind is ir.New:
+            return self._action_new(contour_id, instr)
+        if kind is ir.NewArray:
+            return self._action_new_array(contour_id, instr)
+        if kind is ir.GetField:
+            return self._action_get_field(contour_id, instr)
+        if kind is ir.SetField:
+            return self._action_set_field(contour_id, instr)
+        if kind is ir.GetIndex:
+            return self._action_get_index(contour_id, instr)
+        if kind is ir.SetIndex:
+            return self._action_set_index(contour_id, instr)
+        if kind is ir.ArrayLen:
+            return self._action_array_len(contour_id, instr)
+        if kind is ir.CallMethod:
+            return self._action_send(contour_id, instr)
+        if kind is ir.CallStatic:
+            return ("static", instr.class_name, instr.method_name)
+        if kind is ir.CallFunction:
+            return ("fn", instr.func_name)
+        return None
+
+    def _action_new(self, contour_id: int, instr: ir.New) -> tuple | None:
+        ocid = self.result.allocations.get(contour_id, {}).get(instr.uid)
+        if ocid is None:
+            return None
+        variant = self.variants.variant_name(ocid)
+        stack = (contour_id, instr.uid) in self._stackable
+        if variant == instr.class_name and not stack:
+            return None
+        return ("newc", variant, stack)
+
+    def _action_new_array(self, contour_id: int, instr: ir.NewArray) -> tuple | None:
+        ocid = self.result.allocations.get(contour_id, {}).get(instr.uid)
+        if ocid is None:
+            return None
+        candidate = self.plan.candidates.get(("array", instr.uid))
+        if candidate is None or not candidate.accepted:
+            return None
+        desc = candidate.child_desc_of.get(ocid)
+        if desc is None or desc[0] != "class":
+            return None
+        view = self.variants.view_class(candidate, desc[1])
+        # Layout policy: parallel (SoA) arrays win when traversals touch a
+        # field across elements (narrow records like complex numbers);
+        # interleaved (AoS) wins for whole-record access.  Pick SoA for
+        # elements with at most two fields.
+        parallel = len(self.program.layout(desc[1])) <= 2
+        return ("newarr", view, parallel)
+
+    def _action_get_field(self, contour_id: int, instr: ir.GetField) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        obj = fact.get("obj")
+        if not isinstance(obj, AbstractVal) or not obj.may_be_object():
+            return None
+        rep = self._single_rep(obj)
+        if rep is None:
+            candidate = self._field_candidate_for(obj, instr.field_name)
+            if candidate is not None:
+                return ("elide",)
+            return None
+        candidate = self.plan.candidates[rep]
+        if candidate.kind == "array":
+            return None  # element view: field names are unchanged
+        desc = self._unique_desc_for_children(candidate, obj)
+        if desc is not None and desc[0] == "array":
+            return None  # GetField on an embedded array value is a type error
+        return ("gren", mangle(candidate.field_name, instr.field_name))
+
+    def _unique_desc_for_children(
+        self, candidate: Candidate, child_value: AbstractVal
+    ) -> tuple | None:
+        """Descriptor of the slot(s) these children were stored into."""
+        descs: set[tuple] = set()
+        children = child_value.object_contours()
+        for slot in candidate.slots:
+            if self.result.slot_value(slot).object_contours() & children:
+                desc = candidate.child_desc_of.get(slot[0])
+                if desc is not None:
+                    descs.add(desc)
+        if len(descs) == 1:
+            return descs.pop()
+        return None
+
+    def _action_set_field(self, contour_id: int, instr: ir.SetField) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        obj = fact.get("obj")
+        if not isinstance(obj, AbstractVal) or not obj.may_be_object():
+            return None
+        rep = self._single_rep(obj)
+        if rep is None:
+            candidate = self._field_candidate_for(obj, instr.field_name)
+            if candidate is None:
+                return None
+            desc = self._unique_desc(candidate, obj)
+            if desc is None:
+                return None
+            return ("copyf", instr.field_name, self._expanded_desc(desc))
+        candidate = self.plan.candidates[rep]
+        if candidate.kind == "array":
+            return None
+        return ("sren", mangle(candidate.field_name, instr.field_name))
+
+    def _action_get_index(self, contour_id: int, instr: ir.GetIndex) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        array = fact.get("array")
+        if not isinstance(array, AbstractVal) or not array.may_be_object():
+            return None
+        rep = self._single_rep(array)
+        if rep is None:
+            candidate = self._array_candidate_for(array)
+            if candidate is None:
+                return None
+            desc = self._unique_desc(candidate, array)
+            if desc is None or desc[0] != "class":
+                return None
+            return ("view", self.variants.view_class(candidate, desc[1]))
+        candidate = self.plan.candidates[rep]
+        if candidate.kind != "field":
+            return None
+        desc = self._unique_desc_for_children(candidate, array)
+        if desc is None or desc[0] != "array":
+            return None
+        base = mangle_indexed(candidate.field_name, 0)
+        return ("gidx", base, desc[1])
+
+    def _action_set_index(self, contour_id: int, instr: ir.SetIndex) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        array = fact.get("array")
+        if not isinstance(array, AbstractVal) or not array.may_be_object():
+            return None
+        rep = self._single_rep(array)
+        if rep is None:
+            candidate = self._array_candidate_for(array)
+            if candidate is None:
+                return None
+            desc = self._unique_desc(candidate, array)
+            if desc is None or desc[0] != "class":
+                return None
+            view = self.variants.view_class(candidate, desc[1])
+            return ("copye", view, desc[1], tuple(self.program.layout(desc[1])))
+        candidate = self.plan.candidates[rep]
+        if candidate.kind != "field":
+            return None
+        desc = self._unique_desc_for_children(candidate, array)
+        if desc is None or desc[0] != "array":
+            return None
+        base = mangle_indexed(candidate.field_name, 0)
+        return ("sidx", base, desc[1])
+
+    def _action_array_len(self, contour_id: int, instr: ir.ArrayLen) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        array = fact.get("array")
+        if not isinstance(array, AbstractVal) or not array.may_be_object():
+            return None
+        rep = self._single_rep(array)
+        if rep is None:
+            return None
+        candidate = self.plan.candidates[rep]
+        if candidate.kind != "field":
+            return None
+        desc = self._unique_desc_for_children(candidate, array)
+        if desc is None or desc[0] != "array":
+            return None
+        return ("lenk", desc[1])
+
+    def _action_send(self, contour_id: int, instr: ir.CallMethod) -> tuple | None:
+        fact = self._fact(contour_id, instr.uid)
+        recv = fact.get("recv")
+        if not isinstance(recv, AbstractVal) or not recv.may_be_object():
+            return None
+        rep = self._single_rep(recv)
+        if rep is not None:
+            candidate = self.plan.candidates[rep]
+            if candidate.kind == "array":
+                desc = self._unique_desc_for_children(candidate, recv)
+                if desc is None or desc[0] != "class":
+                    self.conflicts.add(candidate.key)
+                    return None
+                view = self.variants.view_class(candidate, desc[1])
+                return ("sendv", instr.method_name, view)
+            variants = self._container_variants(candidate, recv)
+            if not variants:
+                self.conflicts.add(candidate.key)
+                return None
+            return ("sendi", candidate.key, instr.method_name, variants)
+
+        if not self.devirtualize:
+            return None
+        if recv.prims():
+            return None  # may be nil at runtime: keep the dynamic error path
+        targets: set[tuple[str, str]] = set()
+        for cid in recv.object_contours():
+            contour = self.result.object_contour(cid)
+            if contour.is_array:
+                return None
+            resolved = self.program.resolve_method(contour.class_name, instr.method_name)
+            if resolved is None:
+                return None  # would raise at runtime: keep dynamic
+            defining, _method = resolved
+            targets.add((defining, self.variants.variant_name(cid)))
+        if not targets:
+            return None
+        return ("sendr", instr.method_name, tuple(sorted(targets)))

@@ -1,0 +1,5 @@
+"""C-like code emission used for the Figure 15 code-size measurements."""
+
+from .cgen import CodegenResult, code_size, generate
+
+__all__ = ["code_size", "CodegenResult", "generate"]

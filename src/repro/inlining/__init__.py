@@ -1,0 +1,22 @@
+"""Object-inlining decisions and the optimization pipeline."""
+
+from .decisions import Candidate, CandidateKey, DecisionEngine, InlinePlan
+from .pipeline import (
+    MAX_REPLAN_ROUNDS,
+    OptimizeReport,
+    ReplanLimitExceeded,
+    candidate_is_declared_inline,
+    optimize,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateKey",
+    "candidate_is_declared_inline",
+    "DecisionEngine",
+    "InlinePlan",
+    "MAX_REPLAN_ROUNDS",
+    "optimize",
+    "OptimizeReport",
+    "ReplanLimitExceeded",
+]

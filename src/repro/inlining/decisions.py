@@ -1,0 +1,624 @@
+"""Inlining decisions: candidate discovery, safety screening, and the
+use-specialization purity fixpoint.
+
+A *candidate* is one inlinable location:
+
+- a **field candidate** ``('field', DeclaringClass, field_name)`` — inline
+  the objects held by that field into their containers, or
+- an **array candidate** ``('array', site_uid)`` — inline the element
+  objects of the arrays created at one ``array(n)`` site into the array
+  itself (parallel-array layout), or
+- a field candidate whose child is a fixed-length array (the Richards
+  "arrays inlined into containing objects" case) — the array's slots are
+  embedded into the container.
+
+The decision pipeline mirrors the paper:
+
+1. structural screening (concrete, non-nil, per-contour-monomorphic
+   contents; no analysis widening; construction-time stores for object
+   fields; no identity comparisons of child objects; no recursive or
+   nested containment),
+2. assignment specialization (§4.2) on every store site, and
+3. the use-specialization purity fixpoint (§4.1): every instruction that
+   dereferences a possibly-inlined value must see exactly one surviving
+   candidate representation and no raw (``NoField``) values; candidates
+   that mix are rejected and the check repeats until stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.assignspec import AssignmentSpecializer
+from ..analysis.results import AnalysisResult, StoreSite
+from ..analysis.tags import ELEM_FIELD, Slot, TOP_SLOT, Tag
+from ..analysis.values import AbstractVal
+from ..ir import model as ir
+
+#: ('field', declaring class, field name) or ('array', NewArray site uid).
+CandidateKey = tuple
+
+#: Child descriptors: what one container contour holds in the candidate
+#: location.  ('class', name) for objects; ('array', length) for embedded
+#: fixed-length arrays.
+ChildDesc = tuple
+
+RAW = "raw"
+
+#: Resolution of a widened (TOP) tag: representation statically unknown.
+UNKNOWN = "unknown"
+
+_RAW_SET = frozenset({RAW})
+_UNKNOWN_SET = frozenset({UNKNOWN})
+
+def compute_slot_reps(
+    result: AnalysisResult,
+    slot_to_candidate: dict[Slot, CandidateKey],
+    alive: frozenset,
+) -> dict[Slot, frozenset]:
+    """Least fixpoint of representation sets over the slot graph.
+
+    ``reps[slot]`` is what a value read out of ``slot`` may denote once
+    every dead/non-candidate slot is treated as transparent: live
+    candidate keys, RAW (a NoField object), and UNKNOWN (widened origin).
+    An iterative fixpoint handles the cyclic slot graphs recursive
+    structures produce (packet chains, cons lists).
+    """
+    reps: dict[Slot, frozenset] = {slot: frozenset() for slot in result.slots}
+
+    def contribution(tag: Tag, current: dict[Slot, frozenset]) -> frozenset:
+        if not tag:
+            return _RAW_SET
+        head = tag[0]
+        if head == TOP_SLOT:
+            return _UNKNOWN_SET
+        key = slot_to_candidate.get(head)
+        if key is not None and key in alive:
+            return frozenset({key})
+        return current.get(head, frozenset())
+
+    changed = True
+    while changed:
+        changed = False
+        for slot, content in result.slots.items():
+            if not content.may_be_object():
+                continue
+            if not content.tags:
+                new = _RAW_SET
+            else:
+                new: frozenset = frozenset()
+                for tag in content.tags:
+                    new |= contribution(tag, reps)
+            if new != reps[slot]:
+                reps[slot] = reps[slot] | new
+                changed = True
+    return reps
+
+
+def resolve_value_reps(
+    value: AbstractVal,
+    slot_to_candidate: dict[Slot, CandidateKey],
+    alive: frozenset,
+    slot_reps: dict[Slot, frozenset],
+) -> set[object]:
+    """Representations of one value given precomputed slot resolutions."""
+    reps: set[object] = set()
+    for tag in value.tags:
+        if not tag:
+            reps.add(RAW)
+            continue
+        head = tag[0]
+        if head == TOP_SLOT:
+            reps.add(UNKNOWN)
+            continue
+        key = slot_to_candidate.get(head)
+        if key is not None and key in alive:
+            reps.add(key)
+        else:
+            reps |= slot_reps.get(head, frozenset())
+    if not value.tags:
+        reps.add(RAW)
+    return reps
+
+
+
+@dataclass(slots=True)
+class Candidate:
+    """One potentially inlinable field or array-element location."""
+
+    key: CandidateKey
+    kind: str  # 'field' | 'array'
+    declaring_class: str | None
+    field_name: str
+    site_uid: int | None
+    slots: set[Slot] = field(default_factory=set)
+    container_contours: set[int] = field(default_factory=set)
+    child_contours: set[int] = field(default_factory=set)
+    child_desc_of: dict[int, ChildDesc] = field(default_factory=dict)
+    stores: list[StoreSite] = field(default_factory=list)
+    reject_reason: str | None = None
+    #: ``new`` instructions whose allocation becomes stack-like once this
+    #: candidate's copies are in place: {(method contour id, instr uid)}.
+    stackable_allocations: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def accepted(self) -> bool:
+        return self.reject_reason is None
+
+    def reject(self, reason: str) -> None:
+        if self.reject_reason is None:
+            self.reject_reason = reason
+
+    def child_classes(self) -> set[str]:
+        return {desc[1] for desc in self.child_desc_of.values() if desc[0] == "class"}
+
+    def describe(self) -> str:
+        if self.kind == "array":
+            return f"array-site#{self.site_uid}[]"
+        return f"{self.declaring_class}.{self.field_name}"
+
+
+@dataclass(slots=True)
+class InlinePlan:
+    """The outcome of the decision stage."""
+
+    result: AnalysisResult
+    candidates: dict[CandidateKey, Candidate]
+    slot_to_candidate: dict[Slot, CandidateKey]
+    _rep_cache: dict = field(default_factory=dict)
+
+    def accepted(self) -> list[Candidate]:
+        return [c for c in self.candidates.values() if c.accepted]
+
+    def rejected(self) -> list[Candidate]:
+        return [c for c in self.candidates.values() if not c.accepted]
+
+    def candidate_of_slot(self, slot: Slot) -> Candidate | None:
+        key = self.slot_to_candidate.get(slot)
+        return self.candidates.get(key) if key is not None else None
+
+    def accepted_candidate_of_slot(self, slot: Slot) -> Candidate | None:
+        candidate = self.candidate_of_slot(slot)
+        if candidate is not None and candidate.accepted:
+            return candidate
+        return None
+
+    def holder_of_contour(self, contour_id: int) -> Candidate | None:
+        """The accepted candidate whose children include this contour."""
+        for candidate in self.candidates.values():
+            if candidate.accepted and contour_id in candidate.child_contours:
+                return candidate
+        return None
+
+    def representations(self, value: AbstractVal) -> set[object]:
+        """Resolve a value to accepted-candidate representations / RAW /
+        UNKNOWN, against the current accepted set (recomputed lazily when
+        the accepted set changes)."""
+        alive = frozenset(key for key, c in self.candidates.items() if c.accepted)
+        cached = self._rep_cache.get(alive)
+        if cached is None:
+            cached = compute_slot_reps(self.result, self.slot_to_candidate, alive)
+            self._rep_cache[alive] = cached
+        return resolve_value_reps(value, self.slot_to_candidate, alive, cached)
+
+
+class DecisionEngine:
+    """Computes an :class:`InlinePlan` from an :class:`AnalysisResult`.
+
+    ``containment_preference`` picks the winner when candidates nest (one
+    candidate's containers are another's children): ``"outer"`` (default)
+    keeps the enclosing structure — the better standalone choice — while
+    ``"inner"`` keeps the innermost, which is what multi-round nested
+    inlining wants (each round peels one level outward; the inner child
+    must be flattened first so the next round can prove its container is
+    consumed by value).
+    """
+
+    def __init__(
+        self, result: AnalysisResult, containment_preference: str = "outer"
+    ) -> None:
+        if containment_preference not in ("outer", "inner"):
+            raise ValueError(f"bad containment preference {containment_preference!r}")
+        self.result = result
+        self.program = result.program
+        self.assign = AssignmentSpecializer(result)
+        self.containment_preference = containment_preference
+        self.candidates: dict[CandidateKey, Candidate] = {}
+        self.slot_to_candidate: dict[Slot, CandidateKey] = {}
+        self._slot_reps: dict[Slot, frozenset] | None = None
+
+    # ------------------------------------------------------------------
+    # Entry point.
+
+    def plan(self) -> InlinePlan:
+        self._discover()
+        for candidate in self.candidates.values():
+            self._screen_structure(candidate)
+        for candidate in self.candidates.values():
+            if candidate.accepted:
+                self._screen_stores(candidate)
+        self._screen_identity()
+        self._purity_fixpoint()
+        self._screen_containment()
+        return InlinePlan(
+            result=self.result,
+            candidates=self.candidates,
+            slot_to_candidate=self.slot_to_candidate,
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery.
+
+    def _declaring_class(self, class_name: str, field_name: str) -> str | None:
+        for name in self.program.superclass_chain(class_name):
+            if field_name in self.program.classes[name].fields:
+                return name
+        return None
+
+    def _discover(self) -> None:
+        """Every slot that may hold heap objects spawns/joins a candidate."""
+        for slot, content in self.result.slots.items():
+            if not content.may_be_object():
+                continue
+            container_id, field_name = slot
+            container = self.result.object_contour(container_id)
+            if container.is_array:
+                key: CandidateKey = ("array", container.site_uid)
+                candidate = self.candidates.get(key)
+                if candidate is None:
+                    candidate = Candidate(
+                        key=key,
+                        kind="array",
+                        declaring_class=None,
+                        field_name=ELEM_FIELD,
+                        site_uid=container.site_uid,
+                    )
+                    self.candidates[key] = candidate
+            else:
+                declaring = self._declaring_class(container.class_name, field_name)
+                if declaring is None:
+                    continue
+                key = ("field", declaring, field_name)
+                candidate = self.candidates.get(key)
+                if candidate is None:
+                    candidate = Candidate(
+                        key=key,
+                        kind="field",
+                        declaring_class=declaring,
+                        field_name=field_name,
+                        site_uid=None,
+                    )
+                    self.candidates[key] = candidate
+            candidate.slots.add(slot)
+            candidate.container_contours.add(container_id)
+            self.slot_to_candidate[slot] = candidate.key
+
+        for store in self.result.stores:
+            slot = (store.container_contour, store.field_name)
+            key = self.slot_to_candidate.get(slot)
+            if key is not None:
+                self.candidates[key].stores.append(store)
+
+    # ------------------------------------------------------------------
+    # Structural screening.
+
+    def _screen_structure(self, candidate: Candidate) -> None:
+        for slot in candidate.slots:
+            content = self.result.slot_value(slot)
+            if content.prims():
+                kinds = ", ".join(sorted(content.prims()))
+                candidate.reject(f"contents may be non-object ({kinds})")
+                return
+            container_id = slot[0]
+            if self.result.object_contour_is_widened(container_id):
+                candidate.reject("container contour widened")
+                return
+
+            # Determine the per-contour child descriptor.
+            child_ids = content.object_contours()
+            classes: set[str] = set()
+            array_lengths: set[int] = set()
+            for child_id in child_ids:
+                child = self.result.object_contour(child_id)
+                if child.summary:
+                    candidate.reject("child contour widened")
+                    return
+                if child.is_array:
+                    length = self._constant_array_length(child.site_uid)
+                    if length is None:
+                        candidate.reject("child array has non-constant length")
+                        return
+                    array_lengths.add(length)
+                else:
+                    classes.add(child.class_name)
+                candidate.child_contours.add(child_id)
+            if classes and array_lengths:
+                candidate.reject("contents mix objects and arrays")
+                return
+            if len(classes) > 1:
+                candidate.reject(
+                    "polymorphic within one container contour: "
+                    + ", ".join(sorted(classes))
+                )
+                return
+            if len(array_lengths) > 1:
+                candidate.reject("child arrays of differing lengths in one contour")
+                return
+            if classes:
+                candidate.child_desc_of[container_id] = ("class", classes.pop())
+            elif array_lengths:
+                if candidate.kind == "array":
+                    candidate.reject("array-of-arrays inlining is not supported")
+                    return
+                candidate.child_desc_of[container_id] = ("array", array_lengths.pop())
+
+        # A contour whose slot was never written but whose field is read
+        # would observe nil; reject if any read may touch such a contour.
+        if candidate.kind == "field":
+            self._screen_unwritten_reads(candidate)
+        if not candidate.accepted:
+            return
+
+        # Recursive containment (cons.next holding cons cells): the layout
+        # would be infinite.  The child class chain must not contain the
+        # declaring class, nor vice versa.
+        for child_class in candidate.child_classes():
+            chain = set(self.program.superclass_chain(child_class))
+            related = chain | set(self.program.subclasses(child_class)) | {child_class}
+            if candidate.declaring_class in related:
+                candidate.reject(f"recursive containment via {child_class}")
+                return
+
+    def _constant_array_length(self, site_uid: int) -> int | None:
+        """Length of the NewArray at ``site_uid`` if it is a literal const."""
+        for callable_ in self.program.callables():
+            du_defs: dict[int, list[ir.Instr]] = {}
+            found: ir.NewArray | None = None
+            for instr in callable_.instructions():
+                if instr.dst is not None:
+                    du_defs.setdefault(instr.dst, []).append(instr)
+                if isinstance(instr, ir.NewArray) and instr.uid == site_uid:
+                    found = instr
+            if found is None:
+                continue
+            defs = du_defs.get(found.size, [])
+            if len(defs) == 1 and isinstance(defs[0], ir.Const):
+                value = defs[0].value
+                if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+                    return value
+            return None
+        return None
+
+    def _screen_unwritten_reads(self, candidate: Candidate) -> None:
+        """Reject if a read may hit a container contour with no stored child."""
+        written = {slot[0] for slot in candidate.slots}
+        for (contour_id, _uid), fact in self.result.facts.items():
+            obj = fact.get("obj")
+            if not isinstance(obj, AbstractVal):
+                continue
+            for cid in obj.object_contours():
+                contour = self.result.object_contour(cid)
+                if contour.is_array:
+                    continue
+                if candidate.field_name not in self.program.layout(contour.class_name):
+                    continue
+                if (
+                    self._declaring_class(contour.class_name, candidate.field_name)
+                    == candidate.declaring_class
+                    and cid not in written
+                ):
+                    candidate.reject(
+                        f"field may be read on contour o{cid} that never stores it"
+                    )
+                    return
+
+    # ------------------------------------------------------------------
+    # Store screening (construction-time rule + §4.2 by-value).
+
+    def _screen_stores(self, candidate: Candidate) -> None:
+        if not candidate.stores:
+            candidate.reject("no stores found")
+            return
+        for store in candidate.stores:
+            if self.result.contour_is_widened(store.contour_id):
+                candidate.reject("store inside widened contour")
+                return
+            if candidate.kind == "field":
+                # Stores must initialize `this` inside a constructor, so a
+                # previously extracted reference can never observe a later
+                # re-assignment of the inlined state.
+                callable_name = store.callable_name
+                if "::" not in callable_name or callable_name.split("::", 1)[1] != "init":
+                    candidate.reject(
+                        f"store outside a constructor ({callable_name})"
+                    )
+                    return
+                if store.obj_reg != 0:
+                    candidate.reject("store through a non-this reference")
+                    return
+            ok, reason = self.assign.store_is_by_value(store)
+            if not ok:
+                candidate.reject(f"not passable by value: {reason}")
+                return
+            candidate.stackable_allocations |= self._collect_chain_allocations(store)
+
+    def _collect_chain_allocations(self, store: StoreSite) -> set[tuple[int, int]]:
+        """``new`` sites along the by-value chain of one store.
+
+        These allocations stop escaping once the copy transformation is in
+        place, so the transformation downgrades them to stack allocations —
+        this is where the paper's "sub-objects are allocated with the
+        container" savings come from.
+        """
+        collected: set[tuple[int, int]] = set()
+        self._walk_chain(store.contour_id, store.src_reg, collected, set())
+        return collected
+
+    def _walk_chain(
+        self,
+        contour_id: int,
+        reg: int,
+        collected: set[tuple[int, int]],
+        visited: set[tuple[int, int]],
+    ) -> None:
+        if (contour_id, reg) in visited:
+            return
+        visited.add((contour_id, reg))
+        contour = self.result.method_contour(contour_id)
+        du = self.assign.defuse.get(contour.callable_name)
+        if du is None:
+            return
+        defs = du.defs.get(reg, [])
+        if not defs and du.is_formal(reg):
+            for caller_id, site_uid in contour.callers:
+                caller = self.result.method_contour(caller_id)
+                caller_du = self.assign.defuse.get(caller.callable_name)
+                if caller_du is None or site_uid not in caller_du.by_uid:
+                    continue
+                block, index = caller_du.by_uid[site_uid]
+                caller_callable = self.program.lookup_callable(caller.callable_name)
+                call_instr = caller_callable.blocks[block].instrs[index]
+                actual = AssignmentSpecializer._actual_for_formal(call_instr, reg)
+                if actual is not None:
+                    self._walk_chain(caller_id, actual, collected, visited)
+            return
+        for definition in defs:
+            instr = definition.instr
+            if isinstance(instr, (ir.New, ir.NewArray)):
+                collected.add((contour_id, instr.uid))
+            elif isinstance(instr, ir.Move):
+                self._walk_chain(contour_id, instr.src, collected, visited)
+            elif isinstance(instr, (ir.CallFunction, ir.CallMethod, ir.CallStatic)):
+                # Factory call proven fresh by assignment specialization:
+                # the allocations sit behind the callee's returns.
+                for callee_id in self.result.callees_at(contour_id, instr.uid):
+                    callee = self.result.method_contour(callee_id)
+                    callable_ = self.program.lookup_callable(callee.callable_name)
+                    if callable_ is None:
+                        continue
+                    for callee_instr in callable_.instructions():
+                        if (
+                            isinstance(callee_instr, ir.Return)
+                            and callee_instr.src is not None
+                        ):
+                            self._walk_chain(
+                                callee_id, callee_instr.src, collected, visited
+                            )
+
+    # ------------------------------------------------------------------
+    # Identity comparisons.
+
+    def _screen_identity(self) -> None:
+        """Child objects must never flow into ``==``/``!=``: post-transform
+        they are container views and identity would change meaning."""
+        for site in self.result.identity_sites:
+            involved = site.lhs.object_contours() | site.rhs.object_contours()
+            for candidate in self.candidates.values():
+                if candidate.accepted and candidate.child_contours & involved:
+                    candidate.reject(
+                        f"child object identity-compared in {site.callable_name}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Use-specialization purity (§4.1 decision).
+
+    def _purity_fixpoint(self) -> None:
+        """Reject candidates until every dereference site is unambiguous."""
+        changed = True
+        while changed:
+            changed = False
+            alive = {key for key, c in self.candidates.items() if c.accepted}
+            if not alive:
+                return
+            for (contour_id, _uid), fact in self.result.facts.items():
+                for role in ("obj", "array", "recv"):
+                    value = fact.get(role)
+                    if not isinstance(value, AbstractVal) or not value.may_be_object():
+                        continue
+                    if self._check_site_purity(value, alive):
+                        changed = True
+                        self._slot_reps = None
+                        alive = {
+                            key for key, c in self.candidates.items() if c.accepted
+                        }
+
+    def _check_site_purity(self, value: AbstractVal, alive: set[CandidateKey]) -> bool:
+        """Reject candidates that mix at this site; True if any rejection."""
+        reps = self._representations(value, alive)
+        rejected = False
+        if UNKNOWN in reps:
+            # Tag widening lost this value's origin: any accepted candidate
+            # whose child objects it may denote cannot be rewritten here.
+            atoms = value.object_contours()
+            for key in list(alive):
+                candidate = self.candidates[key]
+                if candidate.accepted and candidate.child_contours & atoms:
+                    candidate.reject("origin widened (TOP tag) at a use site")
+                    rejected = True
+            reps = reps - {UNKNOWN}
+        keys = {rep for rep in reps if rep != RAW}
+        if len(keys) >= 2:
+            for key in keys:
+                self.candidates[key].reject(
+                    "use site mixes representations: "
+                    + " / ".join(self.candidates[k].describe() for k in sorted(keys))
+                )
+                rejected = True
+        elif len(keys) == 1 and RAW in reps:
+            (key,) = keys
+            self.candidates[key].reject(
+                "use site mixes inlined and raw objects"
+            )
+            rejected = True
+        return rejected
+
+    def _representations(
+        self, value: AbstractVal, alive: set[CandidateKey]
+    ) -> set[object]:
+        """Resolve a value's tags to surviving-candidate representations.
+
+        A tag headed by a slot of a *live* candidate denotes that
+        candidate's inlined representation.  A tag headed by a
+        dead/non-candidate slot is transparent: the value is whatever was
+        stored there, resolved through the precomputed slot fixpoint.
+        ``NOFIELD`` is a raw object; ``TOP`` is UNKNOWN.
+        """
+        frozen_alive = frozenset(alive)
+        if self._slot_reps is None:
+            self._slot_reps = compute_slot_reps(
+                self.result, self.slot_to_candidate, frozen_alive
+            )
+        return resolve_value_reps(
+            value, self.slot_to_candidate, frozen_alive, self._slot_reps
+        )
+
+    # ------------------------------------------------------------------
+    # Containment ordering.
+
+    def _screen_containment(self) -> None:
+        """Reject nested inlining (a candidate whose containers are children
+        of another accepted candidate) and containment cycles.
+
+        The transformation runs in a single round; when structures nest we
+        keep the outer candidate (it usually owns more traffic) and reject
+        the inner one.
+        """
+        changed = True
+        while changed:
+            changed = False
+            accepted = [c for c in self.candidates.values() if c.accepted]
+            for inner in accepted:
+                for outer in accepted:
+                    if inner is outer or not outer.accepted or not inner.accepted:
+                        continue
+                    if inner.container_contours & outer.child_contours:
+                        if self.containment_preference == "outer":
+                            inner.reject(
+                                f"container is itself inlined into {outer.describe()}"
+                            )
+                        else:
+                            outer.reject(
+                                f"deferred to a later round (holds containers "
+                                f"of inlined {inner.describe()})"
+                            )
+                        changed = True

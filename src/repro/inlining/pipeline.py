@@ -1,0 +1,229 @@
+"""The end-to-end object-inlining pipeline and the library's main entry
+points.
+
+Three build configurations mirror the paper's evaluation bars:
+
+- ``optimize(program, inline=False)`` — Concert **without** object
+  inlining: the same analysis + cloning machinery, used only for
+  type-directed devirtualization.
+- ``optimize(program, inline=True)`` — Concert **with** object inlining
+  (the paper's contribution).
+- ``optimize(program, manual_only=True)`` — the G++ ``-O2`` proxy:
+  inline only what the programmer annotated (``var inline f;`` /
+  ``inline_array(n)``), still subject to the safety analyses.
+
+When the cloning stage cannot emit a plan consistently (a dynamic
+dispatch would need two clones under one name, a value may be either an
+inline array or a plain one, ...), the conflicting candidates are
+rejected and the pipeline replans — the moral equivalent of the paper's
+iterative caller splitting, with rejection as the sound fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import AnalysisConfig, AnalysisResult, SENSITIVITY_CONCERT, analyze
+from ..cloning.emit import CloneStats, TransformOutcome, transform_program
+from ..opt.dce import DCEStats, eliminate_dead_code
+from ..opt.inliner import InlinerStats, inline_methods
+from ..opt.loadcse import LoadCSEStats, eliminate_redundant_loads
+from ..ir import model as ir
+from ..ir.validate import validate_program
+from .decisions import Candidate, DecisionEngine, InlinePlan
+
+MAX_REPLAN_ROUNDS = 8
+
+
+@dataclass(slots=True)
+class OptimizeReport:
+    """Everything produced by one optimization run."""
+
+    program: ir.IRProgram
+    analysis: AnalysisResult
+    plan: InlinePlan
+    clone_stats: CloneStats
+    replan_rounds: int
+    inliner_stats: InlinerStats | None = None
+    cse_stats: LoadCSEStats | None = None
+    dce_stats: DCEStats | None = None
+    #: Total optimization rounds run (``max_rounds`` > 1 enables nested
+    #: inlining: the pipeline re-analyzes the transformed program and
+    #: inlines newly exposed container fields, innermost first).
+    nested_rounds: int = 1
+    #: describe() of candidates accepted in rounds after the first.
+    nested_candidates: list[str] = field(default_factory=list)
+
+    def accepted_candidates(self) -> list[Candidate]:
+        return self.plan.accepted()
+
+    def rejected_candidates(self) -> list[Candidate]:
+        return self.plan.rejected()
+
+
+class ReplanLimitExceeded(Exception):
+    """The conflict-replan loop failed to converge (a compiler bug)."""
+
+
+def _declared_inline_sites(program: ir.IRProgram) -> set[int]:
+    """NewArray uids carrying the manual ``inline_array`` annotation."""
+    sites: set[int] = set()
+    for callable_ in program.callables():
+        for instr in callable_.instructions():
+            if isinstance(instr, ir.NewArray) and instr.declared_inline:
+                sites.add(instr.uid)
+    return sites
+
+
+def candidate_is_declared_inline(program: ir.IRProgram, candidate: Candidate) -> bool:
+    """Whether the manual C++ programmer marked this location inline."""
+    if candidate.kind == "field":
+        cls = program.classes.get(candidate.declaring_class)
+        return cls is not None and candidate.field_name in cls.inline_fields
+    return candidate.site_uid in _declared_inline_sites(program)
+
+
+def _optimize_core(
+    program: ir.IRProgram,
+    inline: bool,
+    devirtualize: bool,
+    manual_only: bool,
+    config: AnalysisConfig,
+    containment_preference: str,
+) -> tuple[TransformOutcome, "AnalysisResult", InlinePlan, int]:
+    """One analyze → decide → transform round (no scalar passes)."""
+    if not inline and not manual_only:
+        config = config.with_sensitivity(SENSITIVITY_CONCERT)
+    result = analyze(program, config)
+    plan = DecisionEngine(result, containment_preference).plan()
+
+    if not inline and not manual_only:
+        for candidate in plan.candidates.values():
+            candidate.reject("object inlining disabled")
+    elif manual_only:
+        for candidate in plan.candidates.values():
+            if candidate.accepted and not candidate_is_declared_inline(program, candidate):
+                candidate.reject("not declared inline in the source")
+
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > MAX_REPLAN_ROUNDS:
+            raise ReplanLimitExceeded(
+                "transformation kept conflicting after "
+                f"{MAX_REPLAN_ROUNDS} replanning rounds"
+            )
+        outcome: TransformOutcome = transform_program(result, plan, devirtualize)
+        if outcome.program is not None:
+            break
+        if not outcome.conflicts:
+            raise ReplanLimitExceeded("transformation failed without naming conflicts")
+        for key in outcome.conflicts:
+            candidate = plan.candidates.get(key)
+            if candidate is not None:
+                candidate.reject("cloning conflict (dynamic dispatch or mixed site)")
+
+    validate_program(outcome.program)
+    return outcome, result, plan, rounds
+
+
+def _reanalyzable(program: ir.IRProgram) -> bool:
+    """Whether the flow analysis can soundly model this (transformed)
+    program for another inlining round.
+
+    Element views (inlined arrays) and embedded-array access are runtime
+    constructs the analysis does not model; their presence ends the
+    multi-round loop conservatively.
+    """
+    for callable_ in program.callables():
+        for instr in callable_.instructions():
+            if isinstance(
+                instr, (ir.MakeView, ir.GetFieldIndexed, ir.SetFieldIndexed)
+            ):
+                return False
+            if isinstance(instr, ir.NewArray) and instr.inline_layout:
+                return False
+    return True
+
+
+def optimize(
+    program: ir.IRProgram,
+    inline: bool = True,
+    devirtualize: bool = True,
+    manual_only: bool = False,
+    inline_methods_pass: bool = True,
+    cache_loads_pass: bool = True,
+    dce_pass: bool = True,
+    max_rounds: int = 1,
+    config: AnalysisConfig | None = None,
+) -> OptimizeReport:
+    """Analyze and transform ``program``; returns the new program + report.
+
+    ``inline_methods_pass`` and ``cache_loads_pass`` control the classic
+    scalar optimizations applied in *every* build (the Concert compiler
+    ran them regardless of object inlining); they exist as switches for
+    the ablation benchmarks.
+
+    ``max_rounds > 1`` enables **nested object inlining** (the paper's
+    future-work direction): the pipeline prefers innermost candidates,
+    re-analyzes the transformed program, and inlines the newly exposed
+    container fields — flattening ``outer.mid.point`` chains completely.
+    The loop ends when a round accepts nothing, the program acquires
+    constructs the analysis cannot re-model (inlined arrays), or
+    ``max_rounds`` is reached.  The input program is not modified.
+    """
+    config = config or AnalysisConfig()
+    nesting = max_rounds > 1 and inline and not manual_only
+    preference = "inner" if nesting else "outer"
+
+    outcome, result, plan, replans = _optimize_core(
+        program, inline, devirtualize, manual_only, config, preference
+    )
+    nested_rounds = 1
+    nested_accepted: list[str] = []
+    while (
+        nesting
+        and nested_rounds < max_rounds
+        and plan_has_acceptances(plan)
+        and _reanalyzable(outcome.program)
+    ):
+        next_outcome, _result, next_plan, _replans = _optimize_core(
+            outcome.program, inline, devirtualize, manual_only, config, preference
+        )
+        accepted = next_plan.accepted()
+        if not accepted:
+            break
+        nested_rounds += 1
+        nested_accepted.extend(c.describe() for c in accepted)
+        outcome = next_outcome
+        # Keep the first round's analysis/plan in the report (they describe
+        # the source program); later rounds only contribute their programs.
+
+    inliner_stats = None
+    cse_stats = None
+    dce_stats = None
+    if inline_methods_pass:
+        inliner_stats = inline_methods(outcome.program)
+        validate_program(outcome.program)
+    if cache_loads_pass:
+        cse_stats = eliminate_redundant_loads(outcome.program)
+        validate_program(outcome.program)
+    if dce_pass:
+        dce_stats = eliminate_dead_code(outcome.program)
+        validate_program(outcome.program)
+    return OptimizeReport(
+        program=outcome.program,
+        analysis=result,
+        plan=plan,
+        clone_stats=outcome.stats,
+        replan_rounds=replans,
+        inliner_stats=inliner_stats,
+        cse_stats=cse_stats,
+        dce_stats=dce_stats,
+        nested_rounds=nested_rounds,
+        nested_candidates=nested_accepted,
+    )
+
+
+def plan_has_acceptances(plan: InlinePlan) -> bool:
+    return bool(plan.accepted())

@@ -1,0 +1,625 @@
+"""AST → IR lowering.
+
+The builder walks the AST once per callable, producing a CFG of
+three-address instructions.  Lowering decisions of note:
+
+- ``&&`` / ``||`` become control flow (they short-circuit).
+- ``new C(...)`` lowers to a single :class:`~repro.ir.model.New`
+  instruction; the VM (and the analysis) treat it as allocate-then-init.
+- ``super.m(...)`` lowers to :class:`~repro.ir.model.CallStatic` bound at
+  the superclass of the *defining* class of the current method.
+- ``array(n)`` and ``len(a)`` lower to the dedicated array instructions;
+  other known builtins lower to :class:`~repro.ir.model.CallBuiltin`.
+- Global variable initializers are concatenated into a synthesized
+  ``@global_init`` function, run by the VM before ``main``.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.errors import SemanticError, SourceLocation, UNKNOWN_LOCATION
+from . import model as ir
+
+#: Builtins callable as ``name(args...)``.  ``array`` and ``len`` are
+#: special-cased to dedicated instructions.
+BUILTIN_NAMES = frozenset(
+    {
+        "print",
+        "sqrt",
+        "abs",
+        "floor",
+        "ceil",
+        "min",
+        "max",
+        "pow",
+        "int",
+        "float",
+        "assert_true",
+    }
+)
+
+_BUILTIN_ARITY: dict[str, tuple[int, int]] = {
+    "sqrt": (1, 1),
+    "abs": (1, 1),
+    "floor": (1, 1),
+    "ceil": (1, 1),
+    "min": (2, 2),
+    "max": (2, 2),
+    "pow": (2, 2),
+    "int": (1, 1),
+    "float": (1, 1),
+    "assert_true": (1, 1),
+    # print is variadic (0..N)
+}
+
+
+class _LoopContext:
+    """Jump targets for break/continue inside the innermost loop."""
+
+    def __init__(self, break_target: int, continue_target: int) -> None:
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class _CallableBuilder:
+    """Builds one IRCallable from an AST body."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        name: str,
+        params: tuple[str, ...],
+        is_method: bool,
+        class_name: str | None,
+        global_names: set[str],
+    ) -> None:
+        self._program = program
+        self._global_names = global_names
+        self._name = name
+        self._params = params
+        self._is_method = is_method
+        self._class_name = class_name
+        self._blocks: list[ir.Block] = [ir.Block()]
+        self._current = 0
+        self._next_reg = 0
+        self._scopes: list[dict[str, int]] = [{}]
+        self._loops: list[_LoopContext] = []
+
+        if is_method:
+            self._next_reg = 1  # register 0 is `this`
+        for param in params:
+            self._scopes[0][param] = self._new_reg()
+
+    # ------------------------------------------------------------------
+    # Low-level helpers.
+
+    def _new_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def _emit(self, cls: type, loc: SourceLocation, **kwargs: object) -> ir.Instr:
+        instr = ir.make_instr(cls, loc, **kwargs)
+        self._blocks[self._current].instrs.append(instr)
+        return instr
+
+    def _new_block(self) -> int:
+        self._blocks.append(ir.Block())
+        return len(self._blocks) - 1
+
+    def _switch_to(self, block_index: int) -> None:
+        self._current = block_index
+
+    def _terminated(self) -> bool:
+        instrs = self._blocks[self._current].instrs
+        return bool(instrs) and isinstance(instrs[-1], ir.TERMINATORS)
+
+    def _lookup(self, name: str) -> int | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements.
+
+    def build(self, body: tuple[ast.Stmt, ...]) -> ir.IRCallable:
+        for stmt in body:
+            self._lower_stmt(stmt)
+        if not self._terminated():
+            self._emit(ir.Return, UNKNOWN_LOCATION, src=None)
+        blocks = _prune_unreachable(self._blocks)
+        return ir.IRCallable(
+            name=self._name,
+            params=self._params,
+            num_regs=self._next_reg,
+            blocks=blocks,
+            is_method=self._is_method,
+            class_name=self._class_name,
+            source_name=self._name,
+        )
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if self._terminated():
+            # Dead code after return/break; lower into a fresh unreachable
+            # block so jump targets stay consistent, then prune later.
+            self._switch_to(self._new_block())
+
+        if isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.VarDecl):
+            reg = self._new_reg()
+            if stmt.init is not None:
+                value = self._lower_expr(stmt.init)
+                self._emit(ir.Move, stmt.location, dest=reg, src=value)
+            else:
+                self._emit(ir.Const, stmt.location, dest=reg, value=None)
+            if stmt.name in self._scopes[-1]:
+                raise SemanticError(f"duplicate variable {stmt.name!r}", stmt.location)
+            self._scopes[-1][stmt.name] = reg
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            src = None if stmt.value is None else self._lower_expr(stmt.value)
+            self._emit(ir.Return, stmt.location, src=src)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise SemanticError("'break' outside loop", stmt.location)
+            self._emit(ir.Jump, stmt.location, target=self._loops[-1].break_target)
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise SemanticError("'continue' outside loop", stmt.location)
+            self._emit(ir.Jump, stmt.location, target=self._loops[-1].continue_target)
+        elif isinstance(stmt, ast.Block):
+            self._scopes.append({})
+            try:
+                for inner in stmt.body:
+                    self._lower_stmt(inner)
+            finally:
+                self._scopes.pop()
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.location)
+
+    def _lower_body(self, body: tuple[ast.Stmt, ...]) -> None:
+        self._scopes.append({})
+        try:
+            for stmt in body:
+                self._lower_stmt(stmt)
+        finally:
+            self._scopes.pop()
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.NameRef):
+            reg = self._lookup(target.name)
+            if reg is not None:
+                value = self._lower_expr(stmt.value)
+                self._emit(ir.Move, stmt.location, dest=reg, src=value)
+            elif target.name in self._global_names:
+                value = self._lower_expr(stmt.value)
+                self._emit(ir.SetGlobal, stmt.location, name=target.name, src=value)
+            else:
+                raise SemanticError(
+                    f"assignment to undeclared variable {target.name!r}", stmt.location
+                )
+        elif isinstance(target, ast.FieldAccess):
+            obj = self._lower_expr(target.obj)
+            value = self._lower_expr(stmt.value)
+            self._emit(
+                ir.SetField, stmt.location, obj=obj, field_name=target.field_name, src=value
+            )
+        elif isinstance(target, ast.IndexAccess):
+            array = self._lower_expr(target.array)
+            index = self._lower_expr(target.index)
+            value = self._lower_expr(stmt.value)
+            self._emit(ir.SetIndex, stmt.location, array=array, index=index, src=value)
+        else:
+            raise SemanticError("invalid assignment target", stmt.location)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond = self._lower_expr(stmt.condition)
+        then_block = self._new_block()
+        else_block = self._new_block()
+        join_block = self._new_block()
+        self._emit(
+            ir.Branch,
+            stmt.location,
+            cond=cond,
+            then_target=then_block,
+            else_target=else_block,
+        )
+        self._switch_to(then_block)
+        self._lower_body(stmt.then_body)
+        if not self._terminated():
+            self._emit(ir.Jump, stmt.location, target=join_block)
+        self._switch_to(else_block)
+        self._lower_body(stmt.else_body)
+        if not self._terminated():
+            self._emit(ir.Jump, stmt.location, target=join_block)
+        self._switch_to(join_block)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head = self._new_block()
+        body = self._new_block()
+        exit_block = self._new_block()
+        self._emit(ir.Jump, stmt.location, target=head)
+        self._switch_to(head)
+        cond = self._lower_expr(stmt.condition)
+        self._emit(
+            ir.Branch, stmt.location, cond=cond, then_target=body, else_target=exit_block
+        )
+        self._switch_to(body)
+        self._loops.append(_LoopContext(exit_block, head))
+        try:
+            self._lower_body(stmt.body)
+        finally:
+            self._loops.pop()
+        if not self._terminated():
+            self._emit(ir.Jump, stmt.location, target=head)
+        self._switch_to(exit_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self._scopes.append({})
+        try:
+            if stmt.init is not None:
+                self._lower_stmt(stmt.init)
+            head = self._new_block()
+            body = self._new_block()
+            step_block = self._new_block()
+            exit_block = self._new_block()
+            self._emit(ir.Jump, stmt.location, target=head)
+            self._switch_to(head)
+            if stmt.condition is not None:
+                cond = self._lower_expr(stmt.condition)
+            else:
+                true_reg = self._new_reg()
+                self._emit(ir.Const, stmt.location, dest=true_reg, value=True)
+                cond = true_reg
+            self._emit(
+                ir.Branch,
+                stmt.location,
+                cond=cond,
+                then_target=body,
+                else_target=exit_block,
+            )
+            self._switch_to(body)
+            self._loops.append(_LoopContext(exit_block, step_block))
+            try:
+                self._lower_body(stmt.body)
+            finally:
+                self._loops.pop()
+            if not self._terminated():
+                self._emit(ir.Jump, stmt.location, target=step_block)
+            self._switch_to(step_block)
+            if stmt.step is not None:
+                self._lower_stmt(stmt.step)
+            if not self._terminated():
+                self._emit(ir.Jump, stmt.location, target=head)
+            self._switch_to(exit_block)
+        finally:
+            self._scopes.pop()
+
+    # ------------------------------------------------------------------
+    # Expressions.
+
+    def _lower_expr(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return self._const(expr.location, expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return self._const(expr.location, expr.value)
+        if isinstance(expr, ast.StringLiteral):
+            return self._const(expr.location, expr.value)
+        if isinstance(expr, ast.BoolLiteral):
+            return self._const(expr.location, expr.value)
+        if isinstance(expr, ast.NilLiteral):
+            return self._const(expr.location, None)
+        if isinstance(expr, ast.NameRef):
+            reg = self._lookup(expr.name)
+            if reg is not None:
+                return reg
+            if expr.name in self._global_names:
+                dest = self._new_reg()
+                self._emit(ir.GetGlobal, expr.location, dest=dest, name=expr.name)
+                return dest
+            raise SemanticError(f"undeclared variable {expr.name!r}", expr.location)
+        if isinstance(expr, ast.ThisRef):
+            if not self._is_method:
+                raise SemanticError("'this' outside method", expr.location)
+            return 0
+        if isinstance(expr, ast.FieldAccess):
+            obj = self._lower_expr(expr.obj)
+            dest = self._new_reg()
+            self._emit(ir.GetField, expr.location, dest=dest, obj=obj, field_name=expr.field_name)
+            return dest
+        if isinstance(expr, ast.IndexAccess):
+            array = self._lower_expr(expr.array)
+            index = self._lower_expr(expr.index)
+            dest = self._new_reg()
+            self._emit(ir.GetIndex, expr.location, dest=dest, array=array, index=index)
+            return dest
+        if isinstance(expr, ast.UnaryOp):
+            src = self._lower_expr(expr.operand)
+            dest = self._new_reg()
+            self._emit(ir.UnOp, expr.location, dest=dest, op=expr.op, src=src)
+            return dest
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("&&", "||"):
+                return self._lower_logical(expr)
+            lhs = self._lower_expr(expr.left)
+            rhs = self._lower_expr(expr.right)
+            dest = self._new_reg()
+            self._emit(ir.BinOp, expr.location, dest=dest, op=expr.op, lhs=lhs, rhs=rhs)
+            return dest
+        if isinstance(expr, ast.NewObject):
+            args = tuple(self._lower_expr(arg) for arg in expr.args)
+            dest = self._new_reg()
+            self._emit(ir.New, expr.location, dest=dest, class_name=expr.class_name, args=args)
+            return dest
+        if isinstance(expr, ast.MethodCall):
+            recv = self._lower_expr(expr.receiver)
+            args = tuple(self._lower_expr(arg) for arg in expr.args)
+            dest = self._new_reg()
+            self._emit(
+                ir.CallMethod,
+                expr.location,
+                dest=dest,
+                recv=recv,
+                method_name=expr.method_name,
+                args=args,
+            )
+            return dest
+        if isinstance(expr, ast.SuperCall):
+            if not self._is_method or self._class_name is None:
+                raise SemanticError("'super' outside method", expr.location)
+            cls = self._program.find_class(self._class_name)
+            if cls is None or cls.superclass is None:
+                raise SemanticError(
+                    f"'super' in class {self._class_name!r} with no superclass",
+                    expr.location,
+                )
+            args = tuple(self._lower_expr(arg) for arg in expr.args)
+            dest = self._new_reg()
+            self._emit(
+                ir.CallStatic,
+                expr.location,
+                dest=dest,
+                recv=0,
+                class_name=cls.superclass,
+                method_name=expr.method_name,
+                args=args,
+            )
+            return dest
+        if isinstance(expr, ast.FunctionCall):
+            return self._lower_function_call(expr)
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.location)
+
+    def _const(self, loc: SourceLocation, value: object) -> int:
+        dest = self._new_reg()
+        self._emit(ir.Const, loc, dest=dest, value=value)
+        return dest
+
+    def _lower_logical(self, expr: ast.BinaryOp) -> int:
+        """Short-circuit lowering of ``&&`` / ``||`` into CFG + result reg."""
+        result = self._new_reg()
+        lhs = self._lower_expr(expr.left)
+        self._emit(ir.Move, expr.location, dest=result, src=lhs)
+        rhs_block = self._new_block()
+        join_block = self._new_block()
+        if expr.op == "&&":
+            self._emit(
+                ir.Branch,
+                expr.location,
+                cond=result,
+                then_target=rhs_block,
+                else_target=join_block,
+            )
+        else:
+            self._emit(
+                ir.Branch,
+                expr.location,
+                cond=result,
+                then_target=join_block,
+                else_target=rhs_block,
+            )
+        self._switch_to(rhs_block)
+        rhs = self._lower_expr(expr.right)
+        self._emit(ir.Move, expr.location, dest=result, src=rhs)
+        self._emit(ir.Jump, expr.location, target=join_block)
+        self._switch_to(join_block)
+        return result
+
+    def _lower_function_call(self, expr: ast.FunctionCall) -> int:
+        name = expr.func_name
+        dest = self._new_reg()
+        if name in ("array", "inline_array"):
+            if len(expr.args) != 1:
+                raise SemanticError(f"{name}(n) takes exactly one argument", expr.location)
+            size = self._lower_expr(expr.args[0])
+            self._emit(
+                ir.NewArray,
+                expr.location,
+                dest=dest,
+                size=size,
+                declared_inline=(name == "inline_array"),
+            )
+            return dest
+        if name == "len":
+            if len(expr.args) != 1:
+                raise SemanticError("len(a) takes exactly one argument", expr.location)
+            array = self._lower_expr(expr.args[0])
+            self._emit(ir.ArrayLen, expr.location, dest=dest, array=array)
+            return dest
+        args = tuple(self._lower_expr(arg) for arg in expr.args)
+        if self._program.find_function(name) is not None:
+            func = self._program.find_function(name)
+            if len(args) != len(func.params):
+                raise SemanticError(
+                    f"function {name!r} takes {len(func.params)} arguments, got {len(args)}",
+                    expr.location,
+                )
+            self._emit(ir.CallFunction, expr.location, dest=dest, func_name=name, args=args)
+            return dest
+        if name in BUILTIN_NAMES:
+            arity = _BUILTIN_ARITY.get(name)
+            if arity is not None and not (arity[0] <= len(args) <= arity[1]):
+                raise SemanticError(
+                    f"builtin {name!r} takes {arity[0]} argument(s), got {len(args)}",
+                    expr.location,
+                )
+            self._emit(ir.CallBuiltin, expr.location, dest=dest, builtin_name=name, args=args)
+            return dest
+        raise SemanticError(f"unknown function {name!r}", expr.location)
+
+
+def _prune_unreachable(blocks: list[ir.Block]) -> list[ir.Block]:
+    """Remove unreachable blocks and renumber jump targets."""
+    reachable: set[int] = set()
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        if index in reachable:
+            continue
+        reachable.add(index)
+        worklist.extend(blocks[index].successors())
+
+    remap: dict[int, int] = {}
+    kept: list[ir.Block] = []
+    for index, block in enumerate(blocks):
+        if index in reachable:
+            remap[index] = len(kept)
+            kept.append(block)
+
+    for block in kept:
+        term = block.terminator
+        if isinstance(term, ir.Jump):
+            block.instrs[-1] = ir.Jump(term.uid, term.loc, remap[term.target])
+        elif isinstance(term, ir.Branch):
+            block.instrs[-1] = ir.Branch(
+                term.uid, term.loc, term.cond, remap[term.then_target], remap[term.else_target]
+            )
+    return kept
+
+
+def _check_class_hierarchy(program: ast.Program) -> None:
+    seen: dict[str, ast.ClassDecl] = {}
+    for cls in program.classes:
+        if cls.name in seen:
+            raise SemanticError(f"duplicate class {cls.name!r}", cls.location)
+        seen[cls.name] = cls
+    for cls in program.classes:
+        if cls.superclass is not None and cls.superclass not in seen:
+            raise SemanticError(
+                f"unknown superclass {cls.superclass!r} of {cls.name!r}", cls.location
+            )
+    # Detect inheritance cycles.
+    for cls in program.classes:
+        visited: set[str] = set()
+        current: str | None = cls.name
+        while current is not None:
+            if current in visited:
+                raise SemanticError(f"inheritance cycle through {cls.name!r}", cls.location)
+            visited.add(current)
+            current = seen[current].superclass if current in seen else None
+    # Field shadowing between a class and its ancestors is not allowed: the
+    # layout rules of the transformation assume distinct names per chain.
+    for cls in program.classes:
+        own = {f.name for f in cls.fields}
+        if len(own) != len(cls.fields):
+            raise SemanticError(f"duplicate field in class {cls.name!r}", cls.location)
+        ancestor = cls.superclass
+        while ancestor is not None:
+            for f in seen[ancestor].fields:
+                if f.name in own:
+                    raise SemanticError(
+                        f"field {f.name!r} of {cls.name!r} shadows {ancestor!r}",
+                        cls.location,
+                    )
+            ancestor = seen[ancestor].superclass
+
+
+def lower_program(program: ast.Program) -> ir.IRProgram:
+    """Lower a parsed program into :class:`repro.ir.model.IRProgram`."""
+    _check_class_hierarchy(program)
+
+    global_names: list[str] = []
+    for decl in program.globals:
+        if decl.name in global_names:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.location)
+        global_names.append(decl.name)
+    global_set = set(global_names)
+
+    function_names: set[str] = set()
+    for func in program.functions:
+        if func.name in function_names:
+            raise SemanticError(f"duplicate function {func.name!r}", func.location)
+        function_names.add(func.name)
+
+    classes: dict[str, ir.IRClass] = {}
+    for cls in program.classes:
+        methods: dict[str, ir.IRCallable] = {}
+        for method in cls.methods:
+            if method.name in methods:
+                raise SemanticError(
+                    f"duplicate method {method.name!r} in {cls.name!r}", method.location
+                )
+            builder = _CallableBuilder(
+                program,
+                name=f"{cls.name}::{method.name}",
+                params=method.params,
+                is_method=True,
+                class_name=cls.name,
+                global_names=global_set,
+            )
+            methods[method.name] = builder.build(method.body)
+        classes[cls.name] = ir.IRClass(
+            name=cls.name,
+            superclass=cls.superclass,
+            fields=[f.name for f in cls.fields],
+            methods=methods,
+            inline_fields={f.name for f in cls.fields if f.declared_inline},
+            source_name=cls.name,
+        )
+
+    functions: dict[str, ir.IRCallable] = {}
+    for func in program.functions:
+        builder = _CallableBuilder(
+            program,
+            name=func.name,
+            params=func.params,
+            is_method=False,
+            class_name=None,
+            global_names=global_set,
+        )
+        functions[func.name] = builder.build(func.body)
+
+    # Synthesize @global_init from the global initializer expressions.
+    init_stmts: list[ast.Stmt] = []
+    for decl in program.globals:
+        if decl.init is not None:
+            init_stmts.append(
+                ast.Assign(decl.location, ast.NameRef(decl.location, decl.name), decl.init)
+            )
+    init_builder = _CallableBuilder(
+        program,
+        name=ir.IRProgram.GLOBAL_INIT,
+        params=(),
+        is_method=False,
+        class_name=None,
+        global_names=global_set,
+    )
+    functions[ir.IRProgram.GLOBAL_INIT] = init_builder.build(tuple(init_stmts))
+
+    return ir.IRProgram(classes=classes, functions=functions, global_names=global_names)
+
+
+def compile_source(source: str, filename: str = "<input>") -> ir.IRProgram:
+    """Parse and lower ``source`` in one step."""
+    from ..lang.parser import parse_program
+
+    return lower_program(parse_program(source, filename))

@@ -1,0 +1,104 @@
+"""Human-readable IR dumps, used by tests and the CLI."""
+
+from __future__ import annotations
+
+from . import model as ir
+
+
+def format_instr(instr: ir.Instr) -> str:
+    """Render one instruction as a single line (without indentation)."""
+    if isinstance(instr, ir.Const):
+        return f"r{instr.dest} = const {instr.value!r}"
+    if isinstance(instr, ir.Move):
+        return f"r{instr.dest} = r{instr.src}"
+    if isinstance(instr, ir.UnOp):
+        return f"r{instr.dest} = {instr.op} r{instr.src}"
+    if isinstance(instr, ir.BinOp):
+        return f"r{instr.dest} = r{instr.lhs} {instr.op} r{instr.rhs}"
+    if isinstance(instr, ir.New):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        stack = " [stack]" if instr.on_stack else ""
+        raw = " [skip-init]" if instr.skip_init else ""
+        return f"r{instr.dest} = new {instr.class_name}({args}){stack}{raw}"
+    if isinstance(instr, ir.NewArray):
+        layout = f" inline[{instr.inline_layout}]" if instr.inline_layout else ""
+        parallel = " parallel" if instr.parallel_layout else ""
+        return f"r{instr.dest} = newarray r{instr.size}{layout}{parallel}"
+    if isinstance(instr, ir.GetField):
+        return f"r{instr.dest} = r{instr.obj}.{instr.field_name}"
+    if isinstance(instr, ir.SetField):
+        return f"r{instr.obj}.{instr.field_name} = r{instr.src}"
+    if isinstance(instr, ir.GetIndex):
+        return f"r{instr.dest} = r{instr.array}[r{instr.index}]"
+    if isinstance(instr, ir.SetIndex):
+        return f"r{instr.array}[r{instr.index}] = r{instr.src}"
+    if isinstance(instr, ir.ArrayLen):
+        return f"r{instr.dest} = len r{instr.array}"
+    if isinstance(instr, ir.CallMethod):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        return f"r{instr.dest} = send r{instr.recv}.{instr.method_name}({args})"
+    if isinstance(instr, ir.CallStatic):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        return (
+            f"r{instr.dest} = call r{instr.recv}"
+            f" {instr.class_name}::{instr.method_name}({args})"
+        )
+    if isinstance(instr, ir.CallFunction):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        return f"r{instr.dest} = call {instr.func_name}({args})"
+    if isinstance(instr, ir.CallBuiltin):
+        args = ", ".join(f"r{a}" for a in instr.args)
+        return f"r{instr.dest} = builtin {instr.builtin_name}({args})"
+    if isinstance(instr, ir.GetGlobal):
+        return f"r{instr.dest} = global {instr.name}"
+    if isinstance(instr, ir.SetGlobal):
+        return f"global {instr.name} = r{instr.src}"
+    if isinstance(instr, ir.GetFieldIndexed):
+        return (
+            f"r{instr.dest} = r{instr.obj}.{instr.base_field}"
+            f"[r{instr.index} of {instr.length}]"
+        )
+    if isinstance(instr, ir.SetFieldIndexed):
+        return (
+            f"r{instr.obj}.{instr.base_field}[r{instr.index} of {instr.length}]"
+            f" = r{instr.src}"
+        )
+    if isinstance(instr, ir.MakeView):
+        return f"r{instr.dest} = view r{instr.array}[r{instr.index}] : {instr.class_name}"
+    if isinstance(instr, ir.Jump):
+        return f"jump B{instr.target}"
+    if isinstance(instr, ir.Branch):
+        return f"branch r{instr.cond} ? B{instr.then_target} : B{instr.else_target}"
+    if isinstance(instr, ir.Return):
+        return "return" if instr.src is None else f"return r{instr.src}"
+    raise TypeError(f"unknown instruction {type(instr).__name__}")
+
+
+def format_callable(callable_: ir.IRCallable) -> str:
+    """Render a whole callable as labelled basic blocks."""
+    lines = [f"{callable_.name}({', '.join(callable_.params)}) [{callable_.num_regs} regs]"]
+    for index, block in enumerate(callable_.blocks):
+        lines.append(f"  B{index}:")
+        for instr in block.instrs:
+            lines.append(f"    {format_instr(instr)}")
+    return "\n".join(lines)
+
+
+def format_program(program: ir.IRProgram) -> str:
+    """Render every class and function of the program."""
+    lines: list[str] = []
+    for cls in program.classes.values():
+        superclass = f" : {cls.superclass}" if cls.superclass else ""
+        lines.append(f"class {cls.name}{superclass} {{ fields: {', '.join(cls.fields)} }}")
+        for info in cls.inlined_state.values():
+            pairs = ", ".join(f"{c}->{f}" for c, f in info.state_fields)
+            lines.append(f"  inlined {info.field_name}: {info.child_class} [{pairs}]")
+        for method in cls.methods.values():
+            lines.append(_indent(format_callable(method)))
+    for func in program.functions.values():
+        lines.append(format_callable(func))
+    return "\n".join(lines)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

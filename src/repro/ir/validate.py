@@ -1,0 +1,102 @@
+"""IR well-formedness checks.
+
+Run after lowering and after every transformation pass; a validation
+failure indicates a compiler bug, so failures raise
+:class:`ValidationError` with enough context to locate the problem.
+"""
+
+from __future__ import annotations
+
+from . import model as ir
+
+
+class ValidationError(Exception):
+    """Raised when an IR invariant is violated."""
+
+
+def validate_callable(callable_: ir.IRCallable, program: ir.IRProgram | None = None) -> None:
+    """Check structural invariants of one callable."""
+    name = callable_.name
+    if not callable_.blocks:
+        raise ValidationError(f"{name}: no blocks")
+    num_blocks = len(callable_.blocks)
+    seen_uids: set[int] = set()
+    for block_index, block in enumerate(callable_.blocks):
+        if not block.instrs:
+            raise ValidationError(f"{name}: block B{block_index} is empty")
+        for pos, instr in enumerate(block.instrs):
+            if instr.uid in seen_uids:
+                raise ValidationError(f"{name}: duplicate uid {instr.uid}")
+            seen_uids.add(instr.uid)
+            is_term = isinstance(instr, ir.TERMINATORS)
+            is_last = pos == len(block.instrs) - 1
+            if is_term and not is_last:
+                raise ValidationError(
+                    f"{name}: terminator mid-block in B{block_index} at {pos}"
+                )
+            if is_last and not is_term:
+                raise ValidationError(f"{name}: block B{block_index} lacks terminator")
+            for reg in instr.sources():
+                if not (0 <= reg < callable_.num_regs):
+                    raise ValidationError(
+                        f"{name}: source register r{reg} out of range in B{block_index}"
+                    )
+            dest = instr.dst
+            if dest is not None and not (0 <= dest < callable_.num_regs):
+                raise ValidationError(
+                    f"{name}: dest register r{dest} out of range in B{block_index}"
+                )
+        for successor in block.successors():
+            if not (0 <= successor < num_blocks):
+                raise ValidationError(
+                    f"{name}: jump target B{successor} out of range in B{block_index}"
+                )
+
+    if program is not None:
+        _validate_references(callable_, program)
+
+
+def _validate_references(callable_: ir.IRCallable, program: ir.IRProgram) -> None:
+    """Check that names mentioned by instructions exist in the program."""
+    name = callable_.name
+    for instr in callable_.instructions():
+        if isinstance(instr, ir.New):
+            if instr.class_name not in program.classes:
+                raise ValidationError(f"{name}: new of unknown class {instr.class_name!r}")
+        elif isinstance(instr, ir.CallFunction):
+            if instr.func_name not in program.functions:
+                raise ValidationError(
+                    f"{name}: call of unknown function {instr.func_name!r}"
+                )
+        elif isinstance(instr, ir.CallStatic):
+            cls = program.classes.get(instr.class_name)
+            if cls is None:
+                raise ValidationError(
+                    f"{name}: static call into unknown class {instr.class_name!r}"
+                )
+            if program.resolve_method(instr.class_name, instr.method_name) is None:
+                raise ValidationError(
+                    f"{name}: static call to missing method "
+                    f"{instr.class_name}::{instr.method_name}"
+                )
+        elif isinstance(instr, (ir.GetGlobal, ir.SetGlobal)):
+            if instr.name not in program.global_names:
+                raise ValidationError(f"{name}: unknown global {instr.name!r}")
+        elif isinstance(instr, ir.MakeView):
+            if instr.class_name not in program.classes:
+                raise ValidationError(
+                    f"{name}: view of unknown class {instr.class_name!r}"
+                )
+
+
+def validate_program(program: ir.IRProgram) -> None:
+    """Validate every callable plus program-level invariants."""
+    for cls in program.classes.values():
+        if cls.superclass is not None and cls.superclass not in program.classes:
+            raise ValidationError(
+                f"class {cls.name!r}: unknown superclass {cls.superclass!r}"
+            )
+    for callable_ in program.callables():
+        validate_callable(callable_, program)
+    if program.GLOBAL_INIT not in program.functions:
+        raise ValidationError("missing @global_init")

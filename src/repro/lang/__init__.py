@@ -1,0 +1,26 @@
+"""Front end for mini-ICC++, the uniform-object-model language the
+reproduction compiles.
+
+Public surface:
+
+- :func:`tokenize` — lex a source string
+- :func:`parse_program` — lex + parse into an AST
+- :mod:`repro.lang.ast` — the AST node classes
+- the error types in :mod:`repro.lang.errors`
+"""
+
+from . import ast
+from .errors import LexError, ParseError, ReproError, SemanticError, SourceLocation
+from .lexer import tokenize
+from .parser import parse_program
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse_program",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "ReproError",
+    "SourceLocation",
+]

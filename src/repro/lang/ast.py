@@ -1,0 +1,276 @@
+"""Abstract syntax tree for mini-ICC++.
+
+The AST is a plain dataclass hierarchy.  Nodes carry their source location
+so later phases can produce located diagnostics.  The tree is immutable by
+convention (phases build new structures rather than mutating it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+
+
+@dataclass(frozen=True, slots=True)
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class FloatLiteral(Expr):
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NilLiteral(Expr):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class NameRef(Expr):
+    """A reference to a local variable, parameter, or global."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ThisRef(Expr):
+    """``this`` inside a method body."""
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAccess(Expr):
+    """``obj.field`` read."""
+
+    obj: Expr
+    field_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class IndexAccess(Expr):
+    """``arr[index]`` read."""
+
+    array: Expr
+    index: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp(Expr):
+    """``-x`` or ``!x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison, or short-circuit logical operation.
+
+    ``&&`` and ``||`` short-circuit; the lowering phase expands them into
+    control flow.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class NewObject(Expr):
+    """``new C(args...)`` — allocate and run the ``init`` constructor."""
+
+    class_name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MethodCall(Expr):
+    """``obj.name(args...)`` — dynamically dispatched send."""
+
+    receiver: Expr
+    method_name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SuperCall(Expr):
+    """``super.name(args...)`` — statically bound call to a superclass method."""
+
+    method_name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expr):
+    """``name(args...)`` — call of a top-level function or builtin."""
+
+    func_name: str
+    args: tuple[Expr, ...]
+
+
+# ----------------------------------------------------------------------
+# Statements.
+
+
+@dataclass(frozen=True, slots=True)
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Stmt):
+    """``var name = init;`` — declares a local (or global at top level)."""
+
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """``target = value;`` where target is a name, field, or index."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class For(Stmt):
+    """C-style ``for (init; cond; step) body``; every header part optional."""
+
+    init: Stmt | None
+    condition: Expr | None
+    step: Stmt | None
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Block(Stmt):
+    """A nested ``{ ... }`` scope."""
+
+    body: tuple[Stmt, ...]
+
+
+# ----------------------------------------------------------------------
+# Declarations.
+
+
+@dataclass(frozen=True, slots=True)
+class FieldDecl(Node):
+    """``var [inline] name;`` inside a class.
+
+    ``declared_inline`` mirrors a C++ programmer writing the member as a
+    by-value object; the uniform model ignores it, but the manual-inlining
+    baseline and Figure 14 consume it.
+    """
+
+    name: str
+    declared_inline: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MethodDecl(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassDecl(Node):
+    name: str
+    superclass: str | None
+    fields: tuple[FieldDecl, ...]
+    methods: tuple[MethodDecl, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionDecl(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecl(Node):
+    name: str
+    init: Expr | None
+
+
+@dataclass(frozen=True, slots=True)
+class Program(Node):
+    """A whole compilation unit."""
+
+    classes: tuple[ClassDecl, ...]
+    functions: tuple[FunctionDecl, ...]
+    globals: tuple[GlobalDecl, ...] = field(default=())
+
+    def find_class(self, name: str) -> ClassDecl | None:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+    def find_function(self, name: str) -> FunctionDecl | None:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        return None

@@ -1,0 +1,64 @@
+"""Diagnostics for the mini-ICC++ front end.
+
+Every error raised while processing a source program carries a
+:class:`SourceLocation` so tools (tests, the CLI, the benchmark harness) can
+point at the offending text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A position in a source file: 1-based line and column."""
+
+    line: int
+    column: int
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for synthesized nodes that have no source position.
+UNKNOWN_LOCATION = SourceLocation(0, 0, "<synthetic>")
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro toolchain."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters malformed input."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"{location}: {message}")
+        self.raw_message = message
+        self.location = location
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters a syntactically invalid program."""
+
+    def __init__(self, message: str, location: SourceLocation) -> None:
+        super().__init__(f"{location}: {message}")
+        self.raw_message = message
+        self.location = location
+
+
+class SemanticError(ReproError):
+    """Raised during lowering for statically detectable semantic errors.
+
+    Examples: duplicate class names, `this` outside a method, assignment to
+    an undeclared variable, unknown superclass.
+    """
+
+    def __init__(self, message: str, location: SourceLocation = UNKNOWN_LOCATION) -> None:
+        if location is UNKNOWN_LOCATION:
+            super().__init__(message)
+        else:
+            super().__init__(f"{location}: {message}")
+        self.raw_message = message
+        self.location = location

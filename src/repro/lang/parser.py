@@ -1,0 +1,431 @@
+"""Recursive-descent parser for mini-ICC++.
+
+Grammar (EBNF, ``//`` and ``/* */`` comments are trivia):
+
+    program     := (class_decl | func_decl | global_decl)* EOF
+    class_decl  := 'class' NAME (':' NAME)? '{' member* '}'
+    member      := 'var' 'inline'? NAME ';' | method_decl
+    method_decl := 'def' NAME '(' params? ')' block
+    func_decl   := 'def' NAME '(' params? ')' block
+    global_decl := 'var' NAME ('=' expr)? ';'
+    block       := '{' stmt* '}'
+    stmt        := var_stmt | if | while | for | return | break ';'
+                 | continue ';' | block | expr_or_assign ';'
+    expr_or_assign := expr ('=' expr)?
+    expr        := or_expr
+    or_expr     := and_expr ('||' and_expr)*
+    and_expr    := eq_expr ('&&' eq_expr)*
+    eq_expr     := rel_expr (('=='|'!=') rel_expr)*
+    rel_expr    := add_expr (('<'|'<='|'>'|'>=') add_expr)*
+    add_expr    := mul_expr (('+'|'-') mul_expr)*
+    mul_expr    := unary (('*'|'/'|'%') unary)*
+    unary       := ('-'|'!') unary | postfix
+    postfix     := primary ( '.' NAME ('(' args? ')')?
+                           | '[' expr ']' )*
+    primary     := INT | FLOAT | STRING | 'true' | 'false' | 'nil'
+                 | 'this' | 'new' NAME '(' args? ')'
+                 | 'super' '.' NAME '(' args? ')'
+                 | NAME ('(' args? ')')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import ParseError, SourceLocation
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+class Parser:
+    """Parses one token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers.
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _match(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        if self._at(kind):
+            return self._advance()
+        actual = self._peek()
+        raise ParseError(
+            f"expected {kind.value!r} {context}, found {actual.text!r}",
+            actual.location,
+        )
+
+    def _loc(self) -> SourceLocation:
+        return self._peek().location
+
+    # ------------------------------------------------------------------
+    # Top level.
+
+    def parse_program(self) -> ast.Program:
+        classes: list[ast.ClassDecl] = []
+        functions: list[ast.FunctionDecl] = []
+        globals_: list[ast.GlobalDecl] = []
+        loc = self._loc()
+        while not self._at(TokenKind.EOF):
+            if self._at(TokenKind.CLASS):
+                classes.append(self._parse_class())
+            elif self._at(TokenKind.DEF):
+                functions.append(self._parse_function())
+            elif self._at(TokenKind.VAR):
+                globals_.append(self._parse_global())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected 'class', 'def', or 'var' at top level, found {token.text!r}",
+                    token.location,
+                )
+        return ast.Program(loc, tuple(classes), tuple(functions), tuple(globals_))
+
+    def _parse_class(self) -> ast.ClassDecl:
+        loc = self._expect(TokenKind.CLASS, "to start class declaration").location
+        name = self._expect(TokenKind.NAME, "after 'class'").text
+        superclass: str | None = None
+        if self._match(TokenKind.COLON):
+            superclass = self._expect(TokenKind.NAME, "after ':'").text
+        self._expect(TokenKind.LBRACE, "to open class body")
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.MethodDecl] = []
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.VAR):
+                fields.append(self._parse_field())
+            elif self._at(TokenKind.DEF):
+                methods.append(self._parse_method())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected 'var' or 'def' in class body, found {token.text!r}",
+                    token.location,
+                )
+        self._expect(TokenKind.RBRACE, "to close class body")
+        return ast.ClassDecl(loc, name, superclass, tuple(fields), tuple(methods))
+
+    def _parse_field(self) -> ast.FieldDecl:
+        loc = self._expect(TokenKind.VAR, "to start field declaration").location
+        declared_inline = self._match(TokenKind.INLINE) is not None
+        name = self._expect(TokenKind.NAME, "in field declaration").text
+        self._expect(TokenKind.SEMICOLON, "after field declaration")
+        return ast.FieldDecl(loc, name, declared_inline)
+
+    def _parse_method(self) -> ast.MethodDecl:
+        loc = self._expect(TokenKind.DEF, "to start method").location
+        name = self._expect(TokenKind.NAME, "after 'def'").text
+        params = self._parse_params()
+        body = self._parse_block_body()
+        return ast.MethodDecl(loc, name, params, body)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        loc = self._expect(TokenKind.DEF, "to start function").location
+        name = self._expect(TokenKind.NAME, "after 'def'").text
+        params = self._parse_params()
+        body = self._parse_block_body()
+        return ast.FunctionDecl(loc, name, params, body)
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        loc = self._expect(TokenKind.VAR, "to start global declaration").location
+        name = self._expect(TokenKind.NAME, "in global declaration").text
+        init: ast.Expr | None = None
+        if self._match(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after global declaration")
+        return ast.GlobalDecl(loc, name, init)
+
+    def _parse_params(self) -> tuple[str, ...]:
+        self._expect(TokenKind.LPAREN, "to open parameter list")
+        params: list[str] = []
+        if not self._at(TokenKind.RPAREN):
+            params.append(self._expect(TokenKind.NAME, "parameter name").text)
+            while self._match(TokenKind.COMMA):
+                params.append(self._expect(TokenKind.NAME, "parameter name").text)
+        self._expect(TokenKind.RPAREN, "to close parameter list")
+        seen: set[str] = set()
+        for param in params:
+            if param in seen:
+                raise ParseError(f"duplicate parameter {param!r}", self._loc())
+            seen.add(param)
+        return tuple(params)
+
+    # ------------------------------------------------------------------
+    # Statements.
+
+    def _parse_block_body(self) -> tuple[ast.Stmt, ...]:
+        self._expect(TokenKind.LBRACE, "to open block")
+        stmts: list[ast.Stmt] = []
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.EOF):
+                raise ParseError("unterminated block", self._loc())
+            stmts.append(self._parse_stmt())
+        self._expect(TokenKind.RBRACE, "to close block")
+        return tuple(stmts)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        kind = self._peek().kind
+        if kind is TokenKind.VAR:
+            return self._parse_var_stmt()
+        if kind is TokenKind.IF:
+            return self._parse_if()
+        if kind is TokenKind.WHILE:
+            return self._parse_while()
+        if kind is TokenKind.FOR:
+            return self._parse_for()
+        if kind is TokenKind.RETURN:
+            return self._parse_return()
+        if kind is TokenKind.BREAK:
+            loc = self._advance().location
+            self._expect(TokenKind.SEMICOLON, "after 'break'")
+            return ast.Break(loc)
+        if kind is TokenKind.CONTINUE:
+            loc = self._advance().location
+            self._expect(TokenKind.SEMICOLON, "after 'continue'")
+            return ast.Continue(loc)
+        if kind is TokenKind.LBRACE:
+            loc = self._loc()
+            return ast.Block(loc, self._parse_block_body())
+        stmt = self._parse_expr_or_assign()
+        self._expect(TokenKind.SEMICOLON, "after statement")
+        return stmt
+
+    def _parse_var_stmt(self) -> ast.VarDecl:
+        loc = self._expect(TokenKind.VAR, "to start variable declaration").location
+        name = self._expect(TokenKind.NAME, "in variable declaration").text
+        init: ast.Expr | None = None
+        if self._match(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after variable declaration")
+        return ast.VarDecl(loc, name, init)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._expect(TokenKind.IF, "").location
+        self._expect(TokenKind.LPAREN, "after 'if'")
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "after if condition")
+        then_body = self._parse_stmt_as_body()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self._match(TokenKind.ELSE):
+            else_body = self._parse_stmt_as_body()
+        return ast.If(loc, condition, then_body, else_body)
+
+    def _parse_stmt_as_body(self) -> tuple[ast.Stmt, ...]:
+        """Parse either a braced block or a single statement as a body."""
+        if self._at(TokenKind.LBRACE):
+            return self._parse_block_body()
+        return (self._parse_stmt(),)
+
+    def _parse_while(self) -> ast.While:
+        loc = self._expect(TokenKind.WHILE, "").location
+        self._expect(TokenKind.LPAREN, "after 'while'")
+        condition = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "after while condition")
+        body = self._parse_stmt_as_body()
+        return ast.While(loc, condition, body)
+
+    def _parse_for(self) -> ast.For:
+        loc = self._expect(TokenKind.FOR, "").location
+        self._expect(TokenKind.LPAREN, "after 'for'")
+        init: ast.Stmt | None = None
+        if not self._at(TokenKind.SEMICOLON):
+            if self._at(TokenKind.VAR):
+                init = self._parse_var_stmt()
+            else:
+                init = self._parse_expr_or_assign()
+                self._expect(TokenKind.SEMICOLON, "after for-init")
+        else:
+            self._advance()
+        condition: ast.Expr | None = None
+        if not self._at(TokenKind.SEMICOLON):
+            condition = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after for-condition")
+        step: ast.Stmt | None = None
+        if not self._at(TokenKind.RPAREN):
+            step = self._parse_expr_or_assign()
+        self._expect(TokenKind.RPAREN, "after for header")
+        body = self._parse_stmt_as_body()
+        return ast.For(loc, init, condition, step, body)
+
+    def _parse_return(self) -> ast.Return:
+        loc = self._expect(TokenKind.RETURN, "").location
+        value: ast.Expr | None = None
+        if not self._at(TokenKind.SEMICOLON):
+            value = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "after 'return'")
+        return ast.Return(loc, value)
+
+    def _parse_expr_or_assign(self) -> ast.Stmt:
+        loc = self._loc()
+        expr = self._parse_expr()
+        if self._match(TokenKind.ASSIGN):
+            if not isinstance(expr, (ast.NameRef, ast.FieldAccess, ast.IndexAccess)):
+                raise ParseError("invalid assignment target", loc)
+            value = self._parse_expr()
+            return ast.Assign(loc, expr, value)
+        return ast.ExprStmt(loc, expr)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing via stratified productions).
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._at(TokenKind.OR):
+            loc = self._advance().location
+            right = self._parse_and()
+            left = ast.BinaryOp(loc, "||", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_eq()
+        while self._at(TokenKind.AND):
+            loc = self._advance().location
+            right = self._parse_eq()
+            left = ast.BinaryOp(loc, "&&", left, right)
+        return left
+
+    def _parse_eq(self) -> ast.Expr:
+        left = self._parse_rel()
+        while self._peek().kind in (TokenKind.EQ, TokenKind.NE):
+            token = self._advance()
+            right = self._parse_rel()
+            left = ast.BinaryOp(token.location, token.text, left, right)
+        return left
+
+    def _parse_rel(self) -> ast.Expr:
+        left = self._parse_add()
+        while self._peek().kind in (
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+        ):
+            token = self._advance()
+            right = self._parse_add()
+            left = ast.BinaryOp(token.location, token.text, left, right)
+        return left
+
+    def _parse_add(self) -> ast.Expr:
+        left = self._parse_mul()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self._advance()
+            right = self._parse_mul()
+            left = ast.BinaryOp(token.location, token.text, left, right)
+        return left
+
+    def _parse_mul(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH, TokenKind.PERCENT):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.BinaryOp(token.location, token.text, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._peek().kind in (TokenKind.MINUS, TokenKind.NOT):
+            token = self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(token.location, token.text, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._at(TokenKind.DOT):
+                loc = self._advance().location
+                name = self._expect(TokenKind.NAME, "after '.'").text
+                if self._at(TokenKind.LPAREN):
+                    args = self._parse_args()
+                    expr = ast.MethodCall(loc, expr, name, args)
+                else:
+                    expr = ast.FieldAccess(loc, expr, name)
+            elif self._at(TokenKind.LBRACKET):
+                loc = self._advance().location
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET, "after array index")
+                expr = ast.IndexAccess(loc, expr, index)
+            else:
+                return expr
+
+    def _parse_args(self) -> tuple[ast.Expr, ...]:
+        self._expect(TokenKind.LPAREN, "to open argument list")
+        args: list[ast.Expr] = []
+        if not self._at(TokenKind.RPAREN):
+            args.append(self._parse_expr())
+            while self._match(TokenKind.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN, "to close argument list")
+        return tuple(args)
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLiteral(token.location, token.value)
+        if kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLiteral(token.location, token.value)
+        if kind is TokenKind.STRING:
+            self._advance()
+            return ast.StringLiteral(token.location, token.value)
+        if kind is TokenKind.TRUE:
+            self._advance()
+            return ast.BoolLiteral(token.location, True)
+        if kind is TokenKind.FALSE:
+            self._advance()
+            return ast.BoolLiteral(token.location, False)
+        if kind is TokenKind.NIL:
+            self._advance()
+            return ast.NilLiteral(token.location)
+        if kind is TokenKind.THIS:
+            self._advance()
+            return ast.ThisRef(token.location)
+        if kind is TokenKind.NEW:
+            self._advance()
+            name = self._expect(TokenKind.NAME, "after 'new'").text
+            args = self._parse_args()
+            return ast.NewObject(token.location, name, args)
+        if kind is TokenKind.SUPER:
+            self._advance()
+            self._expect(TokenKind.DOT, "after 'super'")
+            name = self._expect(TokenKind.NAME, "after 'super.'").text
+            args = self._parse_args()
+            return ast.SuperCall(token.location, name, args)
+        if kind is TokenKind.NAME:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                args = self._parse_args()
+                return ast.FunctionCall(token.location, token.value, args)
+            return ast.NameRef(token.location, token.value)
+        if kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "to close parenthesized expression")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.location)
+
+
+def parse_program(source: str, filename: str = "<input>") -> ast.Program:
+    """Lex and parse ``source`` into a :class:`repro.lang.ast.Program`."""
+    return Parser(tokenize(source, filename)).parse_program()

@@ -1,0 +1,108 @@
+"""Token definitions for the mini-ICC++ lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Every distinct token the lexer can produce."""
+
+    # Literals / identifiers.
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    NAME = "name"
+
+    # Keywords.
+    CLASS = "class"
+    VAR = "var"
+    DEF = "def"
+    INLINE = "inline"
+    NEW = "new"
+    THIS = "this"
+    SUPER = "super"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    FOR = "for"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    TRUE = "true"
+    FALSE = "false"
+    NIL = "nil"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    DOT = "."
+    COLON = ":"
+
+    # Operators.
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    EOF = "<eof>"
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    "class": TokenKind.CLASS,
+    "var": TokenKind.VAR,
+    "def": TokenKind.DEF,
+    "inline": TokenKind.INLINE,
+    "new": TokenKind.NEW,
+    "this": TokenKind.THIS,
+    "super": TokenKind.SUPER,
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "while": TokenKind.WHILE,
+    "for": TokenKind.FOR,
+    "return": TokenKind.RETURN,
+    "break": TokenKind.BREAK,
+    "continue": TokenKind.CONTINUE,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "nil": TokenKind.NIL,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexed token.
+
+    ``value`` carries the decoded payload for literal tokens (``int`` for
+    INT, ``float`` for FLOAT, the unescaped text for STRING) and the
+    identifier text for NAME tokens; it is ``None`` for punctuation.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: object = None
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.location}"

@@ -1,0 +1,15 @@
+"""Classic scalar optimizations the Concert compiler applied around object
+inlining: method inlining (procedure integration) and field-load caching."""
+
+from .dce import DCEStats, eliminate_dead_code
+from .inliner import InlinerStats, inline_methods
+from .loadcse import LoadCSEStats, eliminate_redundant_loads
+
+__all__ = [
+    "DCEStats",
+    "eliminate_dead_code",
+    "eliminate_redundant_loads",
+    "inline_methods",
+    "InlinerStats",
+    "LoadCSEStats",
+]

@@ -1,0 +1,82 @@
+"""Dead-code elimination.
+
+Removes pure instructions whose results are never used: the residue the
+other passes leave behind (the ``Move`` a field elision turns into, loads
+made redundant by CSE, argument-shuffling moves from method inlining) and
+— the payoff the paper describes — *dead allocations*: a ``new`` whose
+object was copied into its inlined slot and is referenced nowhere else.
+
+Purity here means "no observable effect on a non-erroring execution":
+reads, arithmetic, moves, view construction, and initializer-free
+allocations.  Calls, stores, terminators, and ``new`` with an attached
+constructor call stay.  Iterates to a fixpoint (removing a move can kill
+its source's last use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import model as ir
+
+_PURE = (
+    ir.Const,
+    ir.Move,
+    ir.UnOp,
+    ir.BinOp,
+    ir.GetField,
+    ir.GetFieldIndexed,
+    ir.GetIndex,
+    ir.ArrayLen,
+    ir.GetGlobal,
+    ir.MakeView,
+)
+
+
+@dataclass(slots=True)
+class DCEStats:
+    instructions_removed: int = 0
+    allocations_removed: int = 0
+
+
+def _is_removable(instr: ir.Instr, used: set[int]) -> bool:
+    dest = instr.dst
+    if dest is None or dest in used:
+        return False
+    if isinstance(instr, _PURE):
+        return True
+    if isinstance(instr, ir.New) and instr.skip_init:
+        # Allocation with no constructor side effects: dead if unused.
+        return True
+    if isinstance(instr, ir.NewArray):
+        return True
+    return False
+
+
+def _sweep_callable(callable_: ir.IRCallable, stats: DCEStats) -> None:
+    while True:
+        used: set[int] = set(range(callable_.num_formals))
+        for instr in callable_.instructions():
+            used.update(instr.sources())
+        removed = 0
+        for block in callable_.blocks:
+            kept: list[ir.Instr] = []
+            for instr in block.instrs:
+                if _is_removable(instr, used):
+                    removed += 1
+                    if isinstance(instr, (ir.New, ir.NewArray)):
+                        stats.allocations_removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        if removed == 0:
+            return
+        stats.instructions_removed += removed
+
+
+def eliminate_dead_code(program: ir.IRProgram) -> DCEStats:
+    """Run DCE over every callable (mutates ``program``)."""
+    stats = DCEStats()
+    for callable_ in program.callables():
+        _sweep_callable(callable_, stats)
+    return stats

@@ -1,0 +1,40 @@
+"""The VM substrate: simulated heap, cache simulator, cost model, interpreter."""
+
+from .builtins import BuiltinError, call_builtin
+from .cache import CacheConfig, CacheSimulator, CacheStats
+from .costmodel import CostModel, ExecutionStats
+from .heap import ARRAY_HEADER, Heap, HeapError, HeapStats, OBJECT_HEADER, SLOT_SIZE
+from .interp import Interpreter, ReproRuntimeError, RunResult, StepLimitExceeded, run_program
+from .profiler import CallableProfile, ProfileReport, ProfilingInterpreter, profile_program
+from .values import ArrayRef, ObjectRef, Value, ViewRef, format_value, is_truthy
+
+__all__ = [
+    "ARRAY_HEADER",
+    "ArrayRef",
+    "BuiltinError",
+    "CacheConfig",
+    "CacheSimulator",
+    "CacheStats",
+    "CallableProfile",
+    "profile_program",
+    "ProfileReport",
+    "ProfilingInterpreter",
+    "call_builtin",
+    "CostModel",
+    "ExecutionStats",
+    "format_value",
+    "Heap",
+    "HeapError",
+    "HeapStats",
+    "Interpreter",
+    "is_truthy",
+    "OBJECT_HEADER",
+    "ObjectRef",
+    "ReproRuntimeError",
+    "RunResult",
+    "run_program",
+    "SLOT_SIZE",
+    "StepLimitExceeded",
+    "Value",
+    "ViewRef",
+]

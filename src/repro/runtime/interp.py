@@ -1,0 +1,577 @@
+"""The VM: a direct interpreter for the CFG IR.
+
+The interpreter doubles as the paper's performance substrate.  Every heap
+access goes through the simulated :class:`~repro.runtime.heap.Heap` and the
+:class:`~repro.runtime.cache.CacheSimulator`, and every executed
+instruction updates :class:`~repro.runtime.costmodel.ExecutionStats`; the
+cost model then turns these counters into a cycle estimate.
+
+Both the uniform-model program and the object-inlined program run on this
+same VM, so the relative performance between them is attributable entirely
+to the transformation (fewer dereferences, fewer allocations, static
+dispatch, better locality).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from ..ir import model as ir
+from ..lang.errors import SourceLocation
+from .builtins import BuiltinError, call_builtin
+from .cache import CacheConfig, CacheSimulator
+from .costmodel import CostModel, ExecutionStats
+from .heap import Heap, HeapError
+from .values import ArrayRef, ObjectRef, Value, ViewRef, format_value, is_truthy
+
+
+class ReproRuntimeError(Exception):
+    """A mini-ICC++ runtime error (type error, missing method, ...)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        if location is not None and location.line:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+        self.raw_message = message
+        self.location = location
+
+
+class StepLimitExceeded(ReproRuntimeError):
+    """Raised when execution exceeds the configured instruction budget."""
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything observable about one program run."""
+
+    output: list[str]
+    stats: ExecutionStats
+    heap: Heap
+    globals: dict[str, Value]
+    return_value: Value = None
+
+    def cycles(self, model: CostModel | None = None) -> int:
+        return self.stats.cycles(model)
+
+
+@dataclass(slots=True)
+class _Frame:
+    regs: list[Value]
+
+
+class Interpreter:
+    """Executes an :class:`~repro.ir.model.IRProgram`."""
+
+    def __init__(
+        self,
+        program: ir.IRProgram,
+        cache_config: CacheConfig | None = None,
+        max_steps: int = 500_000_000,
+    ) -> None:
+        self.program = program
+        self.heap = Heap()
+        self.cache = CacheSimulator(cache_config)
+        self.stats = ExecutionStats(cache=self.cache.stats)
+        self.globals: dict[str, Value] = {name: None for name in program.global_names}
+        self.output: list[str] = []
+        self._max_steps = max_steps
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry points.
+
+    def run(self, entry: str = ir.IRProgram.ENTRY_FUNCTION) -> RunResult:
+        """Run @global_init then ``entry`` (default ``main``)."""
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            init = self.program.functions.get(ir.IRProgram.GLOBAL_INIT)
+            if init is not None:
+                self._call(init, [])
+            entry_fn = self.program.functions.get(entry)
+            if entry_fn is None:
+                raise ReproRuntimeError(f"missing entry function {entry!r}")
+            if entry_fn.params:
+                raise ReproRuntimeError(f"entry function {entry!r} must take no arguments")
+            result = self._call(entry_fn, [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return RunResult(
+            output=self.output,
+            stats=self.stats,
+            heap=self.heap,
+            globals=self.globals,
+            return_value=result,
+        )
+
+    def call_function(self, name: str, args: list[Value]) -> Value:
+        """Call a top-level function directly (used by tests)."""
+        fn = self.program.functions.get(name)
+        if fn is None:
+            raise ReproRuntimeError(f"unknown function {name!r}")
+        return self._call(fn, args)
+
+    # ------------------------------------------------------------------
+    # Core execution.
+
+    def _call(self, callable_: ir.IRCallable, args: list[Value]) -> Value:
+        expected = callable_.num_formals
+        if len(args) != expected:
+            raise ReproRuntimeError(
+                f"{callable_.name} expects {expected} values, got {len(args)}"
+            )
+        self._depth += 1
+        if self._depth > self.stats.max_call_depth:
+            self.stats.max_call_depth = self._depth
+        frame = _Frame(regs=[None] * callable_.num_regs)
+        frame.regs[: len(args)] = args
+        try:
+            return self._run_frame(callable_, frame)
+        finally:
+            self._depth -= 1
+
+    def _run_frame(self, callable_: ir.IRCallable, frame: _Frame) -> Value:
+        blocks = callable_.blocks
+        regs = frame.regs
+        stats = self.stats
+        block_index = 0
+        while True:
+            block = blocks[block_index]
+            for instr in block.instrs:
+                stats.instructions += 1
+                if stats.instructions > self._max_steps:
+                    raise StepLimitExceeded(
+                        f"exceeded {self._max_steps} instructions", instr.loc
+                    )
+                kind = type(instr)
+
+                if kind is ir.Const:
+                    regs[instr.dest] = instr.value
+                elif kind is ir.Move:
+                    regs[instr.dest] = regs[instr.src]
+                elif kind is ir.BinOp:
+                    regs[instr.dest] = self._binop(
+                        instr.op, regs[instr.lhs], regs[instr.rhs], instr.loc
+                    )
+                elif kind is ir.UnOp:
+                    regs[instr.dest] = self._unop(instr.op, regs[instr.src], instr.loc)
+                elif kind is ir.GetField:
+                    regs[instr.dest] = self._get_field(
+                        regs[instr.obj], instr.field_name, instr.loc
+                    )
+                elif kind is ir.SetField:
+                    self._set_field(
+                        regs[instr.obj], instr.field_name, regs[instr.src], instr.loc
+                    )
+                elif kind is ir.GetFieldIndexed:
+                    regs[instr.dest] = self._get_field_indexed(
+                        regs[instr.obj],
+                        instr.base_field,
+                        instr.length,
+                        regs[instr.index],
+                        instr.loc,
+                    )
+                elif kind is ir.SetFieldIndexed:
+                    self._set_field_indexed(
+                        regs[instr.obj],
+                        instr.base_field,
+                        instr.length,
+                        regs[instr.index],
+                        regs[instr.src],
+                        instr.loc,
+                    )
+                elif kind is ir.GetIndex:
+                    regs[instr.dest] = self._get_index(
+                        regs[instr.array], regs[instr.index], instr.loc
+                    )
+                elif kind is ir.SetIndex:
+                    self._set_index(
+                        regs[instr.array], regs[instr.index], regs[instr.src], instr.loc
+                    )
+                elif kind is ir.ArrayLen:
+                    array = regs[instr.array]
+                    if not isinstance(array, ArrayRef):
+                        raise ReproRuntimeError(
+                            f"len() of non-array {format_value(array)}", instr.loc
+                        )
+                    regs[instr.dest] = array.length
+                elif kind is ir.New:
+                    regs[instr.dest] = self._new_object(
+                        instr.class_name,
+                        [regs[a] for a in instr.args],
+                        instr.loc,
+                        instr.on_stack,
+                        instr.skip_init,
+                    )
+                elif kind is ir.NewArray:
+                    regs[instr.dest] = self._new_array(
+                        regs[instr.size],
+                        instr.inline_layout,
+                        instr.parallel_layout,
+                        instr.loc,
+                    )
+                elif kind is ir.MakeView:
+                    regs[instr.dest] = self._make_view(
+                        regs[instr.array], regs[instr.index], instr.class_name, instr.loc
+                    )
+                elif kind is ir.CallMethod:
+                    regs[instr.dest] = self._send(
+                        regs[instr.recv],
+                        instr.method_name,
+                        [regs[a] for a in instr.args],
+                        instr.loc,
+                    )
+                elif kind is ir.CallStatic:
+                    regs[instr.dest] = self._call_static(
+                        regs[instr.recv],
+                        instr.class_name,
+                        instr.method_name,
+                        [regs[a] for a in instr.args],
+                        instr.loc,
+                    )
+                elif kind is ir.CallFunction:
+                    fn = self.program.functions.get(instr.func_name)
+                    if fn is None:
+                        raise ReproRuntimeError(
+                            f"unknown function {instr.func_name!r}", instr.loc
+                        )
+                    stats.static_calls += 1
+                    regs[instr.dest] = self._call(fn, [regs[a] for a in instr.args])
+                elif kind is ir.CallBuiltin:
+                    stats.builtin_calls += 1
+                    try:
+                        regs[instr.dest] = call_builtin(
+                            instr.builtin_name,
+                            [regs[a] for a in instr.args],
+                            self.output,
+                        )
+                    except BuiltinError as exc:
+                        raise ReproRuntimeError(str(exc), instr.loc) from exc
+                elif kind is ir.GetGlobal:
+                    regs[instr.dest] = self.globals[instr.name]
+                elif kind is ir.SetGlobal:
+                    self.globals[instr.name] = regs[instr.src]
+                elif kind is ir.Jump:
+                    block_index = instr.target
+                    break
+                elif kind is ir.Branch:
+                    block_index = (
+                        instr.then_target
+                        if is_truthy(regs[instr.cond])
+                        else instr.else_target
+                    )
+                    break
+                elif kind is ir.Return:
+                    return None if instr.src is None else regs[instr.src]
+                else:
+                    raise ReproRuntimeError(
+                        f"unhandled instruction {kind.__name__}", instr.loc
+                    )
+            else:
+                raise ReproRuntimeError(f"{callable_.name}: fell off block B{block_index}")
+
+    # ------------------------------------------------------------------
+    # Heap operations.
+
+    def _new_object(
+        self,
+        class_name: str,
+        args: list[Value],
+        loc: SourceLocation,
+        on_stack: bool = False,
+        skip_init: bool = False,
+    ) -> Value:
+        cls = self.program.classes.get(class_name)
+        if cls is None:
+            raise ReproRuntimeError(f"unknown class {class_name!r}", loc)
+        layout = tuple(self.program.layout(class_name))
+        ref = self.heap.alloc_object(class_name, layout, on_stack)
+        if on_stack:
+            # Proven non-escaping by assignment specialization: charged as a
+            # stack allocation; the (hot) stack lines are not simulated.
+            self.stats.stack_allocations += 1
+        else:
+            self.stats.allocations += 1
+            self.stats.allocated_slots += len(layout) + 1  # +1 for the header
+            self.stats.allocated_bytes += 8 + len(layout) * 8
+            self.cache.touch_range(ref.address, 8 + len(layout) * 8, is_write=True)
+
+        if skip_init:
+            return ref
+        resolved = self.program.resolve_method(class_name, "init")
+        if resolved is None:
+            if args:
+                raise ReproRuntimeError(
+                    f"class {class_name!r} has no init but got constructor args", loc
+                )
+            return ref
+        _, init = resolved
+        self.stats.static_calls += 1  # constructor calls are statically bound
+        self._call(init, [ref, *args])
+        return ref
+
+    def _new_array(
+        self,
+        size: Value,
+        inline_layout: str | None,
+        parallel: bool,
+        loc: SourceLocation,
+    ) -> Value:
+        if isinstance(size, bool) or not isinstance(size, int):
+            raise ReproRuntimeError(f"array size must be an int, got {format_value(size)}", loc)
+        if size < 0:
+            raise ReproRuntimeError(f"negative array size {size}", loc)
+        inline_fields: tuple[str, ...] = ()
+        if inline_layout is not None:
+            if inline_layout not in self.program.classes:
+                raise ReproRuntimeError(f"unknown inline class {inline_layout!r}", loc)
+            inline_fields = tuple(self.program.layout(inline_layout))
+        ref = self.heap.alloc_array(size, inline_layout, inline_fields, parallel)
+        slots = size * (len(inline_fields) if inline_layout else 1)
+        self.stats.allocations += 1
+        self.stats.allocated_slots += slots + 2  # +2 for the array header
+        self.stats.allocated_bytes += 16 + slots * 8
+        self.cache.touch_range(ref.address, 16 + slots * 8, is_write=True)
+        return ref
+
+    def _make_view(
+        self, array: Value, index: Value, class_name: str, loc: SourceLocation
+    ) -> Value:
+        if not isinstance(array, ArrayRef) or array.inline_layout is None:
+            raise ReproRuntimeError(
+                f"view into non-inline array {format_value(array)}", loc
+            )
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise ReproRuntimeError(f"view index must be an int", loc)
+        if not (0 <= index < array.length):
+            raise ReproRuntimeError(
+                f"view index {index} out of range [0, {array.length})", loc
+            )
+        return ViewRef(array, index, class_name)
+
+    def _get_field(self, obj: Value, field_name: str, loc: SourceLocation) -> Value:
+        self.stats.heap_reads += 1
+        try:
+            if isinstance(obj, ObjectRef):
+                value, address = self.heap.read_field(obj, field_name)
+            elif isinstance(obj, ViewRef):
+                value, address = self.heap.read_inline_field(
+                    obj.array, obj.index, field_name
+                )
+            else:
+                raise ReproRuntimeError(
+                    f"field access .{field_name} on non-object {format_value(obj)}", loc
+                )
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=False)
+        return value
+
+    def _set_field(
+        self, obj: Value, field_name: str, value: Value, loc: SourceLocation
+    ) -> None:
+        self.stats.heap_writes += 1
+        try:
+            if isinstance(obj, ObjectRef):
+                address = self.heap.write_field(obj, field_name, value)
+            elif isinstance(obj, ViewRef):
+                address = self.heap.write_inline_field(
+                    obj.array, obj.index, field_name, value
+                )
+            else:
+                raise ReproRuntimeError(
+                    f"field store .{field_name} on non-object {format_value(obj)}", loc
+                )
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=True)
+
+    def _get_field_indexed(
+        self, obj: Value, base_field: str, length: int, index: Value, loc: SourceLocation
+    ) -> Value:
+        if not isinstance(obj, ObjectRef):
+            raise ReproRuntimeError(
+                f"indexed field access on non-object {format_value(obj)}", loc
+            )
+        self.stats.heap_reads += 1
+        try:
+            value, address = self.heap.read_field_indexed(obj, base_field, length, index)
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=False)
+        return value
+
+    def _set_field_indexed(
+        self,
+        obj: Value,
+        base_field: str,
+        length: int,
+        index: Value,
+        value: Value,
+        loc: SourceLocation,
+    ) -> None:
+        if not isinstance(obj, ObjectRef):
+            raise ReproRuntimeError(
+                f"indexed field store on non-object {format_value(obj)}", loc
+            )
+        self.stats.heap_writes += 1
+        try:
+            address = self.heap.write_field_indexed(obj, base_field, length, index, value)
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=True)
+
+    def _get_index(self, array: Value, index: Value, loc: SourceLocation) -> Value:
+        if not isinstance(array, ArrayRef):
+            raise ReproRuntimeError(f"indexing non-array {format_value(array)}", loc)
+        self.stats.heap_reads += 1
+        try:
+            value, address = self.heap.read_element(array, index)
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=False)
+        return value
+
+    def _set_index(
+        self, array: Value, index: Value, value: Value, loc: SourceLocation
+    ) -> None:
+        if not isinstance(array, ArrayRef):
+            raise ReproRuntimeError(f"indexing non-array {format_value(array)}", loc)
+        self.stats.heap_writes += 1
+        try:
+            address = self.heap.write_element(array, index, value)
+        except HeapError as exc:
+            raise ReproRuntimeError(str(exc), loc) from exc
+        self.cache.access(address, is_write=True)
+
+    # ------------------------------------------------------------------
+    # Calls.
+
+    def _receiver_class(self, recv: Value, loc: SourceLocation) -> str:
+        if isinstance(recv, (ObjectRef, ViewRef)):
+            return recv.class_name
+        raise ReproRuntimeError(
+            f"message send to non-object {format_value(recv)}", loc
+        )
+
+    def _send(
+        self, recv: Value, method_name: str, args: list[Value], loc: SourceLocation
+    ) -> Value:
+        class_name = self._receiver_class(recv, loc)
+        resolved = self.program.resolve_method(class_name, method_name)
+        if resolved is None:
+            raise ReproRuntimeError(
+                f"class {class_name!r} does not understand {method_name!r}", loc
+            )
+        self.stats.dynamic_dispatches += 1
+        _, method = resolved
+        return self._call(method, [recv, *args])
+
+    def _call_static(
+        self,
+        recv: Value,
+        class_name: str,
+        method_name: str,
+        args: list[Value],
+        loc: SourceLocation,
+    ) -> Value:
+        resolved = self.program.resolve_method(class_name, method_name)
+        if resolved is None:
+            raise ReproRuntimeError(
+                f"no method {class_name}::{method_name}", loc
+            )
+        self.stats.static_calls += 1
+        _, method = resolved
+        return self._call(method, [recv, *args])
+
+    # ------------------------------------------------------------------
+    # Operators.
+
+    @staticmethod
+    def _is_number(value: Value) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def _binop(self, op: str, lhs: Value, rhs: Value, loc: SourceLocation) -> Value:
+        if op == "==":
+            return self._equal(lhs, rhs)
+        if op == "!=":
+            return not self._equal(lhs, rhs)
+
+        both_numbers = self._is_number(lhs) and self._is_number(rhs)
+        if op == "+":
+            if isinstance(lhs, str) and isinstance(rhs, str):
+                return lhs + rhs
+            if both_numbers:
+                return lhs + rhs
+        elif op == "-" and both_numbers:
+            return lhs - rhs
+        elif op == "*" and both_numbers:
+            return lhs * rhs
+        elif op == "/" and both_numbers:
+            if rhs == 0:
+                raise ReproRuntimeError("division by zero", loc)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                # C-style truncating integer division.
+                quotient = abs(lhs) // abs(rhs)
+                return quotient if (lhs >= 0) == (rhs >= 0) else -quotient
+            return lhs / rhs
+        elif op == "%" and both_numbers:
+            if rhs == 0:
+                raise ReproRuntimeError("modulo by zero", loc)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                # C-style: remainder takes the dividend's sign.
+                remainder = abs(lhs) % abs(rhs)
+                return remainder if lhs >= 0 else -remainder
+            import math
+
+            return math.fmod(lhs, rhs)
+        elif op in ("<", "<=", ">", ">="):
+            if both_numbers or (isinstance(lhs, str) and isinstance(rhs, str)):
+                if op == "<":
+                    return lhs < rhs
+                if op == "<=":
+                    return lhs <= rhs
+                if op == ">":
+                    return lhs > rhs
+                return lhs >= rhs
+        raise ReproRuntimeError(
+            f"invalid operands for {op!r}: {format_value(lhs)}, {format_value(rhs)}", loc
+        )
+
+    @staticmethod
+    def _equal(lhs: Value, rhs: Value) -> bool:
+        if lhs is None or rhs is None:
+            return lhs is None and rhs is None
+        if isinstance(lhs, bool) or isinstance(rhs, bool):
+            return isinstance(lhs, bool) and isinstance(rhs, bool) and lhs == rhs
+        if isinstance(lhs, (int, float)) and isinstance(rhs, (int, float)):
+            return lhs == rhs
+        if isinstance(lhs, str) and isinstance(rhs, str):
+            return lhs == rhs
+        # Reference identity for objects/arrays/views (frozen dataclass
+        # equality compares address/index/class, which is identity here).
+        if type(lhs) is type(rhs):
+            return lhs == rhs
+        return False
+
+    def _unop(self, op: str, operand: Value, loc: SourceLocation) -> Value:
+        if op == "-":
+            if self._is_number(operand):
+                return -operand
+            raise ReproRuntimeError(
+                f"unary '-' on non-number {format_value(operand)}", loc
+            )
+        if op == "!":
+            return not is_truthy(operand)
+        raise ReproRuntimeError(f"unknown unary operator {op!r}", loc)
+
+
+def run_program(
+    program: ir.IRProgram,
+    cache_config: CacheConfig | None = None,
+    max_steps: int = 500_000_000,
+) -> RunResult:
+    """Convenience wrapper: interpret ``program`` from ``main``."""
+    return Interpreter(program, cache_config, max_steps).run()

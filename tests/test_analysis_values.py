@@ -1,0 +1,146 @@
+"""Unit tests for the abstract value and tag lattices."""
+
+from repro.analysis.tags import (
+    ELEM_FIELD,
+    MAX_TAG_DEPTH,
+    MAX_TAG_WIDTH,
+    NOFIELD,
+    TOP,
+    TOP_SLOT,
+    cap_tags,
+    format_tag,
+    head,
+    head_slots,
+    has_nofield,
+    make_tag,
+)
+from repro.analysis.values import (
+    BOTTOM,
+    PRIM_BOOL,
+    PRIM_FLOAT,
+    PRIM_INT,
+    PRIM_NIL,
+    PRIM_STR,
+    AbstractVal,
+    const_atom,
+    join,
+    make_val,
+    obj_val,
+    prim_val,
+)
+
+
+class TestTags:
+    def test_nofield_has_no_head(self):
+        assert head(NOFIELD) is None
+
+    def test_make_tag_prepends(self):
+        slot = (3, "f")
+        tag = make_tag(slot, NOFIELD)
+        assert head(tag) == slot
+
+    def test_make_tag_caps_depth(self):
+        tag = NOFIELD
+        for index in range(MAX_TAG_DEPTH + 3):
+            tag = make_tag((index, "f"), tag)
+        assert len(tag) == MAX_TAG_DEPTH
+        # The most recent slot is always retained at the head.
+        assert head(tag) == (MAX_TAG_DEPTH + 2, "f")
+
+    def test_head_slots_ignores_nofield(self):
+        tags = {NOFIELD, make_tag((1, "a"), NOFIELD), make_tag((2, "b"), NOFIELD)}
+        assert head_slots(tags) == {(1, "a"), (2, "b")}
+
+    def test_has_nofield(self):
+        assert has_nofield({NOFIELD})
+        assert not has_nofield({make_tag((1, "a"), NOFIELD)})
+
+    def test_format_tag(self):
+        assert format_tag(NOFIELD) == "NoField"
+        assert "f" in format_tag(make_tag((1, "f"), NOFIELD))
+
+    def test_cap_tags_widens(self):
+        tags = frozenset(make_tag((i, "f"), NOFIELD) for i in range(MAX_TAG_WIDTH + 1))
+        assert cap_tags(tags) == frozenset({TOP})
+
+    def test_cap_tags_top_absorbs(self):
+        # Monotonicity: once TOP, always exactly {TOP}.
+        tags = frozenset({TOP, make_tag((1, "f"), NOFIELD)})
+        assert cap_tags(tags) == frozenset({TOP})
+
+    def test_cap_tags_under_width_unchanged(self):
+        tags = frozenset({NOFIELD, make_tag((1, "f"), NOFIELD)})
+        assert cap_tags(tags) == tags
+
+    def test_top_head_is_sentinel(self):
+        assert head(TOP) == TOP_SLOT
+
+    def test_elem_field_constant(self):
+        assert ELEM_FIELD.startswith("@")
+
+
+class TestAbstractVal:
+    def test_bottom(self):
+        assert BOTTOM.is_bottom()
+        assert not BOTTOM.may_be_object()
+
+    def test_prim_val(self):
+        value = prim_val(PRIM_INT, PRIM_FLOAT)
+        assert value.prims() == {PRIM_INT, PRIM_FLOAT}
+        assert not value.may_be_object()
+        assert value.object_contours() == frozenset()
+
+    def test_obj_val(self):
+        value = obj_val(7)
+        assert value.may_be_object()
+        assert value.object_contours() == {7}
+        assert NOFIELD in value.tags
+
+    def test_may_be_nil(self):
+        assert prim_val(PRIM_NIL).may_be_nil()
+        assert not prim_val(PRIM_INT).may_be_nil()
+
+    def test_make_val_drops_tags_on_prims(self):
+        value = make_val({PRIM_INT}, {NOFIELD})
+        assert value.tags == frozenset()
+
+    def test_make_val_keeps_tags_on_objects(self):
+        value = make_val({3, PRIM_NIL}, {NOFIELD})
+        assert value.tags == frozenset({NOFIELD})
+
+    def test_make_val_caps_width(self):
+        tags = {make_tag((i, "f"), NOFIELD) for i in range(MAX_TAG_WIDTH + 5)}
+        value = make_val({1}, tags)
+        assert value.tags == frozenset({TOP})
+
+    def test_join_unions(self):
+        a = obj_val(1)
+        b = obj_val(2, tags=(make_tag((9, "f"), NOFIELD),))
+        joined = join(a, b)
+        assert joined.object_contours() == {1, 2}
+        assert NOFIELD in joined.tags
+        assert make_tag((9, "f"), NOFIELD) in joined.tags
+
+    def test_join_identity(self):
+        value = obj_val(4)
+        assert join(value, BOTTOM) == value
+        assert join(value, value) == value
+
+    def test_join_monotone_under_cap(self):
+        wide = make_val({1}, {make_tag((i, "f"), NOFIELD) for i in range(MAX_TAG_WIDTH)})
+        wider = join(wide, make_val({1}, {make_tag((99, "g"), NOFIELD)}))
+        rejoined = join(wider, wide)
+        assert rejoined == wider  # TOP absorbed; no oscillation
+
+    def test_const_atom(self):
+        assert const_atom(None) == PRIM_NIL
+        assert const_atom(True) == PRIM_BOOL  # bool checked before int
+        assert const_atom(3) == PRIM_INT
+        assert const_atom(2.5) == PRIM_FLOAT
+        assert const_atom("s") == PRIM_STR
+
+    def test_hashable(self):
+        assert len({obj_val(1), obj_val(1), obj_val(2)}) == 2
+
+    def test_equality_is_structural(self):
+        assert AbstractVal(frozenset({1}), frozenset({NOFIELD})) == obj_val(1)

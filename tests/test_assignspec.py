@@ -1,0 +1,149 @@
+"""Assignment specialization (§4.2) tests: the by-value predicates."""
+
+from repro.analysis import analyze
+from repro.analysis.assignspec import AssignmentSpecializer
+from repro.ir import compile_source
+
+
+def store_verdicts(source, field_name):
+    """(ok, reason) for every store into ``field_name``."""
+    result = analyze(compile_source(source))
+    spec = AssignmentSpecializer(result)
+    verdicts = []
+    for store in result.stores:
+        if store.field_name == field_name:
+            verdicts.append(spec.store_is_by_value(store))
+    assert verdicts, f"no stores to {field_name} found"
+    return verdicts
+
+
+CONTAINER = """
+class P { var v; def init(v) { this.v = v; } }
+class C {
+  var f;
+  def init(p) { this.f = p; }
+}
+"""
+
+
+class TestPassByValue:
+    def test_fresh_local_new_passes(self):
+        verdicts = store_verdicts(
+            CONTAINER + "def main() { var c = new C(new P(1)); print(c.f.v); }",
+            "f",
+        )
+        assert all(ok for ok, _ in verdicts)
+
+    def test_fresh_via_variable_passes(self):
+        verdicts = store_verdicts(
+            CONTAINER + "def main() { var p = new P(1); var c = new C(p); print(c.f.v); }",
+            "f",
+        )
+        assert all(ok for ok, _ in verdicts)
+
+    def test_fresh_via_helper_chain_passes(self):
+        verdicts = store_verdicts(
+            CONTAINER
+            + "def build(p) { return new C(p); }\n"
+            + "def main() { var c = build(new P(1)); print(c.f.v); }",
+            "f",
+        )
+        assert all(ok for ok, _ in verdicts)
+
+    def test_factory_return_passes(self):
+        verdicts = store_verdicts(
+            CONTAINER
+            + "def make() { return new P(9); }\n"
+            + "def main() { var c = new C(make()); print(c.f.v); }",
+            "f",
+        )
+        assert all(ok for ok, _ in verdicts)
+
+    def test_use_before_store_is_allowed(self):
+        verdicts = store_verdicts(
+            CONTAINER
+            + "def main() { var p = new P(1); print(p.v); var c = new C(p); print(c.f.v); }",
+            "f",
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
+class TestRejections:
+    def test_use_after_store_fails(self):
+        verdicts = store_verdicts(
+            CONTAINER
+            + "def main() { var p = new P(1); var c = new C(p); print(p.v); }",
+            "f",
+        )
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_value_from_field_read_fails(self):
+        """The paper's List example: r.lower_left is aliased with the
+        rectangle, so it cannot be copied into another container."""
+        verdicts = store_verdicts(
+            CONTAINER
+            + "class D { var g; def init(x) { this.g = x; } }\n"
+            + "def main() {\n"
+            + "  var c = new C(new P(1));\n"
+            + "  var d = new D(c.f);\n"
+            + "  print(d.g.v);\n"
+            + "}",
+            "g",
+        )
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_stored_elsewhere_fails(self):
+        verdicts = store_verdicts(
+            CONTAINER
+            + "var keep = nil;\n"
+            + "def main() { var p = new P(1); keep = p; var c = new C(p); print(c.f.v); }",
+            "f",
+        )
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_aliased_into_two_arguments_fails(self):
+        """The paper's §2 hazard: do_rectangle called with one aliased
+        point as both arguments would change aliasing relationships."""
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class C2 {
+  var a; var b;
+  def init(x, y) { this.a = x; this.b = y; }
+}
+def main() { var p = new P(1); var c = new C2(p, p); print(c.a.v); }
+"""
+        verdicts = store_verdicts(source, "a")
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_value_returned_after_store_fails(self):
+        source = CONTAINER + """
+def build() { var p = new P(1); var c = new C(p); return p; }
+def main() { print(build().v); }
+"""
+        verdicts = store_verdicts(source, "f")
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_value_from_global_fails(self):
+        source = CONTAINER + """
+var shared = nil;
+def main() { shared = new P(1); var c = new C(shared); print(c.f.v); }
+"""
+        verdicts = store_verdicts(source, "f")
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_callee_that_stores_argument_fails(self):
+        source = CONTAINER + """
+var leak = nil;
+def remember(p) { leak = p; }
+def main() { var p = new P(1); remember(p); var c = new C(p); print(c.f.v); }
+"""
+        verdicts = store_verdicts(source, "f")
+        assert any(not ok for ok, _ in verdicts)
+
+    def test_callee_that_only_reads_argument_passes(self):
+        source = CONTAINER + """
+def peek(p) { print(p.v); }
+def main() { var p = new P(1); peek(p); var c = new C(p); print(c.f.v); }
+"""
+        verdicts = store_verdicts(source, "f")
+        assert all(ok for ok, _ in verdicts)

@@ -1,0 +1,79 @@
+"""Structural checks on the benchmark sources and their metadata."""
+
+import pytest
+
+from repro.bench.harness import BENCHMARKS, PERFORMANCE_PROGRAMS
+from repro.bench.programs import polyover
+from repro.ir import compile_source, validate_program
+from repro.ir import model as ir
+
+
+class TestSourcesCompile:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_benchmark_compiles_and_validates(self, name):
+        program = compile_source(BENCHMARKS[name][0], f"{name}.icc")
+        validate_program(program)
+
+    @pytest.mark.parametrize("name", list(PERFORMANCE_PROGRAMS))
+    def test_performance_program_compiles(self, name):
+        validate_program(compile_source(PERFORMANCE_PROGRAMS[name]))
+
+    def test_polyover_variants_share_common_code(self):
+        for variant in ("both", "array", "list"):
+            assert "class Polygon" in polyover.source(variant)
+        assert "class MCell" not in polyover.source("array")
+        assert "class GCell" not in polyover.source("list")
+
+    def test_polyover_unknown_variant(self):
+        with pytest.raises(ValueError):
+            polyover.source("bogus")
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_info_fields(self, name):
+        info = BENCHMARKS[name][1]
+        assert info.name == name
+        assert info.description
+        assert info.ideal_inlinable > 0
+        assert info.expected_accepted  # every benchmark demonstrates a win
+
+    def test_limit_benchmarks_name_rejections(self):
+        for name in ("richards", "silo", "polyover"):
+            assert BENCHMARKS[name][1].expected_rejected, name
+
+
+class TestManualAnnotations:
+    def test_richards_packet_array_declared_inline(self):
+        program = compile_source(BENCHMARKS["richards"][0])
+        assert "a2" in program.classes["Packet"].inline_fields
+        # Task.priv is the void* field: NOT declarable in C++.
+        assert "priv" not in program.classes["Task"].inline_fields
+
+    def test_silo_wrappers_declared_inline(self):
+        program = compile_source(BENCHMARKS["silo"][0])
+        assert {"waiting", "stats"} <= program.classes["Facility"].inline_fields
+        # The cons cells cannot be declared inline in C++.
+        assert not program.classes["QCell"].inline_fields
+        assert not program.classes["EvCell"].inline_fields
+
+    def test_oopack_arrays_annotated(self):
+        program = compile_source(BENCHMARKS["oopack"][0])
+        annotated = [
+            i for c in program.callables() for i in c.instructions()
+            if isinstance(i, ir.NewArray) and i.declared_inline
+        ]
+        assert len(annotated) >= 2
+
+    def test_polyover_pool_annotated(self):
+        program = compile_source(polyover.SOURCE_ARRAY)
+        annotated = [
+            i for c in program.callables() for i in c.instructions()
+            if isinstance(i, ir.NewArray) and i.declared_inline
+        ]
+        plain = [
+            i for c in program.callables() for i in c.instructions()
+            if isinstance(i, ir.NewArray) and not i.declared_inline
+        ]
+        assert annotated  # maps + cell pool
+        assert plain      # the bucket-heads array stays a plain array

@@ -1,0 +1,128 @@
+"""Benchmark-suite integration tests.
+
+These compile, optimize, and run all four paper benchmarks in every
+build configuration (cached per session) and assert the qualitative
+claims of the paper's evaluation hold — output equivalence, the Figure
+14 accept/reject sets, the known-limit rejections, and the Figure 17
+orderings.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS, field_counts, run_named, run_performance_suite
+from repro.inlining.pipeline import candidate_is_declared_inline
+
+
+@pytest.fixture(scope="session")
+def bench_runs():
+    return {name: run_named(name) for name in BENCHMARKS}
+
+
+@pytest.fixture(scope="session")
+def perf_runs():
+    return run_performance_suite()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", list(BENCHMARKS))
+    def test_all_builds_match_reference_output(self, bench_runs, name):
+        run = bench_runs[name]
+        for build in ("noinline", "inline", "manual"):
+            assert run.builds[build].run.output == run.reference_output
+
+    def test_richards_checks_canonical_counts(self, bench_runs):
+        out = bench_runs["richards"].reference_output[0]
+        assert "2322" in out and "928" in out
+
+
+class TestFigure14Claims:
+    def test_expected_accepted(self, bench_runs):
+        for name, run in bench_runs.items():
+            accepted = {c.describe() for c in run.builds["inline"].report.plan.accepted()}
+            for expected in run.info.expected_accepted:
+                assert any(expected in a for a in accepted), (name, expected, accepted)
+
+    def test_expected_rejected(self, bench_runs):
+        for name, run in bench_runs.items():
+            rejected = {c.describe() for c in run.builds["inline"].report.plan.rejected()}
+            for expected in run.info.expected_rejected:
+                assert any(expected in r for r in rejected), (name, expected, rejected)
+
+    def test_automatic_at_least_declared(self, bench_runs):
+        """'There was no field manually declared inline in C++ that our
+        analysis did not find inlinable.'"""
+        for name, run in bench_runs.items():
+            counts = field_counts(run)
+            assert counts.automatically_inlined >= counts.declared_inline_cpp, name
+
+    def test_automatic_beats_declared_where_cpp_cannot(self, bench_runs):
+        """'We did better than C++ on Silo, Richards and polyover.'"""
+        for name in ("silo", "richards", "polyover"):
+            counts = field_counts(bench_runs[name])
+            assert counts.automatically_inlined > counts.declared_inline_cpp, name
+
+    def test_automatic_within_ideal(self, bench_runs):
+        for name, run in bench_runs.items():
+            counts = field_counts(run)
+            assert counts.automatically_inlined <= counts.ideal_inlinable, name
+
+    def test_every_declared_location_is_accepted(self, bench_runs):
+        for name, run in bench_runs.items():
+            plan = run.builds["inline"].report.plan
+            for candidate in plan.candidates.values():
+                if candidate_is_declared_inline(run.program, candidate):
+                    assert candidate.accepted, (name, candidate.describe())
+
+
+class TestFigure16Claims:
+    def test_inlining_needs_at_least_baseline_sensitivity(self, bench_runs):
+        for name, run in bench_runs.items():
+            without = run.builds["noinline"].report.analysis
+            with_inl = run.builds["inline"].report.analysis
+            assert (
+                with_inl.method_contours_per_method()
+                >= without.method_contours_per_method() - 1e-9
+            ), name
+
+    def test_object_contours_stay_close(self, bench_runs):
+        """§6.2.2: object inlining required (almost) no extra object
+        contours."""
+        for name, run in bench_runs.items():
+            without = run.builds["noinline"].report.analysis.object_contour_count()
+            with_inl = run.builds["inline"].report.analysis.object_contour_count()
+            assert with_inl <= without * 1.3 + 5, name
+
+
+class TestFigure17Claims:
+    def test_inlining_never_slows_down(self, perf_runs):
+        for name, run in perf_runs.items():
+            assert run.speedup("inline") >= 0.99, name
+
+    def test_polyover_and_oopack_big_wins(self, perf_runs):
+        assert perf_runs["oopack"].speedup("inline") > 1.5
+        assert perf_runs["polyover (array)"].speedup("inline") > 1.4
+        assert perf_runs["polyover (list)"].speedup("inline") > 1.3
+
+    def test_silo_and_richards_modest_wins(self, perf_runs):
+        assert perf_runs["silo"].speedup("inline") > 1.02
+        assert perf_runs["richards"].speedup("inline") > 1.0
+
+    def test_automatic_matches_or_beats_manual(self, perf_runs):
+        """'...matching the performance of code with inline allocation
+        specified by hand.'"""
+        for name, run in perf_runs.items():
+            assert run.builds["inline"].cycles <= run.builds["manual"].cycles * 1.02, name
+
+    def test_list_variant_gain_not_expressible_manually(self, perf_runs):
+        """polyover (list): the cons-cell merging cannot be declared in
+        C++, so the manual build shows no gain while automatic does."""
+        run = perf_runs["polyover (list)"]
+        assert run.speedup("manual") < 1.02
+        assert run.speedup("inline") > 1.3
+
+    def test_allocation_reduction(self, perf_runs):
+        for name in ("oopack", "silo", "polyover (array)", "polyover (list)"):
+            run = perf_runs[name]
+            base = run.builds["noinline"].run.stats.allocations
+            opt = run.builds["inline"].run.stats.allocations
+            assert opt < base, name

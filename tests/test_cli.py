@@ -1,0 +1,71 @@
+"""CLI driver tests."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+class P { var v; def init(v) { this.v = v; } }
+class C { var f; def init(p) { this.f = p; } }
+def main() { var c = new C(new P(5)); print(c.f.v); }
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.icc"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_plain_run(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_inline_run_same_output(self, program_file, capsys):
+        assert main(["run", program_file, "--inline"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_noinline_run(self, program_file, capsys):
+        assert main(["run", program_file, "--noinline"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_manual_run(self, program_file, capsys):
+        assert main(["run", program_file, "--manual"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_stats_flag(self, program_file, capsys):
+        assert main(["run", program_file, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "cycles" in err
+
+    def test_conflicting_flags_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--inline", "--manual"])
+
+
+class TestAnalyze:
+    def test_analyze_reports_candidates(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "C.f" in out
+        assert "ACCEPT" in out
+        assert "method contours" in out
+
+
+class TestIRAndCodegen:
+    def test_ir_dump(self, program_file, capsys):
+        assert main(["ir", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out and "new C" in out
+
+    def test_ir_dump_optimized_shows_variant(self, program_file, capsys):
+        assert main(["ir", program_file, "--inline"]) == 0
+        assert "C$1" in capsys.readouterr().out
+
+    def test_codegen(self, program_file, capsys):
+        assert main(["codegen", program_file]) == 0
+        captured = capsys.readouterr()
+        assert "struct C" in captured.out
+        assert "bytes" in captured.err

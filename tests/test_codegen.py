@@ -1,0 +1,93 @@
+"""Code generator tests: reachability, folding, size accounting."""
+
+from repro.codegen import code_size, generate
+from repro.inlining.pipeline import optimize
+from repro.ir import compile_source
+
+from conftest import RECTANGLE_SOURCE
+
+
+class TestReachability:
+    def test_dead_function_not_emitted(self):
+        program = compile_source(
+            "def dead() { return 1; } def main() { print(2); }"
+        )
+        result = generate(program)
+        assert "dead" not in result.text
+        assert "main" in result.text
+
+    def test_dead_class_not_emitted(self):
+        program = compile_source(
+            "class Unused { var f; } class Used { }\n"
+            "def main() { print(new Used()); }"
+        )
+        result = generate(program)
+        assert "struct Used" in result.text
+        assert "struct Unused" not in result.text
+
+    def test_superclasses_reached(self):
+        program = compile_source(
+            "class Base { var f; } class Derived : Base { }\n"
+            "def main() { print(new Derived()); }"
+        )
+        result = generate(program)
+        assert "struct Base" in result.text
+
+    def test_dynamic_send_reaches_all_overrides(self):
+        program = compile_source(
+            "class A { def m() { return 1; } }\n"
+            "class B : A { def m() { return 2; } }\n"
+            "def pick(i) { if (i == 0) { return new A(); } return new B(); }\n"
+            "def main() { print(pick(0).m() + pick(1).m()); }"
+        )
+        result = generate(program)
+        assert "A_m" in result.text and "B_m" in result.text
+
+    def test_constructor_reached_via_new(self):
+        program = compile_source(
+            "class A { var f; def init(v) { this.f = v; } }\n"
+            "def main() { print(new A(1).f); }"
+        )
+        assert "A_init" in generate(program).text
+
+
+class TestFolding:
+    def test_identical_clone_bodies_folded(self):
+        # Disable method inlining so the duplicate per-variant clones
+        # survive to codegen and get folded into aliases.
+        report = optimize(
+            compile_source(RECTANGLE_SOURCE), inline_methods_pass=False
+        )
+        result = generate(report.program)
+        assert "alias " in result.text
+
+    def test_method_inliner_removes_small_clones(self):
+        with_inliner = optimize(compile_source(RECTANGLE_SOURCE))
+        without = optimize(
+            compile_source(RECTANGLE_SOURCE), inline_methods_pass=False
+        )
+        assert (
+            generate(with_inliner.program).reachable_callables
+            < generate(without.program).reachable_callables
+        )
+
+    def test_size_positive_and_stable(self):
+        program = compile_source("def main() { print(1); }")
+        assert code_size(program) == code_size(program) > 0
+
+
+class TestSizeComparison:
+    def test_original_classes_pruned_after_optimization(self):
+        """The uniform-model originals stay in the program for reference
+        but must not count toward generated code size."""
+        report = optimize(compile_source(RECTANGLE_SOURCE))
+        result = generate(report.program)
+        # The original Rectangle (never allocated post-transform) is gone;
+        # its variants are present.
+        assert "struct Rectangle$" in result.text
+        assert "struct Rectangle {" not in result.text
+
+    def test_counts_reported(self):
+        result = generate(compile_source(RECTANGLE_SOURCE))
+        assert result.reachable_callables > 5
+        assert result.reachable_classes == 4

@@ -1,0 +1,142 @@
+"""Contour manager unit tests: demand creation, caps, widening, GC."""
+
+from repro.analysis.contours import (
+    ARRAY_CLASS,
+    AnalysisConfig,
+    ContourManager,
+    SENSITIVITY_CONCERT,
+    SENSITIVITY_INLINING,
+)
+from repro.analysis.values import obj_val, prim_val
+
+
+def manager(**kwargs):
+    defaults = dict(sensitivity=SENSITIVITY_INLINING)
+    defaults.update(kwargs)
+    return ContourManager(AnalysisConfig(**defaults))
+
+
+class TestMethodContours:
+    def test_same_signature_shares_contour(self):
+        m = manager()
+        a, created_a = m.get_method_contour("f", [prim_val("int")], False)
+        b, created_b = m.get_method_contour("f", [prim_val("int")], False)
+        assert created_a and not created_b
+        assert a.id == b.id
+
+    def test_different_types_split(self):
+        m = manager()
+        a, _ = m.get_method_contour("f", [prim_val("int")], False)
+        b, _ = m.get_method_contour("f", [prim_val("float")], False)
+        assert a.id != b.id
+
+    def test_different_contour_ids_split_in_inlining_mode(self):
+        m = manager()
+        a, _ = m.get_method_contour("f", [obj_val(1)], False)
+        b, _ = m.get_method_contour("f", [obj_val(2)], False)
+        assert a.id != b.id
+
+    def test_concert_mode_merges_same_class_args(self):
+        m = manager(sensitivity=SENSITIVITY_CONCERT)
+        c1, _ = m.get_object_contour("P", 100, 1)
+        c2, _ = m.get_object_contour("P", 101, 1)
+        a, _ = m.get_method_contour("f", [obj_val(c1.id)], False)
+        b, _ = m.get_method_contour("f", [obj_val(c2.id)], False)
+        assert a.id == b.id  # same class name, non-receiver argument
+
+    def test_concert_mode_splits_receiver_contours(self):
+        m = manager(sensitivity=SENSITIVITY_CONCERT)
+        c1, _ = m.get_object_contour("P", 100, 1)
+        c2, _ = m.get_object_contour("P", 101, 1)
+        a, _ = m.get_method_contour("P::m", [obj_val(c1.id)], True)
+        b, _ = m.get_method_contour("P::m", [obj_val(c2.id)], True)
+        assert a.id != b.id  # creator sensitivity for self
+
+    def test_join_args_grows(self):
+        m = manager()
+        contour, _ = m.get_method_contour("f", [prim_val("int")], False)
+        # Contours start at bottom; the caller joins the actuals in.
+        assert contour.join_args([prim_val("int")]) is True
+        assert contour.join_args([prim_val("int")]) is False
+        assert contour.join_args([prim_val("float")]) is True
+        assert contour.arg_values[0].prims() == {"int", "float"}
+
+    def test_widening_at_cap(self):
+        m = manager(max_method_contours_per_callable=2)
+        m.get_method_contour("f", [prim_val("int")], False)
+        m.get_method_contour("f", [prim_val("float")], False)
+        summary, _ = m.get_method_contour("f", [prim_val("str")], False)
+        assert summary.summary
+        assert "f" in m.widened_callables
+        # Every later request lands on the summary.
+        again, created = m.get_method_contour("f", [prim_val("bool")], False)
+        assert again.id == summary.id and not created
+
+    def test_widening_folds_existing_knowledge(self):
+        m = manager(max_method_contours_per_callable=1)
+        first, _ = m.get_method_contour("f", [prim_val("int")], False)
+        first.join_args([prim_val("int")])
+        summary, _ = m.get_method_contour("f", [prim_val("float")], False)
+        assert summary.summary
+        # The summary folded the pre-existing contour's argument knowledge.
+        assert "int" in summary.arg_values[0].prims()
+
+    def test_retired_contours_do_not_count(self):
+        m = manager(max_method_contours_per_callable=2)
+        a, _ = m.get_method_contour("f", [prim_val("int")], False)
+        b, _ = m.get_method_contour("f", [prim_val("float")], False)
+        a.retired = True
+        c, created = m.get_method_contour("f", [prim_val("str")], False)
+        assert created and not c.summary  # cap judged on live contours only
+
+    def test_revival_clears_retired(self):
+        m = manager()
+        a, _ = m.get_method_contour("f", [prim_val("int")], False)
+        a.retired = True
+        b, created = m.get_method_contour("f", [prim_val("int")], False)
+        assert b.id == a.id and not created
+        assert not b.retired
+
+    def test_remove_method_contour(self):
+        m = manager()
+        a, _ = m.get_method_contour("f", [prim_val("int")], False)
+        m.remove_method_contour(a.id)
+        b, created = m.get_method_contour("f", [prim_val("int")], False)
+        assert created and b.id != a.id
+
+
+class TestObjectContours:
+    def test_site_and_creator_key(self):
+        m = manager()
+        a, _ = m.get_object_contour("P", 10, 1)
+        b, _ = m.get_object_contour("P", 10, 1)
+        c, _ = m.get_object_contour("P", 10, 2)
+        d, _ = m.get_object_contour("P", 11, 1)
+        assert a.id == b.id
+        assert len({a.id, c.id, d.id}) == 3
+
+    def test_array_contours(self):
+        m = manager()
+        contour, _ = m.get_object_contour(ARRAY_CLASS, 5, 1, is_array=True)
+        assert contour.is_array
+
+    def test_site_widening(self):
+        m = manager(max_object_contours_per_site=2)
+        # Creators must be live method contours for the liveness count.
+        c1, _ = m.get_method_contour("f", [prim_val("int")], False)
+        c2, _ = m.get_method_contour("f", [prim_val("float")], False)
+        c3, _ = m.get_method_contour("f", [prim_val("str")], False)
+        m.get_object_contour("P", 10, c1.id)
+        m.get_object_contour("P", 10, c2.id)
+        summary, _ = m.get_object_contour("P", 10, c3.id)
+        assert summary.summary
+        assert 10 in m.widened_sites
+
+    def test_metrics(self):
+        m = manager()
+        m.get_method_contour("f", [], False)
+        m.get_method_contour("g", [prim_val("int")], False)
+        m.get_method_contour("g", [prim_val("float")], False)
+        assert m.method_contour_count() == 3
+        assert m.reached_callables() == {"f", "g"}
+        assert m.contours_per_method() == 1.5

@@ -1,0 +1,226 @@
+"""Inlining decision tests: candidate discovery, screening, purity."""
+
+from conftest import accepted_names, plan_for, rejected_names
+
+
+class TestRunningExample:
+    def test_rectangle_fields_accepted(self, rectangle_plan):
+        names = accepted_names(rectangle_plan)
+        assert "Rectangle.lower_left" in names
+        assert "Rectangle.upper_right" in names
+
+    def test_list_field_rejected_for_aliasing(self, rectangle_plan):
+        reasons = rejected_names(rectangle_plan)
+        assert "List.head_item" in reasons
+        assert "passable by value" in reasons["List.head_item"]
+
+    def test_stackable_allocations_found(self, rectangle_plan):
+        candidate = next(
+            c for c in rectangle_plan.accepted() if c.field_name == "lower_left"
+        )
+        assert candidate.stackable_allocations
+
+    def test_polymorphic_children_recorded(self, rectangle_plan):
+        candidate = next(
+            c for c in rectangle_plan.accepted() if c.field_name == "lower_left"
+        )
+        classes = {desc[1] for desc in candidate.child_desc_of.values()}
+        assert classes == {"Point", "Point3D"}
+
+
+class TestStructuralScreening:
+    def test_possibly_nil_field_rejected(self):
+        plan = plan_for(
+            "class P { }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() {\n"
+            "  var c1 = new C(new P());\n"
+            "  var c2 = new C(nil);\n"
+            "  print(c1.f == nil, c2.f == nil);\n"
+            "}"
+        )
+        reasons = rejected_names(plan)
+        # Caught either by the nil-content screen (nil joins an object slot)
+        # or by the unwritten-contour-read screen (nil-only slots are not
+        # object slots); both keep the nil-holding field a reference.
+        assert "C.f" in reasons
+
+    def test_int_field_not_a_candidate(self):
+        plan = plan_for(
+            "class C { var f; def init() { this.f = 1; } }\n"
+            "def main() { print(new C().f); }"
+        )
+        assert "C.f" not in accepted_names(plan) | set(rejected_names(plan))
+
+    def test_recursive_containment_rejected(self):
+        plan = plan_for(
+            "class Cons { var next; def init(n) { this.next = n; } }\n"
+            "def main() { var a = new Cons(new Cons(nil and nil)); print(a == nil); }"
+            .replace("nil and nil", "new Cons(nil)")
+        )
+        reasons = rejected_names(plan)
+        assert "Cons.next" in reasons
+
+    def test_identity_comparison_rejects(self):
+        plan = plan_for(
+            "class P { }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() {\n"
+            "  var c = new C(new P());\n"
+            "  print(c.f == c.f);\n"
+            "}"
+        )
+        reasons = rejected_names(plan)
+        assert "C.f" in reasons
+        assert "identity" in reasons["C.f"]
+
+    def test_store_outside_constructor_rejected(self):
+        plan = plan_for(
+            "class P { }\n"
+            "class C { var f; def set(p) { this.f = p; } }\n"
+            "def main() { var c = new C(); c.set(new P()); print(c.f.m2()); }"
+            .replace(".m2()", " == nil")
+        )
+        reasons = rejected_names(plan)
+        # Rejected either for the constructor rule or the identity compare;
+        # the constructor rule is checked first.
+        assert "C.f" in reasons
+
+    def test_polymorphic_within_one_contour_rejected(self):
+        plan = plan_for(
+            "class A { } class B { }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def pick(c) { return c.f; }\n"
+            "def main() {\n"
+            "  var x = nil;\n"
+            "  for (var i = 0; i < 2; i = i + 1) {\n"
+            "    if (i == 0) { x = new C(new A()); } else { x = new C(new B()); }\n"
+            "    pick(x);\n"
+            "  }\n"
+            "}"
+        )
+        # Both allocations happen at distinct sites, so per-contour children
+        # stay monomorphic and this is actually acceptable via class cloning.
+        # Force true same-contour polymorphism through one helper:
+        plan2 = plan_for(
+            "class A { } class B { }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def build(p) { return new C(p); }\n"
+            "def helper(i) { if (i == 0) { return new A(); } return new B(); }\n"
+            "def main() {\n"
+            "  for (var i = 0; i < 2; i = i + 1) { var c = build(helper(i)); print(c.f == nil); }\n"
+            "}"
+        )
+        reasons = rejected_names(plan2)
+        assert "C.f" in reasons
+
+    def test_unwritten_contour_read_rejected(self):
+        plan = plan_for(
+            "class P { }\n"
+            "class C { var f; var g;\n"
+            "  def init(p) { this.f = p; }\n"
+            "  def fill(p) { this.g = p; }\n"
+            "}\n"
+            "def read_g(c) { return c.g; }\n"
+            "def main() {\n"
+            "  var c1 = new C(new P());\n"
+            "  var c2 = new C(new P());\n"
+            "  c2.fill(new P());\n"
+            "  print(read_g(c1) == nil, read_g(c2) == nil);\n"
+            "}"
+        )
+        reasons = rejected_names(plan)
+        assert "C.g" in reasons
+
+
+class TestArrayCandidates:
+    def test_monomorphic_array_accepted(self):
+        plan = plan_for(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "def main() {\n"
+            "  var a = array(4);\n"
+            "  for (var i = 0; i < 4; i = i + 1) { a[i] = new P(i); }\n"
+            "  var t = 0;\n"
+            "  for (var j = 0; j < 4; j = j + 1) { t = t + a[j].v; }\n"
+            "  print(t);\n"
+            "}"
+        )
+        assert any(name.startswith("array-site") for name in accepted_names(plan))
+
+    def test_polymorphic_array_rejected(self):
+        """The paper's Richards limitation: a polymorphic task array."""
+        plan = plan_for(
+            "class A { var v; def init() { this.v = 1; } }\n"
+            "class B : A { def init() { this.v = 2; } }\n"
+            "def main() {\n"
+            "  var a = array(2);\n"
+            "  a[0] = new A();\n"
+            "  a[1] = new B();\n"
+            "  print(a[0].v + a[1].v);\n"
+            "}"
+        )
+        reasons = rejected_names(plan)
+        key = next(name for name in reasons if name.startswith("array-site"))
+        assert "polymorphic" in reasons[key]
+
+    def test_embedded_fixed_array_accepted(self):
+        plan = plan_for(
+            "class C { var d;\n"
+            "  def init() {\n"
+            "    var a = array(3);\n"
+            "    for (var i = 0; i < 3; i = i + 1) { a[i] = 0; }\n"
+            "    this.d = a;\n"
+            "  }\n"
+            "  def get(i) { var a = this.d; return a[i]; }\n"
+            "}\n"
+            "def main() { var c = new C(); print(c.get(1)); }"
+        )
+        assert "C.d" in accepted_names(plan)
+
+    def test_dynamic_length_array_child_rejected(self):
+        plan = plan_for(
+            "class C { var d;\n"
+            "  def init(n) { this.d = array(n); }\n"
+            "  def size() { var a = this.d; return len(a); }\n"
+            "}\n"
+            "def main() { print(new C(4).size()); }"
+        )
+        reasons = rejected_names(plan)
+        assert "C.d" in reasons
+        assert "non-constant" in reasons["C.d"]
+
+
+class TestPurity:
+    def test_raw_and_inlined_mixing_rejected(self):
+        """A use site that may see both a raw object and an inlined one
+        cannot be rewritten."""
+        plan = plan_for(
+            "class P { var v; def init(v) { this.v = v; } def get() { return this.v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def touch(p) { return p.get(); }\n"
+            "def join_point(p) { return touch(p); }\n"
+            "def main() {\n"
+            "  var raw = new P(1);\n"
+            "  var c = new C(new P(2));\n"
+            "  var x = join_point(raw);\n"
+            "  var y = join_point(c.f);\n"
+            "  // Merge the two paths through one polymorphic-ish variable so\n"
+            "  // the analysis cannot keep them apart:\n"
+            "  var pick = raw;\n"
+            "  if (x < y) { pick = c.f; }\n"
+            "  print(pick.get());\n"
+            "}"
+        )
+        reasons = rejected_names(plan)
+        assert "C.f" in reasons
+
+    def test_two_inlined_fields_never_mix_after_splitting(self, rectangle_plan):
+        # Both rectangle fields survive because the contours split (Fig 8).
+        names = accepted_names(rectangle_plan)
+        assert {"Rectangle.lower_left", "Rectangle.upper_right"} <= names
+
+    def test_reads_through_uninlined_wrapper_resolve(self, rectangle_plan):
+        """head(l1) returns a value whose representation resolves through
+        the rejected List slot to the inlined rectangle field."""
+        assert "Rectangle.lower_left" in accepted_names(rectangle_plan)
+        assert "List.head_item" in rejected_names(rectangle_plan)

@@ -1,0 +1,97 @@
+"""Def/use index and ordering tests."""
+
+from repro.analysis.defuse import DefUse, DefUseCache, operand_roles
+from repro.ir import compile_source
+from repro.ir import model as ir
+
+
+def defuse_of(source, name="main"):
+    program = compile_source(source)
+    return DefUse(program.lookup_callable(name)), program
+
+
+class TestOperandRoles:
+    def test_call_roles_are_indexed(self):
+        _, program = defuse_of(
+            "class A { def m(x, y) { return x; } }\n"
+            "def main() { var a = new A(); a.m(1, 2); }"
+        )
+        main = program.functions["main"]
+        call = next(i for i in main.instructions() if isinstance(i, ir.CallMethod))
+        roles = dict(operand_roles(call))
+        assert "recv" in roles
+        assert "arg0" in roles and "arg1" in roles
+
+    def test_duplicate_register_yields_two_occurrences(self):
+        du, program = defuse_of("def f(a, b) { } def main() { var x = 1; f(x, x); }")
+        main_du = DefUse(program.functions["main"])
+        call = next(
+            i for i in program.functions["main"].instructions()
+            if isinstance(i, ir.CallFunction)
+        )
+        occurrences = [
+            occ for occ in main_du.uses.get(call.args[0], [])
+            if occ.instr.uid == call.uid
+        ]
+        assert len(occurrences) == 2
+        assert {occ.role for occ in occurrences} == {"arg0", "arg1"}
+
+    def test_setfield_roles(self):
+        _, program = defuse_of(
+            "class A { var f; def init(v) { this.f = v; } } def main() { new A(1); }"
+        )
+        init = program.classes["A"].methods["init"]
+        store = next(i for i in init.instructions() if isinstance(i, ir.SetField))
+        assert dict(operand_roles(store)) == {"obj": store.obj, "src": store.src}
+
+
+class TestOrdering:
+    STRAIGHT = "def main() { var a = 1; var b = 2; print(a + b); }"
+
+    def test_straight_line_order(self):
+        du, program = defuse_of(self.STRAIGHT)
+        instrs = list(program.functions["main"].instructions())
+        first = du.by_uid[instrs[0].uid]
+        last = du.by_uid[instrs[-1].uid]
+        assert du.possibly_after(first, last)
+        assert not du.possibly_after(last, first)
+
+    def test_loop_makes_order_reflexive(self):
+        du, program = defuse_of(
+            "def main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }"
+        )
+        main = program.functions["main"]
+        # Find the loop-body increment's position.
+        adds = [
+            du.by_uid[i.uid] for i in main.instructions()
+            if isinstance(i, ir.BinOp) and i.op == "+"
+        ]
+        position = adds[0]
+        assert du.possibly_after(position, position)
+
+    def test_branch_arms_unordered(self):
+        du, program = defuse_of(
+            "def main() { var x = 1; if (x) { print(1); } else { print(2); } }"
+        )
+        main = program.functions["main"]
+        prints = [
+            du.by_uid[i.uid] for i in main.instructions()
+            if isinstance(i, ir.CallBuiltin)
+        ]
+        assert not du.possibly_after(prints[0], prints[1])
+        assert not du.possibly_after(prints[1], prints[0])
+
+    def test_is_formal(self):
+        _, program = defuse_of(
+            "class A { def m(p) { return p; } } def main() { new A().m(1); }"
+        )
+        method_du = DefUse(program.classes["A"].methods["m"])
+        assert method_du.is_formal(0)  # this
+        assert method_du.is_formal(1)  # p
+        assert not method_du.is_formal(2)
+
+    def test_cache(self):
+        program = compile_source("def main() { }")
+        cache = DefUseCache(program)
+        assert cache.get("main") is cache.get("main")
+        assert cache.get("missing") is None

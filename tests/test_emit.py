@@ -1,0 +1,117 @@
+"""Cloning/emission internals on the running example."""
+
+from repro.analysis import analyze
+from repro.cloning.emit import Transformer
+from repro.inlining.decisions import DecisionEngine
+from repro.ir import compile_source
+from repro.ir import model as ir
+
+from conftest import RECTANGLE_SOURCE
+
+
+def transformer_for(source):
+    program = compile_source(source)
+    result = analyze(program)
+    plan = DecisionEngine(result).plan()
+    transformer = Transformer(result, plan, devirtualize=True)
+    outcome = transformer.run()
+    assert outcome.program is not None, outcome.conflicts
+    return transformer, outcome
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_contours(self):
+        transformer, _ = transformer_for(RECTANGLE_SOURCE)
+        covered = {
+            cid for p in transformer.partitions.values() for cid in p.contours
+        }
+        assert covered == set(transformer.result.manager.method_contours)
+
+    def test_abs_clones_split_per_field(self):
+        """Point::abs must clone per inlined field (different container
+        offsets for lower_left vs upper_right)."""
+        transformer, _ = transformer_for(RECTANGLE_SOURCE)
+        abs_partitions = [
+            p for p in transformer.partitions.values()
+            if p.callable_name == "Point::abs"
+        ]
+        assert len(abs_partitions) >= 2
+
+    def test_methods_not_touching_inlined_fields_stay_single(self):
+        """The paper: 'we need not clone methods that do not use the
+        inlined field'."""
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class C {
+  var f; var tag;
+  def init(p, tag) { this.f = p; this.tag = tag; }
+  def label() { return this.tag; }
+  def value() { return this.f.v; }
+}
+def main() {
+  var a = new C(new P(1), 10);
+  var b = new C(new P(2), 20);
+  print(a.label() + b.label() + a.value() + b.value());
+}
+"""
+        transformer, _ = transformer_for(source)
+        label_partitions = [
+            p for p in transformer.partitions.values()
+            if p.callable_name == "C::label"
+        ]
+        assert len(label_partitions) == 1
+
+
+class TestInstalls:
+    def test_view_clone_names_carry_field(self):
+        transformer, outcome = transformer_for(RECTANGLE_SOURCE)
+        names = {
+            name
+            for cls in outcome.program.classes.values()
+            for name in cls.methods
+        }
+        assert any("@lower_left" in name for name in names)
+        assert any("@upper_right" in name for name in names)
+
+    def test_clones_installed_on_variants(self):
+        _, outcome = transformer_for(RECTANGLE_SOURCE)
+        variants = [
+            cls for name, cls in outcome.program.classes.items()
+            if cls.source_name == "Rectangle" and name != "Rectangle"
+        ]
+        for variant in variants:
+            assert "area" in variant.methods
+            assert "init" in variant.methods
+
+    def test_rewritten_new_skips_implicit_init(self):
+        _, outcome = transformer_for(RECTANGLE_SOURCE)
+        main = outcome.program.functions["main"]
+        news = [i for i in main.instructions() if isinstance(i, ir.New)]
+        # Every rewritten allocation binds its constructor explicitly.
+        for new in news:
+            if new.class_name.endswith(tuple("0123456789")):
+                assert new.skip_init
+
+    def test_area_clone_uses_renamed_fields(self):
+        _, outcome = transformer_for(RECTANGLE_SOURCE)
+        variant = next(
+            cls for name, cls in outcome.program.classes.items()
+            if cls.source_name == "Rectangle" and name != "Rectangle"
+        )
+        field_names = {
+            i.field_name
+            for method in variant.methods.values()
+            for i in method.instructions()
+            if isinstance(i, (ir.GetField, ir.SetField))
+        }
+        assert any(f.startswith("lower_left__") for f in field_names)
+        assert "lower_left" not in field_names
+
+
+class TestStats:
+    def test_clone_stats_populated(self):
+        transformer, outcome = transformer_for(RECTANGLE_SOURCE)
+        stats = outcome.stats
+        assert stats.method_partitions > 0
+        assert stats.class_variants == 2
+        assert stats.installed_methods >= stats.class_variants

@@ -1,0 +1,189 @@
+"""Flow analysis engine tests: the paper's Figures 6-9 behaviours."""
+
+from repro.analysis import (
+    ELEM_FIELD,
+    AnalysisConfig,
+    SENSITIVITY_CONCERT,
+    analyze,
+)
+from repro.analysis.tags import head
+from repro.ir import compile_source
+
+from conftest import RECTANGLE_SOURCE
+
+
+def analyze_source(source, config=None):
+    return analyze(compile_source(source), config)
+
+
+def contours_of(result, name):
+    return result.contours_of(name)
+
+
+def slots_by_class_field(result):
+    table = {}
+    for (cid, field_name), value in result.slots.items():
+        contour = result.object_contour(cid)
+        table.setdefault((contour.class_name, field_name), []).append(value)
+    return table
+
+
+class TestTypeInference:
+    def test_fields_get_concrete_types(self):
+        result = analyze_source(
+            "class P { var x; def init(v) { this.x = v; } }\n"
+            "def main() { var p = new P(1.5); print(p.x); }"
+        )
+        slots = slots_by_class_field(result)
+        (value,) = slots[("P", "x")]
+        assert value.prims() == {"float"}
+
+    def test_polymorphic_field_split_by_creator(self):
+        """Figure 7: two Rectangle creation contexts yield two object
+        contours with precise (unmixed) field types."""
+        result = analyze_source(RECTANGLE_SOURCE)
+        slots = slots_by_class_field(result)
+        contents = slots[("Rectangle", "lower_left")]
+        assert len(contents) == 2
+        classes = set()
+        for value in contents:
+            names = {
+                result.object_contour(c).class_name for c in value.object_contours()
+            }
+            assert len(names) == 1  # each contour's field is monomorphic
+            classes |= names
+        assert classes == {"Point", "Point3D"}
+
+    def test_do_rectangle_split_by_argument_types(self):
+        """Figure 6: the two calls to do_rectangle carry different argument
+        types and get distinct contours."""
+        result = analyze_source(RECTANGLE_SOURCE)
+        assert len(contours_of(result, "do_rectangle")) == 2
+
+    def test_call_confluence_split(self):
+        """Figure 8: abs is called on values with different tags, so the
+        contours stay apart."""
+        result = analyze_source(RECTANGLE_SOURCE)
+        abs_contours = contours_of(result, "Point::abs")
+        heads = []
+        for contour in abs_contours:
+            recv = contour.arg_values[0]
+            heads.append({head(t) for t in recv.tags})
+        # No contour mixes lower_left-headed and upper_right-headed tags.
+        for tag_heads in heads:
+            fields = {h[1] for h in tag_heads if h is not None}
+            assert len(fields) <= 1
+
+    def test_field_confluence_split(self):
+        """Figure 9: the two List creations hold differently-tagged points
+        in distinct object contours."""
+        result = analyze_source(RECTANGLE_SOURCE)
+        slots = slots_by_class_field(result)
+        contents = slots[("List", "head_item")]
+        assert len(contents) == 4  # 2 sites x 2 do_rectangle contexts
+        for value in contents:
+            fields = {t[0][1] for t in value.tags if t}
+            assert len(fields) == 1  # never lower_left and upper_right mixed
+
+    def test_return_values_flow(self):
+        result = analyze_source(
+            "class P { }\n"
+            "def make() { return new P(); }\n"
+            "def main() { var p = make(); print(p == nil); }"
+        )
+        (main_contour,) = contours_of(result, "main")
+        # The identity site records P contours flowing out of make().
+        assert result.identity_sites
+        lhs = result.identity_sites[0].lhs
+        names = {result.object_contour(c).class_name for c in lhs.object_contours()}
+        assert names == {"P"}
+
+    def test_globals_tracked(self):
+        result = analyze_source(
+            "var g = nil;\n"
+            "class P { }\n"
+            "def main() { g = new P(); print(g == nil); }"
+        )
+        value = result.global_values["g"]
+        assert value.may_be_nil()
+        assert value.may_be_object()
+
+
+class TestTags:
+    def test_new_objects_are_nofield(self):
+        result = analyze_source("class P { } def main() { var p = new P(); print(p); }")
+        (main_contour,) = contours_of(result, "main")
+        # Find the recorded store-free value via slots: none; check through
+        # facts on the print call is unavailable, so check via identity of
+        # allocations: the allocation exists.
+        assert result.allocations[main_contour.id]
+
+    def test_field_read_gets_maketag(self):
+        result = analyze_source(
+            "class B { var f; def init(v) { this.f = v; } }\n"
+            "class P { }\n"
+            "def use(x) { return x; }\n"
+            "def main() { var b = new B(new P()); use(b.f); }"
+        )
+        (use_contour,) = contours_of(result, "use")
+        arg = use_contour.arg_values[0]
+        heads = {head(t) for t in arg.tags}
+        assert all(h is not None and h[1] == "f" for h in heads)
+
+    def test_array_reads_tagged_with_elem(self):
+        result = analyze_source(
+            "class P { }\n"
+            "def use(x) { return x; }\n"
+            "def main() { var a = array(2); a[0] = new P(); use(a[0]); }"
+        )
+        (use_contour,) = contours_of(result, "use")
+        arg = use_contour.arg_values[0]
+        assert {head(t)[1] for t in arg.tags} == {ELEM_FIELD}
+
+    def test_stored_content_tags_live_in_slots(self):
+        """The List example: the slot records that its content came from
+        Rectangle.lower_left (resolution uses this, per §4.1)."""
+        result = analyze_source(RECTANGLE_SOURCE)
+        slots = slots_by_class_field(result)
+        for value in slots[("List", "head_item")]:
+            assert all(t and t[0][1] in ("lower_left", "upper_right") for t in value.tags)
+
+
+class TestSensitivityModes:
+    def test_concert_mode_has_fewer_or_equal_contours(self):
+        precise = analyze_source(RECTANGLE_SOURCE)
+        baseline = analyze_source(
+            RECTANGLE_SOURCE, AnalysisConfig(sensitivity=SENSITIVITY_CONCERT)
+        )
+        assert baseline.method_contour_count() <= precise.method_contour_count()
+
+    def test_recursion_converges(self):
+        result = analyze_source(
+            "class Cons { var v; var next; def init(v, n) { this.v = v; this.next = n; } }\n"
+            "def build(n) { if (n == 0) return nil; return new Cons(n, build(n - 1)); }\n"
+            "def total(l) { if (l == nil) return 0; return l.v + total(l.next); }\n"
+            "def main() { print(total(build(5))); }"
+        )
+        assert result.method_contour_count() > 0
+
+    def test_widening_caps_contour_explosion(self):
+        # A chain of distinctly-typed wrappers forces many signatures for
+        # `wrap`; tiny caps must widen instead of diverging.
+        lines = ["class W { var v; def init(v) { this.v = v; } }"]
+        lines.append("def wrap(x) { return new W(x); }")
+        body = ["var x0 = wrap(1);"]
+        for index in range(1, 12):
+            body.append(f"var x{index} = wrap(x{index - 1});")
+        lines.append("def main() { " + " ".join(body) + " print(1); }")
+        config = AnalysisConfig(
+            max_method_contours_per_callable=3, max_object_contours_per_site=3
+        )
+        result = analyze("\n".join(lines) and compile_source("\n".join(lines)), config)
+        assert result.manager.widened_callables or result.manager.widened_sites
+
+    def test_unreachable_code_not_analyzed(self):
+        result = analyze_source(
+            "def dead() { return 1; }\n"
+            "def main() { print(2); }"
+        )
+        assert not contours_of(result, "dead")

@@ -1,0 +1,137 @@
+"""Analysis-engine robustness: GC/retirement, gating, convergence."""
+
+from repro.analysis import AnalysisConfig, analyze
+from repro.analysis.engine import AnalysisBudgetExceeded, FlowAnalysis
+from repro.ir import compile_source
+
+import pytest
+
+from conftest import check_equivalence
+
+
+def build_wrapper_tower(depth):
+    """A chain of wrap() calls whose argument signatures keep growing —
+    the signature-churn pattern that strands stale contours."""
+    lines = ["class W { var v; def init(v) { this.v = v; } }"]
+    lines.append("def wrap(x) { return new W(x); }")
+    body = ["var x0 = wrap(1);"]
+    for index in range(1, depth):
+        body.append(f"var x{index} = wrap(x{index - 1});")
+    lines.append("def main() { " + " ".join(body) + " print(1); }")
+    return "\n".join(lines)
+
+
+class TestContourGC:
+    def test_stale_contours_pruned_from_results(self):
+        result = analyze(compile_source(build_wrapper_tower(8)))
+        # After the final prune, every surviving contour is reachable from
+        # the entries; none is marked retired.
+        for contour in result.manager.method_contours.values():
+            assert not contour.retired
+
+    def test_gc_avoids_spurious_widening(self):
+        # Signature churn creates many short-lived wrap contours; with GC
+        # the live count stays under the cap and nothing widens.
+        config = AnalysisConfig(
+            max_method_contours_per_callable=12,
+            max_object_contours_per_site=12,
+        )
+        result = analyze(compile_source(build_wrapper_tower(8)), config)
+        assert not result.manager.widened_callables
+        assert not result.manager.widened_sites
+
+    def test_tiny_caps_still_converge(self):
+        config = AnalysisConfig(
+            max_method_contours_per_callable=2,
+            max_object_contours_per_site=2,
+        )
+        result = analyze(compile_source(build_wrapper_tower(10)), config)
+        assert result.method_contour_count() > 0
+
+    def test_budget_cap_raises(self):
+        config = AnalysisConfig(max_worklist_steps=3)
+        with pytest.raises(AnalysisBudgetExceeded):
+            FlowAnalysis(
+                compile_source(build_wrapper_tower(6)), config
+            ).run()
+
+    def test_optimize_still_correct_under_widening(self):
+        """With aggressive widening the optimizer must reject candidates,
+        never miscompile."""
+        config = AnalysisConfig(
+            max_method_contours_per_callable=2,
+            max_object_contours_per_site=2,
+        )
+        check_equivalence(build_wrapper_tower(10), config=config)
+
+
+class TestTagGate:
+    def test_gate_blocks_cross_dispatch_tag_bleed(self):
+        """Tags must not follow a dispatch a value cannot take: the A-side
+        field tag must not reach the B-side contour."""
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class A { var fa; def init(p) { this.fa = p; } def get() { return this.fa; } }
+class B { var fb; def init(p) { this.fb = p; } def get() { return this.fb; } }
+def main() {
+  var a = new A(new P(1));
+  var b = new B(new P(2));
+  print(a.get().v + b.get().v);
+}
+"""
+        result = analyze(compile_source(source))
+        for contour in result.contours_of("A::get"):
+            ret_heads = {t[0][1] for t in contour.ret.tags if t}
+            assert "fb" not in ret_heads
+        for contour in result.contours_of("B::get"):
+            ret_heads = {t[0][1] for t in contour.ret.tags if t}
+            assert "fa" not in ret_heads
+
+    def test_both_fields_inline_despite_shared_getter_shape(self):
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class A { var fa; def init(p) { this.fa = p; } def get() { return this.fa; } }
+class B { var fb; def init(p) { this.fb = p; } def get() { return this.fb; } }
+def main() {
+  var a = new A(new P(1));
+  var b = new B(new P(2));
+  print(a.get().v + b.get().v);
+}
+"""
+        _, _, report = check_equivalence(source)
+        accepted = {c.describe() for c in report.plan.accepted()}
+        assert {"A.fa", "B.fb"} <= accepted
+
+
+class TestMutualRecursion:
+    def test_mutually_recursive_functions_converge(self):
+        source = """
+def is_even(n) { if (n == 0) { return true; } return is_odd(n - 1); }
+def is_odd(n) { if (n == 0) { return false; } return is_even(n - 1); }
+def main() { print(is_even(10), is_odd(10)); }
+"""
+        base, opt, _ = check_equivalence(source)
+        assert base.output == ["true false"]
+
+    def test_recursive_data_plus_recursion_converges(self):
+        source = """
+class Node { var v; var kids; def init(v, kids) { this.v = v; this.kids = kids; } }
+def total(n) {
+  if (n == nil) { return 0; }
+  var t = n.v;
+  var a = n.kids;
+  if (a != nil) {
+    for (var i = 0; i < len(a); i = i + 1) { t = t + total(a[i]); }
+  }
+  return t;
+}
+def main() {
+  var leaves = array(2);
+  leaves[0] = new Node(1, nil);
+  leaves[1] = new Node(2, nil);
+  var root = new Node(10, leaves);
+  print(total(root));
+}
+"""
+        base, _, _ = check_equivalence(source)
+        assert base.output == ["13"]

@@ -1,0 +1,52 @@
+"""The shipped examples must run and demonstrate what they claim."""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "inlined" in out
+        assert "speedup" in out
+        assert "Rectangle$1" in out
+
+    def test_complex_kernel(self):
+        out = run_example("complex_kernel.py", "64")
+        assert "checksum" in out
+        assert "speedup" in out
+        assert "array-site" in out
+
+    def test_event_sim(self):
+        out = run_example("event_sim.py")
+        assert "Cell.ticket" in out and "MERGED" in out
+        assert "AuditCell.ticket" in out
+        assert "allocations" in out
+
+    def test_polymorphic_records(self):
+        out = run_example("polymorphic_records.py")
+        assert "Task$1" in out and "Task$2" in out and "Task$3" in out
+        assert "priv__period" in out
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "complex_kernel.py",
+            "event_sim.py",
+            "polymorphic_records.py",
+        } <= names

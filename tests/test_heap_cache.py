@@ -1,0 +1,220 @@
+"""Heap model and cache simulator unit tests."""
+
+import pytest
+
+from repro.runtime.cache import CacheConfig, CacheSimulator
+from repro.runtime.heap import (
+    ARRAY_HEADER,
+    Heap,
+    HeapError,
+    MALLOC_ALIGN,
+    MALLOC_HEADER,
+    OBJECT_HEADER,
+    SLOT_SIZE,
+)
+
+
+class TestHeapObjects:
+    def test_alloc_and_field_roundtrip(self):
+        heap = Heap()
+        ref = heap.alloc_object("P", ("x", "y"))
+        heap.write_field(ref, "x", 41)
+        value, _addr = heap.read_field(ref, "x")
+        assert value == 41
+        assert heap.read_field(ref, "y")[0] is None
+
+    def test_field_addresses_are_slot_spaced(self):
+        heap = Heap()
+        ref = heap.alloc_object("P", ("x", "y"))
+        _, addr_x = heap.read_field(ref, "x")
+        _, addr_y = heap.read_field(ref, "y")
+        assert addr_x == ref.address + OBJECT_HEADER
+        assert addr_y == addr_x + SLOT_SIZE
+
+    def test_unknown_field(self):
+        heap = Heap()
+        ref = heap.alloc_object("P", ("x",))
+        with pytest.raises(HeapError):
+            heap.read_field(ref, "nope")
+
+    def test_distinct_addresses(self):
+        heap = Heap()
+        a = heap.alloc_object("P", ("x",))
+        b = heap.alloc_object("P", ("x",))
+        assert a.address != b.address
+
+    def test_malloc_rounding_spacing(self):
+        heap = Heap()
+        a = heap.alloc_object("P", ("x",))  # 8 header + 8 = 16 (+8 malloc) -> 32
+        b = heap.alloc_object("P", ("x",))
+        block = OBJECT_HEADER + SLOT_SIZE + MALLOC_HEADER
+        expected = (block + MALLOC_ALIGN - 1) // MALLOC_ALIGN * MALLOC_ALIGN
+        assert b.address - a.address == expected
+
+    def test_stack_allocation_region_is_disjoint(self):
+        heap = Heap()
+        heap_ref = heap.alloc_object("P", ("x",))
+        stack_ref = heap.alloc_object("P", ("x",), on_stack=True)
+        assert stack_ref.address >= Heap.STACK_BASE
+        assert heap_ref.address < Heap.STACK_BASE
+        heap.write_field(stack_ref, "x", 7)
+        assert heap.read_field(stack_ref, "x")[0] == 7
+
+    def test_indexed_fields(self):
+        heap = Heap()
+        ref = heap.alloc_object("P", ("a", "d__0", "d__1", "d__2"))
+        heap.write_field_indexed(ref, "d__0", 3, 2, "last")
+        assert heap.read_field_indexed(ref, "d__0", 3, 2)[0] == "last"
+        assert heap.read_field(ref, "d__2")[0] == "last"
+
+    def test_indexed_field_bounds(self):
+        heap = Heap()
+        ref = heap.alloc_object("P", ("d__0", "d__1"))
+        with pytest.raises(HeapError):
+            heap.read_field_indexed(ref, "d__0", 2, 2)
+        with pytest.raises(HeapError):
+            heap.read_field_indexed(ref, "d__0", 2, -1)
+
+    def test_allocation_stats(self):
+        heap = Heap()
+        heap.alloc_object("A", ())
+        heap.alloc_object("A", ("x",))
+        heap.alloc_object("B", ())
+        assert heap.stats.objects_allocated == 3
+        assert heap.stats.allocations_by_class == {"A": 2, "B": 1}
+
+
+class TestHeapArrays:
+    def test_plain_array(self):
+        heap = Heap()
+        ref = heap.alloc_array(4)
+        heap.write_element(ref, 2, "v")
+        assert heap.read_element(ref, 2)[0] == "v"
+        assert heap.array_length(ref) == 4
+
+    def test_bounds_checks(self):
+        heap = Heap()
+        ref = heap.alloc_array(2)
+        with pytest.raises(HeapError):
+            heap.read_element(ref, 2)
+        with pytest.raises(HeapError):
+            heap.write_element(ref, -1, 0)
+        with pytest.raises(HeapError):
+            heap.read_element(ref, True)
+
+    def test_negative_length(self):
+        with pytest.raises(HeapError):
+            Heap().alloc_array(-1)
+
+    def test_inline_array_interleaved_layout(self):
+        heap = Heap()
+        ref = heap.alloc_array(3, "P", ("x", "y"), parallel=False)
+        heap.write_inline_field(ref, 1, "y", 9)
+        value, addr = heap.read_inline_field(ref, 1, "y")
+        assert value == 9
+        # AoS: element 1, field 1 -> slot index 1*2+1 = 3.
+        assert addr == ref.address + ARRAY_HEADER + 3 * SLOT_SIZE
+
+    def test_inline_array_parallel_layout(self):
+        heap = Heap()
+        ref = heap.alloc_array(3, "P", ("x", "y"), parallel=True)
+        heap.write_inline_field(ref, 1, "y", 9)
+        value, addr = heap.read_inline_field(ref, 1, "y")
+        assert value == 9
+        # SoA: field 1 starts at slot 3 (= length), element 1 -> slot 4.
+        assert addr == ref.address + ARRAY_HEADER + 4 * SLOT_SIZE
+
+    def test_inline_array_rejects_element_access(self):
+        heap = Heap()
+        ref = heap.alloc_array(2, "P", ("x",))
+        with pytest.raises(HeapError):
+            heap.read_element(ref, 0)
+
+    def test_inline_array_unknown_field(self):
+        heap = Heap()
+        ref = heap.alloc_array(2, "P", ("x",))
+        with pytest.raises(HeapError):
+            heap.read_inline_field(ref, 0, "nope")
+
+    def test_dangling_reference(self):
+        heap_a = Heap()
+        heap_b = Heap(base_address=0x900000)
+        ref = heap_a.alloc_object("P", ())
+        with pytest.raises(HeapError):
+            heap_b.read_field(ref, "x")
+
+
+class TestCacheConfig:
+    def test_defaults_valid(self):
+        config = CacheConfig()
+        assert config.num_sets * config.line_bytes * config.associativity == config.size_bytes
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32, associativity=4)
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=24)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+
+class TestCacheBehavior:
+    def test_first_access_misses_second_hits(self):
+        cache = CacheSimulator()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1004) is True  # same line
+
+    def test_different_lines_miss_independently(self):
+        cache = CacheSimulator(CacheConfig(line_bytes=32, size_bytes=1024, associativity=2))
+        assert cache.access(0) is False
+        assert cache.access(32) is False
+
+    def test_lru_eviction(self):
+        config = CacheConfig(size_bytes=64, line_bytes=32, associativity=2)
+        cache = CacheSimulator(config)  # one set, two ways
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)       # refresh line 0
+        cache.access(128)     # evicts line 64 (LRU)
+        assert cache.access(0) is True
+        assert cache.access(64) is False
+
+    def test_write_miss_allocates(self):
+        cache = CacheSimulator()
+        assert cache.access(0x2000, is_write=True) is False
+        assert cache.access(0x2000) is True
+        assert cache.stats.write_misses == 1
+
+    def test_touch_range_counts_lines(self):
+        cache = CacheSimulator()
+        misses = cache.touch_range(0x4000, 100)  # spans 4 lines of 32B
+        assert misses == 4
+        assert cache.touch_range(0x4000, 100) == 0
+
+    def test_touch_range_unaligned(self):
+        cache = CacheSimulator()
+        # 8 bytes starting 4 bytes before a line boundary touch 2 lines.
+        assert cache.touch_range(32 * 100 - 4, 8) == 2
+
+    def test_flush(self):
+        cache = CacheSimulator()
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.access(0x1000) is False
+
+    def test_miss_rate(self):
+        cache = CacheSimulator()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+        assert CacheSimulator().stats.miss_rate == 0.0
+
+    def test_sequential_scan_larger_than_cache_always_misses(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=32, associativity=2)
+        cache = CacheSimulator(config)
+        # Two passes over 4 KiB: LRU + sequential = every line misses twice.
+        for _pass in range(2):
+            for addr in range(0, 4096, 32):
+                cache.access(addr)
+        assert cache.stats.misses == 2 * 4096 // 32

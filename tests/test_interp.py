@@ -1,0 +1,261 @@
+"""Interpreter (VM) semantics tests."""
+
+import pytest
+
+from repro.runtime import ReproRuntimeError, StepLimitExceeded
+from repro.ir import compile_source
+from repro.runtime.interp import Interpreter
+
+from conftest import output_of, run_source
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        assert output_of("def main() { print(7 + 3, 7 - 3, 7 * 3); }") == ["10 4 21"]
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert output_of("def main() { print(7 / 2, -7 / 2, 7 / -2); }") == ["3 -3 -3"]
+
+    def test_integer_modulo_c_style(self):
+        assert output_of("def main() { print(7 % 3, -7 % 3, 7 % -3); }") == ["1 -1 1"]
+
+    def test_float_division(self):
+        assert output_of("def main() { print(7.0 / 2.0); }") == ["3.5"]
+
+    def test_mixed_int_float_promotes(self):
+        assert output_of("def main() { print(1 + 0.5, 3 * 2.0); }") == ["1.5 6"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { print(1 / 0); }")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { print(1 % 0); }")
+
+    def test_unary_minus(self):
+        assert output_of("def main() { var x = 5; print(-x, -(-x)); }") == ["-5 5"]
+
+    def test_unary_minus_on_string_fails(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source('def main() { print(-"x"); }')
+
+    def test_string_concatenation(self):
+        assert output_of('def main() { print("ab" + "cd"); }') == ["abcd"]
+
+    def test_string_plus_number_fails(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source('def main() { print("a" + 1); }')
+
+    def test_string_comparison(self):
+        assert output_of('def main() { print("a" < "b", "b" <= "a"); }') == ["true false"]
+
+
+class TestEqualityAndTruthiness:
+    def test_numeric_equality_across_kinds(self):
+        assert output_of("def main() { print(1 == 1.0, 1 != 2); }") == ["true true"]
+
+    def test_bool_not_equal_to_int(self):
+        assert output_of("def main() { print(true == 1, false == 0); }") == ["false false"]
+
+    def test_nil_equality(self):
+        assert output_of("def main() { print(nil == nil, nil == 0); }") == ["true false"]
+
+    def test_reference_identity(self):
+        out = output_of(
+            "class A { }\n"
+            "def main() { var a = new A(); var b = new A(); var c = a;\n"
+            "  print(a == b, a == c, a != b); }"
+        )
+        assert out == ["false true true"]
+
+    def test_truthiness(self):
+        out = output_of(
+            'def main() { print(!0, !1, !0.0, !nil, !false, !"", !"x"); }'
+        )
+        assert out == ["true false true true true true false"]
+
+    def test_object_is_truthy(self):
+        out = output_of(
+            "class A { } def main() { var a = new A(); if (a) print(1); else print(2); }"
+        )
+        assert out == ["1"]
+
+
+class TestObjects:
+    def test_constructor_and_field_access(self):
+        out = output_of(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() { var p = new P(9); print(p.x); }"
+        )
+        assert out == ["9"]
+
+    def test_uninitialized_field_is_nil(self):
+        out = output_of(
+            "class P { var x; } def main() { print(new P().x); }"
+        )
+        assert out == ["nil"]
+
+    def test_class_without_init_rejects_args(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("class P { } def main() { new P(1); }")
+
+    def test_inherited_fields_and_methods(self):
+        out = output_of(
+            "class A { var x; def init(v) { this.x = v; } def get() { return this.x; } }\n"
+            "class B : A { def double() { return this.get() * 2; } }\n"
+            "def main() { print(new B(21).double()); }"
+        )
+        assert out == ["42"]
+
+    def test_method_override(self):
+        out = output_of(
+            "class A { def who() { return 1; } }\n"
+            "class B : A { def who() { return 2; } }\n"
+            "def main() { var objs = array(2); objs[0] = new A(); objs[1] = new B();\n"
+            "  print(objs[0].who(), objs[1].who()); }"
+        )
+        assert out == ["1 2"]
+
+    def test_super_call(self):
+        out = output_of(
+            "class A { def m() { return 10; } }\n"
+            "class B : A { def m() { return super.m() + 1; } }\n"
+            "def main() { print(new B().m()); }"
+        )
+        assert out == ["11"]
+
+    def test_missing_method(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("class A { } def main() { new A().nope(); }")
+
+    def test_missing_field(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("class A { } def main() { print(new A().nope); }")
+
+    def test_field_access_on_nil(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var x = nil; print(x.f); }")
+
+    def test_send_to_int(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var x = 1; x.m(); }")
+
+    def test_recursion(self):
+        out = output_of(
+            "def fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+            "def main() { print(fib(15)); }"
+        )
+        assert out == ["610"]
+
+
+class TestArrays:
+    def test_create_read_write(self):
+        out = output_of(
+            "def main() { var a = array(3); a[1] = 5; print(a[0], a[1], len(a)); }"
+        )
+        assert out == ["nil 5 3"]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var a = array(2); print(a[2]); }")
+
+    def test_negative_index(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var a = array(2); print(a[-1]); }")
+
+    def test_non_integer_index(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var a = array(2); print(a[1.5]); }")
+
+    def test_negative_size(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { array(-1); }")
+
+    def test_len_of_non_array(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { print(len(5)); }")
+
+    def test_indexing_non_array(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { var x = 3; print(x[0]); }")
+
+    def test_arrays_hold_objects(self):
+        out = output_of(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "def main() {\n"
+            "  var a = array(3);\n"
+            "  for (var i = 0; i < 3; i = i + 1) { a[i] = new P(i * i); }\n"
+            "  var total = 0;\n"
+            "  for (var j = 0; j < 3; j = j + 1) { total = total + a[j].v; }\n"
+            "  print(total);\n"
+            "}"
+        )
+        assert out == ["5"]
+
+
+class TestBuiltins:
+    def test_math_builtins(self):
+        out = output_of(
+            "def main() { print(sqrt(16.0), abs(-3), floor(2.7), ceil(2.1)); }"
+        )
+        assert out == ["4 3 2 3"]
+
+    def test_min_max_pow(self):
+        assert output_of("def main() { print(min(2, 5), max(2, 5), pow(2, 10)); }") == [
+            "2 5 1024"
+        ]
+
+    def test_int_float_conversions(self):
+        assert output_of("def main() { print(int(3.9), float(2)); }") == ["3 2"]
+
+    def test_sqrt_negative(self):
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { sqrt(-1.0); }")
+
+    def test_assert_true_passes_and_fails(self):
+        assert output_of("def main() { assert_true(1); print(1); }") == ["1"]
+        with pytest.raises(ReproRuntimeError):
+            run_source("def main() { assert_true(0); }")
+
+    def test_print_formats(self):
+        out = output_of(
+            'def main() { print(1, 2.5, true, nil, "s"); print(); }'
+        )
+        assert out == ["1 2.5 true nil s", ""]
+
+    def test_print_object_is_opaque(self):
+        out = output_of("class A { } def main() { print(new A()); }")
+        assert out == ["<object>"]
+
+
+class TestVMLimits:
+    def test_step_limit(self):
+        program = compile_source("def main() { while (true) { } }")
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(program, max_steps=10_000).run()
+
+    def test_missing_main(self):
+        program = compile_source("def helper() { }")
+        with pytest.raises(ReproRuntimeError):
+            Interpreter(program).run()
+
+    def test_stats_are_collected(self):
+        result = run_source(
+            "class A { var f; def init(v) { this.f = v; } }\n"
+            "def main() { var a = new A(1); print(a.f); a.m2(); }"
+            .replace("a.m2();", "")
+        )
+        stats = result.stats
+        assert stats.instructions > 0
+        assert stats.allocations == 1
+        assert stats.heap_reads >= 1
+        assert stats.heap_writes >= 1
+        assert stats.cycles() > stats.instructions
+
+    def test_call_depth_tracked(self):
+        result = run_source(
+            "def rec(n) { if (n == 0) return 0; return rec(n - 1); }\n"
+            "def main() { rec(50); }"
+        )
+        assert result.stats.max_call_depth >= 50

@@ -1,0 +1,180 @@
+"""The paper's §6.1 known limitations, as targeted micro-programs.
+
+Each test reproduces one structure the paper reports the analysis cannot
+inline, and checks both that it is rejected and that the transformed
+program still runs correctly.
+"""
+
+from conftest import accepted_names, check_equivalence, plan_for, rejected_names
+
+
+class TestSiloEventListLimit:
+    """'Our analysis cannot inline cons cells of the global event list,
+    because it cannot tell that a given event is in the list at most
+    once.'  Event recycling makes the stored value flow from a field
+    read, which assignment specialization rejects."""
+
+    SOURCE = """
+class Event { var t; def fill(t) { this.t = t; return this; } }
+class Cell { var ev; var next; def init(e, n) { this.ev = e; this.next = n; } }
+var free_list = nil;
+var sched = nil;
+def alloc_event() {
+  if (free_list == nil) { return new Event(); }
+  var cell = free_list;
+  free_list = cell.next;
+  return cell.ev;
+}
+def recycle(e) { free_list = new Cell(e, free_list); }
+def push(t) { sched = new Cell(alloc_event().fill(t), sched); }
+def main() {
+  push(1); push(2);
+  var total = 0;
+  while (sched != nil) {
+    var e = sched.ev;
+    total = total + e.t;
+    recycle(e);
+    sched = sched.next;
+  }
+  push(3);
+  total = total + sched.ev.t;
+  print(total);
+}
+"""
+
+    def test_event_cell_rejected(self):
+        plan = plan_for(self.SOURCE)
+        assert "Cell.ev" in rejected_names(plan)
+
+    def test_program_still_correct(self):
+        base, _, _ = check_equivalence(self.SOURCE)
+        assert base.output == ["6"]
+
+
+class TestRichardsPolymorphicArrayLimit:
+    """'An array of pointers to tasks ... is polymorphic and our analysis
+    does not distinguish different array elements.'"""
+
+    SOURCE = """
+class Task { var id; def init(id) { this.id = id; } def run() { return 0; } }
+class DevTask : Task { def run() { return this.id * 2; } }
+class IdleTask : Task { def run() { return this.id + 1; } }
+def main() {
+  var tab = array(2);
+  tab[0] = new DevTask(3);
+  tab[1] = new IdleTask(4);
+  var total = 0;
+  for (var i = 0; i < 2; i = i + 1) { total = total + tab[i].run(); }
+  print(total);
+}
+"""
+
+    def test_array_rejected_for_polymorphism(self):
+        plan = plan_for(self.SOURCE)
+        reasons = rejected_names(plan)
+        key = next(name for name in reasons if name.startswith("array-site"))
+        assert "polymorphic" in reasons[key]
+
+    def test_program_still_correct(self):
+        base, _, _ = check_equivalence(self.SOURCE)
+        assert base.output == ["11"]
+
+
+class TestPolyoverLoopListLimit:
+    """'A list cannot be blocked because it is constructed in a loop' —
+    our analog: a summary list built from values read back out of other
+    containers cannot prove ownership."""
+
+    SOURCE = """
+class P { var v; def init(v) { this.v = v; } }
+class Src { var item; def init(p) { this.item = p; } }
+class Out { var data; var next; def init(d, n) { this.data = d; this.next = n; } }
+def main() {
+  var sources = array(3);
+  for (var i = 0; i < 3; i = i + 1) { sources[i] = new Src(new P(i + 1)); }
+  var summary = nil;
+  for (var j = 0; j < 3; j = j + 1) {
+    summary = new Out(sources[j].item, summary);
+  }
+  var total = 0;
+  var s = summary;
+  while (s != nil) { total = total + s.data.v; s = s.next; }
+  print(total);
+}
+"""
+
+    def test_summary_list_data_rejected(self):
+        plan = plan_for(self.SOURCE)
+        reasons = rejected_names(plan)
+        assert "Out.data" in reasons
+        assert "passable by value" in reasons["Out.data"]
+
+    def test_outer_structure_still_inlines(self):
+        # The Src objects inline into the sources array (the outer
+        # candidate wins when structures nest); only the summary list's
+        # data stays a reference.
+        plan = plan_for(self.SOURCE)
+        assert any(n.startswith("array-site") for n in accepted_names(plan))
+        reasons = rejected_names(plan)
+        assert "itself inlined" in reasons["Src.item"]
+
+    def test_program_still_correct(self):
+        base, _, _ = check_equivalence(self.SOURCE)
+        assert base.output == ["6"]
+
+
+class TestRecursiveStructures:
+    """Self-referential cells (cons.next) must never inline — the layout
+    would be infinite."""
+
+    SOURCE = """
+class Cons { var v; var next; def init(v, n) { this.v = v; this.next = n; } }
+def main() {
+  var l = nil;
+  for (var i = 0; i < 5; i = i + 1) { l = new Cons(i, l); }
+  var total = 0;
+  while (l != nil) { total = total + l.v; l = l.next; }
+  print(total);
+}
+"""
+
+    def test_next_rejected(self):
+        plan = plan_for(self.SOURCE)
+        assert "Cons.next" in rejected_names(plan)
+
+    def test_program_still_correct(self):
+        base, _, _ = check_equivalence(self.SOURCE)
+        assert base.output == ["10"]
+
+
+class TestConsDataMergeStillWorks:
+    """The positive side of the Silo/polyover story: cons cells *can*
+    merge with freshly created data."""
+
+    SOURCE = """
+class Rec { var a; var b; def init(a, b) { this.a = a; this.b = b; } }
+class Cons { var data; var next; def init(d, n) { this.data = d; this.next = n; } }
+def main() {
+  var l = nil;
+  for (var i = 0; i < 4; i = i + 1) { l = new Cons(new Rec(i, i * 2), l); }
+  var total = 0;
+  while (l != nil) { total = total + l.data.a + l.data.b; l = l.next; }
+  print(total);
+}
+"""
+
+    def test_data_accepted_next_rejected(self):
+        plan = plan_for(self.SOURCE)
+        assert "Cons.data" in accepted_names(plan)
+        assert "Cons.next" in rejected_names(plan)
+
+    def test_allocation_halved(self):
+        base, opt, _ = check_equivalence(self.SOURCE)
+        # 4 cons + 4 recs -> 4 cons + 4 stack temps.
+        assert base.stats.allocations == 8
+        assert opt.stats.allocations == 4
+        assert opt.stats.stack_allocations == 4
+
+    def test_program_still_correct(self):
+        base, _, _ = check_equivalence(self.SOURCE)
+        assert base.output == ["18"]

@@ -1,0 +1,229 @@
+"""AST → IR lowering tests (semantics enforced by the builder)."""
+
+import pytest
+
+from repro.ir import compile_source, validate_program
+from repro.ir import model as ir
+from repro.lang import SemanticError
+
+from conftest import output_of
+
+
+def lower(source):
+    program = compile_source(source)
+    validate_program(program)
+    return program
+
+
+class TestSemanticChecks:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { print(x); }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { x = 1; }")
+
+    def test_duplicate_local_in_same_scope(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { var x = 1; var x = 2; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        lower("def main() { var x = 1; { var x = 2; print(x); } }")
+
+    def test_this_outside_method(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { print(this); }")
+
+    def test_super_without_superclass(self):
+        with pytest.raises(SemanticError):
+            lower("class A { def m() { return super.m(); } } def main() { }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { continue; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { mystery(); }")
+
+    def test_function_arity_checked(self):
+        with pytest.raises(SemanticError):
+            lower("def f(a) { } def main() { f(1, 2); }")
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(SemanticError):
+            lower("def main() { sqrt(1, 2); }")
+
+    def test_duplicate_class(self):
+        with pytest.raises(SemanticError):
+            lower("class A {} class A {} def main() { }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError):
+            lower("def f() {} def f() {} def main() { }")
+
+    def test_duplicate_method(self):
+        with pytest.raises(SemanticError):
+            lower("class A { def m() {} def m() {} } def main() { }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError):
+            lower("var g; var g; def main() { }")
+
+    def test_unknown_superclass(self):
+        with pytest.raises(SemanticError):
+            lower("class A : Missing {} def main() { }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(SemanticError):
+            lower("class A : B {} class B : A {} def main() { }")
+
+    def test_field_shadowing_superclass_rejected(self):
+        with pytest.raises(SemanticError):
+            lower("class A { var f; } class B : A { var f; } def main() { }")
+
+    def test_duplicate_field_in_class(self):
+        with pytest.raises(SemanticError):
+            lower("class A { var f; var f; } def main() { }")
+
+
+class TestLoweringStructure:
+    def test_global_init_synthesized(self):
+        program = lower("var g = 7; def main() { print(g); }")
+        assert ir.IRProgram.GLOBAL_INIT in program.functions
+        init = program.functions[ir.IRProgram.GLOBAL_INIT]
+        assert any(isinstance(i, ir.SetGlobal) for i in init.instructions())
+
+    def test_method_register_zero_is_this(self):
+        program = lower("class A { def m(p) { return this; } } def main() { }")
+        method = program.classes["A"].methods["m"]
+        assert method.num_formals == 2  # this + p
+        ret = [i for i in method.instructions() if isinstance(i, ir.Return)][0]
+        assert ret.src == 0
+
+    def test_super_lowered_to_call_static(self):
+        program = lower(
+            "class A { def m() { return 1; } } "
+            "class B : A { def m() { return super.m(); } } def main() { }"
+        )
+        method = program.classes["B"].methods["m"]
+        statics = [i for i in method.instructions() if isinstance(i, ir.CallStatic)]
+        assert statics and statics[0].class_name == "A"
+
+    def test_logical_and_lowered_to_branches(self):
+        program = lower("def main() { var x = 1 && 2; print(x); }")
+        main = program.functions["main"]
+        assert any(isinstance(i, ir.Branch) for i in main.instructions())
+
+    def test_array_builtin_lowered_to_newarray(self):
+        program = lower("def main() { var a = array(3); print(len(a)); }")
+        instrs = list(program.functions["main"].instructions())
+        assert any(isinstance(i, ir.NewArray) and not i.declared_inline for i in instrs)
+        assert any(isinstance(i, ir.ArrayLen) for i in instrs)
+
+    def test_inline_array_sets_annotation(self):
+        program = lower("def main() { var a = inline_array(3); print(len(a)); }")
+        (newarray,) = [
+            i for i in program.functions["main"].instructions()
+            if isinstance(i, ir.NewArray)
+        ]
+        assert newarray.declared_inline
+
+    def test_dead_code_after_return_pruned(self):
+        program = lower("def f() { return 1; print(2); } def main() { f(); }")
+        f = program.functions["f"]
+        assert not any(isinstance(i, ir.CallBuiltin) for i in f.instructions())
+
+    def test_every_block_terminated(self):
+        program = lower(
+            "def f(x) { if (x) { return 1; } return 2; } def main() { f(1); }"
+        )
+        for block in program.functions["f"].blocks:
+            assert isinstance(block.terminator, ir.TERMINATORS)
+
+    def test_inline_field_annotation_preserved(self):
+        program = lower("class A { var inline f; var g; } def main() { }")
+        assert program.classes["A"].inline_fields == {"f"}
+
+
+class TestLoweredSemantics:
+    """Behavioral checks that the CFG lowering is faithful."""
+
+    def test_short_circuit_and(self):
+        out = output_of(
+            "var hits = 0;\n"
+            "def bump() { hits = hits + 1; return true; }\n"
+            "def main() { var r = false && bump(); print(r, hits); }"
+        )
+        assert out == ["false 0"]
+
+    def test_short_circuit_or(self):
+        out = output_of(
+            "var hits = 0;\n"
+            "def bump() { hits = hits + 1; return false; }\n"
+            "def main() { var r = 7 || bump(); print(r, hits); }"
+        )
+        assert out == ["7 0"]
+
+    def test_and_yields_operand_values(self):
+        assert output_of("def main() { print(2 && 3, 0 && 3); }") == ["3 0"]
+
+    def test_while_with_break_and_continue(self):
+        out = output_of(
+            "def main() {\n"
+            "  var i = 0; var total = 0;\n"
+            "  while (true) {\n"
+            "    i = i + 1;\n"
+            "    if (i > 10) { break; }\n"
+            "    if (i % 2 == 0) { continue; }\n"
+            "    total = total + i;\n"
+            "  }\n"
+            "  print(total);\n"
+            "}"
+        )
+        assert out == ["25"]  # 1+3+5+7+9
+
+    def test_for_continue_still_steps(self):
+        out = output_of(
+            "def main() {\n"
+            "  var n = 0;\n"
+            "  for (var i = 0; i < 5; i = i + 1) { if (i == 2) continue; n = n + i; }\n"
+            "  print(n);\n"
+            "}"
+        )
+        assert out == ["8"]  # 0+1+3+4
+
+    def test_nested_loops_break_inner_only(self):
+        out = output_of(
+            "def main() {\n"
+            "  var count = 0;\n"
+            "  for (var i = 0; i < 3; i = i + 1) {\n"
+            "    for (var j = 0; j < 10; j = j + 1) {\n"
+            "      if (j == 2) { break; }\n"
+            "      count = count + 1;\n"
+            "    }\n"
+            "  }\n"
+            "  print(count);\n"
+            "}"
+        )
+        assert out == ["6"]
+
+    def test_global_initializer_order(self):
+        out = output_of(
+            "var a = 2;\nvar b = a * 10;\ndef main() { print(a, b); }"
+        )
+        assert out == ["2 20"]
+
+    def test_block_scope_shadowing(self):
+        out = output_of(
+            "def main() { var x = 1; { var x = 9; print(x); } print(x); }"
+        )
+        assert out == ["9", "1"]
+
+    def test_function_without_return_yields_nil(self):
+        assert output_of("def f() { } def main() { print(f()); }") == ["nil"]

@@ -1,0 +1,133 @@
+"""Multi-round nested object inlining (the paper's future-work direction).
+
+``optimize(max_rounds > 1)`` prefers innermost candidates and re-runs the
+pipeline on the transformed program, flattening container chains level by
+level.
+"""
+
+from repro.ir import compile_source, validate_program
+from repro.inlining.pipeline import optimize
+from repro.runtime import run_program
+
+NESTED = """
+class P { var v; def init(v) { this.v = v; } }
+class Mid { var p; var tag; def init(p, tag) { this.p = p; this.tag = tag; } }
+class Outer { var m; def init(m) { this.m = m; } }
+def main() {
+  var total = 0;
+  for (var i = 0; i < 5; i = i + 1) {
+    var o = new Outer(new Mid(new P(i), i * 10));
+    total = total + o.m.p.v + o.m.tag;
+  }
+  print(total);
+}
+"""
+
+
+def run_nested(source, **kwargs):
+    program = compile_source(source)
+    base = run_program(program)
+    report = optimize(program, **kwargs)
+    validate_program(report.program)
+    result = run_program(report.program)
+    assert result.output == base.output, (base.output, result.output)
+    return base, result, report
+
+
+class TestNestedInlining:
+    def test_single_round_keeps_outer(self):
+        _, _, report = run_nested(NESTED)
+        assert {c.describe() for c in report.plan.accepted()} == {"Outer.m"}
+        assert report.nested_rounds == 1
+
+    def test_multi_round_flattens_completely(self):
+        base, result, report = run_nested(NESTED, max_rounds=4)
+        assert report.nested_rounds == 2
+        assert {c.describe() for c in report.plan.accepted()} == {"Mid.p"}
+        assert report.nested_candidates == ["Outer.m"]
+        # The final Outer variant holds all three levels in one object.
+        flattened = [
+            cls for name, cls in report.program.classes.items()
+            if cls.source_name and cls.source_name.startswith("Outer")
+            and name != "Outer"
+        ]
+        assert any("m__p__v" in cls.fields for cls in flattened)
+
+    def test_multi_round_allocation_win(self):
+        base, result, _ = run_nested(NESTED, max_rounds=4)
+        # 3 allocations per iteration -> 1 heap object per iteration.
+        assert base.stats.allocations == 15
+        assert result.stats.allocations == 5
+        assert result.stats.stack_allocations == 10
+
+    def test_multi_round_beats_single_round(self):
+        _, single, _ = run_nested(NESTED)
+        _, multi, _ = run_nested(NESTED, max_rounds=4)
+        assert multi.stats.cycles() <= single.stats.cycles()
+        assert multi.stats.allocations <= single.stats.allocations
+
+    def test_four_levels(self):
+        source = """
+class D { var v; def init(v) { this.v = v; } }
+class C { var d; def init(d) { this.d = d; } }
+class B { var c; def init(c) { this.c = c; } }
+class A { var b; def init(b) { this.b = b; } }
+def main() {
+  var total = 0;
+  for (var i = 0; i < 4; i = i + 1) {
+    var a = new A(new B(new C(new D(i))));
+    total = total + a.b.c.d.v;
+  }
+  print(total);
+}
+"""
+        base, result, report = run_nested(source, max_rounds=6)
+        assert report.nested_rounds == 3
+        assert result.stats.allocations == 4  # only the A objects remain
+        flattened = [
+            cls for name, cls in report.program.classes.items()
+            if cls.source_name and cls.source_name.startswith("A") and name != "A"
+        ]
+        # Mangled names compose per round (b__c, then (b__c)__(c__d__v)).
+        assert any(
+            any(f.startswith("b__") and f.endswith("__v") for f in cls.fields)
+            for cls in flattened
+        )
+
+    def test_rounds_stop_when_nothing_accepted(self):
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class C { var f; def init(p) { this.f = p; } }
+def main() { var c = new C(new P(3)); print(c.f.v); }
+"""
+        _, _, report = run_nested(source, max_rounds=5)
+        assert report.nested_rounds <= 2  # one productive round + fixpoint
+
+    def test_rounds_gated_by_inline_arrays(self):
+        """Array-element inlining produces views the analysis cannot
+        re-model; the loop must stop instead of mis-analyzing."""
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+def main() {
+  var a = array(3);
+  for (var i = 0; i < 3; i = i + 1) { a[i] = new P(i); }
+  var t = 0;
+  for (var j = 0; j < 3; j = j + 1) { t = t + a[j].v; }
+  print(t);
+}
+"""
+        base, result, report = run_nested(source, max_rounds=4)
+        assert report.nested_rounds == 1
+
+    def test_noinline_and_manual_ignore_rounds(self):
+        _, _, report = run_nested(NESTED, inline=False, max_rounds=4)
+        assert report.nested_rounds == 1
+        _, _, manual = run_nested(NESTED, manual_only=True, max_rounds=4)
+        assert manual.nested_rounds == 1
+
+    def test_inner_preference_messages(self):
+        _, _, report = run_nested(NESTED, max_rounds=2)
+        reasons = {
+            c.describe(): c.reject_reason for c in report.plan.rejected()
+        }
+        assert "deferred to a later round" in reasons["Outer.m"]

@@ -1,0 +1,277 @@
+"""Unit tests for the scalar optimization passes (opt package)."""
+
+from repro.inlining.pipeline import optimize
+from repro.ir import compile_source, validate_program
+from repro.ir import model as ir
+from repro.opt import (
+    eliminate_dead_code,
+    eliminate_redundant_loads,
+    inline_methods,
+)
+from repro.runtime import run_program
+
+from conftest import RECTANGLE_SOURCE
+
+
+def opt_and_run(source, **passes):
+    program = compile_source(source)
+    base = run_program(program)
+    report = optimize(program, **passes)
+    validate_program(report.program)
+    result = run_program(report.program)
+    assert result.output == base.output, (base.output, result.output)
+    return base, result, report
+
+
+class TestMethodInliner:
+    def test_static_call_spliced(self):
+        program = compile_source(
+            "def tiny(x) { return x + 1; }\n"
+            "def main() { print(tiny(41)); }"
+        )
+        base = run_program(program)
+        stats = inline_methods(program)
+        validate_program(program)
+        assert stats.calls_inlined >= 1
+        assert stats.callables_removed >= 1  # tiny is gone
+        assert "tiny" not in program.functions
+        result = run_program(program)
+        assert result.output == base.output
+        assert result.stats.static_calls < base.stats.static_calls
+
+    def test_method_call_via_super_spliced(self):
+        program = compile_source(
+            "class A { def m() { return 10; } }\n"
+            "class B : A { def m() { return super.m() + 1; } }\n"
+            "def main() { print(new B().m()); }"
+        )
+        base = run_program(program)
+        inline_methods(program)
+        validate_program(program)
+        assert run_program(program).output == base.output
+
+    def test_large_callee_not_inlined(self):
+        body = " ".join(f"t = t + {i};" for i in range(40))
+        program = compile_source(
+            f"def big() {{ var t = 0; {body} return t; }}\n"
+            "def main() { print(big()); }"
+        )
+        stats = inline_methods(program)
+        assert "big" in program.functions
+        assert stats.calls_inlined == 0
+
+    def test_recursive_callee_not_inlined(self):
+        program = compile_source(
+            "def rec(n) { if (n == 0) { return 0; } return rec(n - 1); }\n"
+            "def main() { print(rec(3)); }"
+        )
+        base = run_program(program)
+        inline_methods(program)
+        validate_program(program)
+        assert "rec" in program.functions
+        assert run_program(program).output == base.output
+
+    def test_void_callee(self):
+        program = compile_source(
+            "var log = 0;\n"
+            "def note(v) { log = log + v; }\n"
+            "def main() { note(3); note(4); print(log); }"
+        )
+        base = run_program(program)
+        stats = inline_methods(program)
+        validate_program(program)
+        assert stats.calls_inlined >= 2
+        assert run_program(program).output == base.output == ["7"]
+
+    def test_callee_with_branches(self):
+        program = compile_source(
+            "def pick(x) { if (x > 0) { return 1; } return -1; }\n"
+            "def main() { print(pick(5) + pick(-5)); }"
+        )
+        base = run_program(program)
+        inline_methods(program)
+        validate_program(program)
+        assert run_program(program).output == base.output == ["0"]
+
+    def test_inlining_through_two_levels(self):
+        program = compile_source(
+            "def one() { return 1; }\n"
+            "def two() { return one() + one(); }\n"
+            "def main() { print(two()); }"
+        )
+        base = run_program(program)
+        inline_methods(program)
+        validate_program(program)
+        result = run_program(program)
+        assert result.output == base.output
+        assert result.stats.static_calls == 0
+
+    def test_argument_shuffles_preserved(self):
+        program = compile_source(
+            "def sub(a, b) { return a - b; }\n"
+            "def main() { var x = 10; var y = 3; print(sub(y, x)); }"
+        )
+        base = run_program(program)
+        inline_methods(program)
+        assert run_program(program).output == base.output == ["-7"]
+
+
+class TestLoadCSE:
+    def run_with_counts(self, source):
+        program = compile_source(source)
+        base = run_program(program)
+        stats = eliminate_redundant_loads(program)
+        validate_program(program)
+        result = run_program(program)
+        assert result.output == base.output
+        return base, result, stats
+
+    def test_repeated_field_load_eliminated(self):
+        base, result, stats = self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() { var p = new P(3); print(p.x + p.x + p.x); }"
+        )
+        assert stats.loads_eliminated == 2
+        assert result.stats.heap_reads == base.stats.heap_reads - 2
+
+    def test_store_invalidates_same_field_name(self):
+        base, result, stats = self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() {\n"
+            "  var p = new P(1); var q = new P(2);\n"
+            "  var a = p.x;\n"
+            "  q.x = 9;\n"
+            "  print(a + p.x);\n"  # p.x must reload: q may alias p
+            "}"
+        )
+        assert base.output == ["2"]
+
+    def test_store_forwarding_within_block(self):
+        base, result, stats = self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() { var p = new P(0); p.x = 7; print(p.x); }"
+        )
+        assert base.output == ["7"]
+        assert stats.loads_eliminated == 1
+
+    def test_call_invalidates(self):
+        base, result, _ = self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def poke(p) { p.x = 100; }\n"
+            "def main() { var p = new P(1); var a = p.x; poke(p); print(a + p.x); }"
+        )
+        assert base.output == ["101"]
+
+    def test_pure_builtin_does_not_invalidate(self):
+        _, _, stats = self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() { var p = new P(4.0); var a = sqrt(p.x); print(a + p.x); }"
+        )
+        assert stats.loads_eliminated == 1
+
+    def test_global_load_cached(self):
+        _, _, stats = self.run_with_counts(
+            "var g = 5;\n"
+            "def main() { print(g + g); }"
+        )
+        assert stats.globals_eliminated == 1
+
+    def test_array_len_cached(self):
+        _, _, stats = self.run_with_counts(
+            "def main() { var a = array(4); print(len(a) + len(a)); }"
+        )
+        assert stats.lengths_eliminated == 1
+
+    def test_self_overwriting_load_not_cached(self):
+        self.run_with_counts(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() {\n"
+            "  var box = new P(new P(3));\n"
+            "  var p = box;\n"
+            "  p = p.x;\n"
+            "  print(p.x);\n"
+            "}"
+        )
+
+
+class TestDCE:
+    def test_dead_move_removed(self):
+        program = compile_source("def main() { var unused = 1 + 2; print(9); }")
+        stats = eliminate_dead_code(program)
+        validate_program(program)
+        assert stats.instructions_removed >= 2
+        assert run_program(program).output == ["9"]
+
+    def test_dead_chain_removed_transitively(self):
+        program = compile_source(
+            "def main() { var a = 1; var b = a + 1; var c = b + 1; print(0); }"
+        )
+        stats = eliminate_dead_code(program)
+        assert stats.instructions_removed >= 3
+
+    def test_dead_allocation_without_init_removed(self):
+        # Simulate the post-transform situation: a skip_init New whose
+        # result is unused (the copy rewrite consumed the object).
+        program = compile_source("class P { } def main() { var p = new P(); print(1); }")
+        # Lowered New has no init (class P defines none) but skip_init is
+        # False; flip it the way the transformation does.
+        main = program.functions["main"]
+        for block in main.blocks:
+            block.instrs = [
+                ir.make_instr(
+                    ir.New, i.loc, dest=i.dest, class_name=i.class_name,
+                    args=i.args, on_stack=i.on_stack, skip_init=True,
+                )
+                if isinstance(i, ir.New) else i
+                for i in block.instrs
+            ]
+        stats = eliminate_dead_code(program)
+        assert stats.allocations_removed >= 1
+        assert run_program(program).output == ["1"]
+
+    def test_new_with_constructor_kept(self):
+        program = compile_source(
+            "var seen = 0;\n"
+            "class P { def init() { seen = seen + 1; } }\n"
+            "def main() { new P(); print(seen); }"
+        )
+        eliminate_dead_code(program)
+        assert run_program(program).output == ["1"]
+
+    def test_stores_never_removed(self):
+        program = compile_source(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() { var p = new P(1); p.x = 5; print(p.x); }"
+        )
+        eliminate_dead_code(program)
+        assert run_program(program).output == ["5"]
+
+
+class TestPipelineComposition:
+    def test_all_passes_preserve_rectangle(self):
+        opt_and_run(RECTANGLE_SOURCE)
+
+    def test_passes_individually_toggleable(self):
+        for flags in (
+            {"inline_methods_pass": False},
+            {"cache_loads_pass": False},
+            {"dce_pass": False},
+            {"inline_methods_pass": False, "cache_loads_pass": False, "dce_pass": False},
+        ):
+            opt_and_run(RECTANGLE_SOURCE, **flags)
+
+    def test_passes_reduce_work(self):
+        _, with_passes, _ = opt_and_run(RECTANGLE_SOURCE)
+        _, without, _ = opt_and_run(
+            RECTANGLE_SOURCE,
+            inline_methods_pass=False,
+            cache_loads_pass=False,
+            dce_pass=False,
+        )
+        assert with_passes.stats.cycles() <= without.stats.cycles()
+
+    def test_report_carries_pass_stats(self):
+        _, _, report = opt_and_run(RECTANGLE_SOURCE)
+        assert report.inliner_stats is not None
+        assert report.cse_stats is not None
+        assert report.dce_stats is not None

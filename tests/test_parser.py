@@ -1,0 +1,254 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse_program
+
+
+def parse_expr(text):
+    """Parse `def main() { return <text>; }` and extract the expression."""
+    program = parse_program(f"def main() {{ return {text}; }}")
+    (ret,) = program.functions[0].body
+    return ret.value
+
+
+def parse_stmts(text):
+    program = parse_program(f"def main() {{ {text} }}")
+    return program.functions[0].body
+
+
+class TestDeclarations:
+    def test_empty_program(self):
+        program = parse_program("")
+        assert program.classes == ()
+        assert program.functions == ()
+
+    def test_class_with_fields_and_methods(self):
+        program = parse_program(
+            "class A { var x; var inline y; def m(a, b) { return a; } }"
+        )
+        cls = program.classes[0]
+        assert cls.name == "A"
+        assert cls.superclass is None
+        assert [f.name for f in cls.fields] == ["x", "y"]
+        assert [f.declared_inline for f in cls.fields] == [False, True]
+        assert cls.methods[0].name == "m"
+        assert cls.methods[0].params == ("a", "b")
+
+    def test_subclass(self):
+        program = parse_program("class A {} class B : A {}")
+        assert program.classes[1].superclass == "A"
+
+    def test_global_with_initializer(self):
+        program = parse_program("var g = 5;")
+        assert program.globals[0].name == "g"
+        assert isinstance(program.globals[0].init, ast.IntLiteral)
+
+    def test_global_without_initializer(self):
+        program = parse_program("var g;")
+        assert program.globals[0].init is None
+
+    def test_function(self):
+        program = parse_program("def f(x) { return x; }")
+        assert program.find_function("f") is not None
+        assert program.find_function("nope") is None
+        assert program.find_class("f") is None
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("def f(a, a) { }")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse_program("5 + 5;")
+
+    def test_missing_class_body(self):
+        with pytest.raises(ParseError):
+            parse_program("class A")
+
+    def test_field_requires_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { var x }")
+
+
+class TestStatements:
+    def test_var_decl(self):
+        (stmt,) = parse_stmts("var x = 1;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_assignment_to_name(self):
+        stmts = parse_stmts("var x = 1; x = 2;")
+        assert isinstance(stmts[1], ast.Assign)
+        assert isinstance(stmts[1].target, ast.NameRef)
+
+    def test_assignment_to_field(self):
+        (stmt,) = parse_stmts("this.f = 2;")
+        assert isinstance(stmt.target, ast.FieldAccess)
+
+    def test_assignment_to_index(self):
+        stmts = parse_stmts("var a = array(3); a[0] = 2;")
+        assert isinstance(stmts[1].target, ast.IndexAccess)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_stmts("1 + 2 = 3;")
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (1) { return 1; } else { return 2; }")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        (stmt,) = parse_stmts("if (1) return 1;")
+        assert stmt.else_body == ()
+
+    def test_dangling_else_binds_to_inner_if(self):
+        (stmt,) = parse_stmts("if (1) if (2) return 1; else return 2;")
+        assert stmt.else_body == ()
+        inner = stmt.then_body[0]
+        assert isinstance(inner, ast.If)
+        assert len(inner.else_body) == 1
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (1) { break; }")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.body[0], ast.Break)
+
+    def test_for_full_header(self):
+        (stmt,) = parse_stmts("for (var i = 0; i < 3; i = i + 1) { continue; }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None
+        assert stmt.condition is not None
+        assert stmt.step is not None
+
+    def test_for_empty_header(self):
+        (stmt,) = parse_stmts("for (;;) { break; }")
+        assert stmt.init is None and stmt.condition is None and stmt.step is None
+
+    def test_return_without_value(self):
+        (stmt,) = parse_stmts("return;")
+        assert stmt.value is None
+
+    def test_nested_block(self):
+        (stmt,) = parse_stmts("{ var x = 1; }")
+        assert isinstance(stmt, ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmts("var x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("def main() { if (1) {")
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert isinstance(parse_expr("42"), ast.IntLiteral)
+        assert isinstance(parse_expr("4.5"), ast.FloatLiteral)
+        assert isinstance(parse_expr('"s"'), ast.StringLiteral)
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+        assert isinstance(parse_expr("nil"), ast.NilLiteral)
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_add_over_comparison(self):
+        expr = parse_expr("1 + 2 < 3 + 4")
+        assert expr.op == "<"
+
+    def test_precedence_comparison_over_equality(self):
+        expr = parse_expr("1 < 2 == 3 < 4")
+        assert expr.op == "=="
+
+    def test_precedence_equality_over_and(self):
+        expr = parse_expr("1 == 2 && 3 == 4")
+        assert expr.op == "&&"
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("1 || 2 && 3")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 3
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus_binds_tighter_than_mul(self):
+        expr = parse_expr("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_double_negation(self):
+        expr = parse_expr("!!x")
+        assert isinstance(expr.operand, ast.UnaryOp)
+
+    def test_field_access_chain(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.field_name == "c"
+        assert expr.obj.field_name == "b"
+
+    def test_method_call(self):
+        expr = parse_expr("a.m(1, 2)")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.method_name == "m"
+        assert len(expr.args) == 2
+
+    def test_method_call_on_call_result(self):
+        expr = parse_expr("a.m().n()")
+        assert expr.method_name == "n"
+        assert isinstance(expr.receiver, ast.MethodCall)
+
+    def test_index_chain(self):
+        expr = parse_expr("a[0][1]")
+        assert isinstance(expr, ast.IndexAccess)
+        assert isinstance(expr.array, ast.IndexAccess)
+
+    def test_mixed_postfix(self):
+        expr = parse_expr("a.b[0].m()")
+        assert isinstance(expr, ast.MethodCall)
+
+    def test_new_expression(self):
+        expr = parse_expr("new Point(1, 2)")
+        assert isinstance(expr, ast.NewObject)
+        assert expr.class_name == "Point"
+
+    def test_new_requires_args_parens(self):
+        with pytest.raises(ParseError):
+            parse_expr("new Point")
+
+    def test_super_call(self):
+        program = parse_program(
+            "class A { def m() { return 0; } } "
+            "class B : A { def m() { return super.m(); } }"
+        )
+        ret = program.classes[1].methods[0].body[0]
+        assert isinstance(ret.value, ast.SuperCall)
+
+    def test_function_call_vs_name(self):
+        assert isinstance(parse_expr("f(1)"), ast.FunctionCall)
+        assert isinstance(parse_expr("f"), ast.NameRef)
+
+    def test_this(self):
+        assert isinstance(parse_expr("this"), ast.ThisRef)
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")

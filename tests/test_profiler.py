@@ -1,0 +1,65 @@
+"""Profiler tests."""
+
+from repro.ir import compile_source
+from repro.runtime import profile_program
+
+SOURCE = """
+class P { var v; def init(v) { this.v = v; } def get() { return this.v; } }
+def hot() {
+  var t = 0;
+  for (var i = 0; i < 50; i = i + 1) { t = t + new P(i).get(); }
+  return t;
+}
+def cold() { return 1; }
+def main() { print(hot() + cold()); }
+"""
+
+
+class TestProfiler:
+    def test_output_matches_plain_run(self):
+        from repro.runtime import run_program
+
+        program = compile_source(SOURCE)
+        assert profile_program(program).result.output == run_program(program).output
+
+    def test_call_counts(self):
+        report = profile_program(compile_source(SOURCE))
+        assert report.profiles["hot"].calls == 1
+        assert report.profiles["cold"].calls == 1
+        assert report.profiles["P::init"].calls == 50
+        assert report.profiles["P::get"].calls == 50
+
+    def test_inclusive_attribution(self):
+        report = profile_program(compile_source(SOURCE))
+        # Inclusive: main subsumes hot, hot subsumes the P methods.
+        assert report.profiles["main"].cycles >= report.profiles["hot"].cycles
+        assert report.profiles["hot"].cycles > report.profiles["cold"].cycles
+        assert (
+            report.profiles["hot"].instructions
+            >= report.profiles["P::get"].instructions
+        )
+
+    def test_hottest_ordering(self):
+        report = profile_program(compile_source(SOURCE))
+        hottest = report.hottest(3)
+        assert hottest[0].name == "main"
+        cycles = [p.cycles for p in hottest]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_render(self):
+        report = profile_program(compile_source(SOURCE))
+        text = report.render(limit=5)
+        assert "main" in text
+        assert "%" in text
+
+
+class TestProfilerCLI:
+    def test_profile_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.icc"
+        path.write_text(SOURCE)
+        assert main(["run", str(path), "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "hot" in captured.err
+        assert captured.out.strip() == "1226"

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis).
+
+The headline property: for randomly generated programs, the object
+inlining transformation preserves observable output exactly, in every
+build configuration.  The generator produces container/child structures
+deliberately shaped to sometimes inline and sometimes be rejected
+(aliasing, nil stores, identity compares, reassignment).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.inlining.pipeline import optimize
+from repro.ir import compile_source, validate_program
+from repro.runtime import run_program
+from repro.runtime.cache import CacheConfig, CacheSimulator
+
+# ----------------------------------------------------------------------
+# Random program generator.
+#
+# Programs follow a template: a child class with 1-3 int fields, a
+# container class holding one child field, a driver loop creating
+# containers and reading child state, plus optional "hazards" that should
+# flip individual candidates to rejected without ever breaking
+# equivalence.
+
+_HAZARDS = (
+    "none",
+    "use_after_store",
+    "store_nil_sometimes",
+    "identity_compare",
+    "reassign_field",
+    "share_global",
+)
+
+
+@st.composite
+def programs(draw):
+    num_child_fields = draw(st.integers(min_value=1, max_value=3))
+    loop_count = draw(st.integers(min_value=1, max_value=6))
+    hazard = draw(st.sampled_from(_HAZARDS))
+    use_array = draw(st.booleans())
+    read_via_helper = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=99))
+
+    fields = [f"f{i}" for i in range(num_child_fields)]
+    lines = []
+    lines.append("class Child {")
+    for name in fields:
+        lines.append(f"  var {name};")
+    params = ", ".join(f"p{i}" for i in range(num_child_fields))
+    lines.append(f"  def init({params}) {{")
+    for index, name in enumerate(fields):
+        lines.append(f"    this.{name} = p{index};")
+    lines.append("  }")
+    total = " + ".join(f"this.{name}" for name in fields)
+    lines.append(f"  def total() {{ return {total}; }}")
+    lines.append("}")
+
+    lines.append("class Box { var kid; def init(k) { this.kid = k; } }")
+    if hazard == "reassign_field":
+        lines.append(
+            "def swap(b, k) { b.kid = k; }"
+        )
+    if read_via_helper:
+        lines.append("def peek(b) { return b.kid; }")
+    if hazard == "share_global":
+        lines.append("var shared = nil;")
+
+    args = ", ".join(f"i + {seed + j}" for j in range(num_child_fields))
+    lines.append("def main() {")
+    lines.append("  var acc = 0;")
+    if use_array:
+        lines.append(f"  var slots = array({loop_count});")
+    lines.append(f"  for (var i = 0; i < {loop_count}; i = i + 1) {{")
+    lines.append(f"    var kid = new Child({args});")
+    if hazard == "store_nil_sometimes":
+        lines.append("    var payload = kid;")
+        lines.append("    if (i % 2 == 0) { payload = nil; }")
+        lines.append("    var b = new Box(payload);")
+        lines.append("    if (b.kid != nil) { acc = acc + b.kid.total(); }")
+    else:
+        lines.append("    var b = new Box(kid);")
+        if hazard == "use_after_store":
+            lines.append("    acc = acc + kid.total();")
+        if hazard == "share_global":
+            lines.append("    shared = b.kid;")
+        if hazard == "identity_compare":
+            lines.append("    if (b.kid == b.kid) { acc = acc + 1; }")
+        if hazard == "reassign_field":
+            lines.append(f"    swap(b, new Child({args}));")
+        if read_via_helper:
+            lines.append("    acc = acc + peek(b).total();")
+        else:
+            lines.append("    acc = acc + b.kid.total();")
+    if use_array:
+        lines.append("    slots[i] = b;")
+    lines.append("  }")
+    if use_array:
+        lines.append(f"  for (var j = 0; j < {loop_count}; j = j + 1) {{")
+        lines.append("    var bx = slots[j];")
+        lines.append("    if (bx.kid != nil) { acc = acc + bx.kid.total(); }")
+        lines.append("  }")
+    if hazard == "share_global":
+        lines.append("  if (shared != nil) { acc = acc + shared.total(); }")
+    lines.append("  print(acc);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(source=programs())
+def test_optimization_preserves_output(source):
+    program = compile_source(source)
+    base = run_program(program)
+    for kwargs in ({"inline": True}, {"inline": False}, {"manual_only": True}):
+        report = optimize(program, **kwargs)
+        validate_program(report.program)
+        result = run_program(report.program)
+        assert result.output == base.output, (kwargs, source)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(source=programs())
+def test_optimized_program_revalidates(source):
+    report = optimize(compile_source(source))
+    validate_program(report.program)
+    # Accepted candidates and rejected candidates partition all candidates.
+    plan = report.plan
+    assert len(plan.accepted()) + len(plan.rejected()) == len(plan.candidates)
+
+
+# ----------------------------------------------------------------------
+# Expression-level semantics: lowering + VM vs a Python oracle.
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(min_value=-30, max_value=30)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+@settings(max_examples=80, deadline=None)
+@given(expr=int_exprs())
+def test_integer_arithmetic_matches_python(expr):
+    result = run_program(compile_source(f"def main() {{ print({expr}); }}"))
+    assert result.output == [str(eval(expr))]
+
+
+# ----------------------------------------------------------------------
+# Cache simulator properties.
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200)
+)
+def test_cache_hit_plus_miss_equals_accesses(addresses):
+    cache = CacheSimulator(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.accesses == len(addresses)
+    assert 0 <= stats.misses <= stats.accesses
+
+@settings(max_examples=50, deadline=None)
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=100)
+)
+def test_cache_repeat_run_is_deterministic(addresses):
+    def run():
+        cache = CacheSimulator(CacheConfig(size_bytes=512, line_bytes=32, associativity=1))
+        for address in addresses:
+            cache.access(address)
+        return cache.stats.misses
+
+    assert run() == run()
+
+
+@settings(max_examples=50, deadline=None)
+@given(address=st.integers(min_value=0, max_value=1 << 20))
+def test_cache_immediate_rereference_hits(address):
+    cache = CacheSimulator()
+    cache.access(address)
+    assert cache.access(address) is True
+
+
+# ----------------------------------------------------------------------
+# Nested (multi-round) inlining equivalence.
+
+
+@st.composite
+def nested_programs(draw):
+    depth = draw(st.integers(min_value=2, max_value=4))
+    loop_count = draw(st.integers(min_value=1, max_value=5))
+    reuse_middle = draw(st.booleans())  # hazard: alias a middle level
+    seed = draw(st.integers(min_value=0, max_value=20))
+
+    lines = ["class L0 { var v; def init(v) { this.v = v; } }"]
+    for level in range(1, depth + 1):
+        lines.append(
+            f"class L{level} {{ var inner; "
+            f"def init(i) {{ this.inner = i; }} }}"
+        )
+    chain = f"new L0(i + {seed})"
+    for level in range(1, depth + 1):
+        chain = f"new L{level}({chain})"
+    access = "o" + ".inner" * depth + ".v"
+    lines.append("def main() {")
+    lines.append("  var acc = 0;")
+    lines.append(f"  for (var i = 0; i < {loop_count}; i = i + 1) {{")
+    lines.append(f"    var o = {chain};")
+    if reuse_middle:
+        lines.append("    var mid = o.inner;")
+        lines.append("    acc = acc + mid" + ".inner" * (depth - 1) + ".v;")
+    lines.append(f"    acc = acc + {access};")
+    lines.append("  }")
+    lines.append("  print(acc);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(source=nested_programs())
+def test_multi_round_inlining_preserves_output(source):
+    program = compile_source(source)
+    base = run_program(program)
+    for rounds in (1, 3, 6):
+        report = optimize(program, max_rounds=rounds)
+        validate_program(report.program)
+        result = run_program(report.program)
+        assert result.output == base.output, (rounds, source)

@@ -1,0 +1,23 @@
+"""Markdown report generator tests (on tiny programs via monkeypatching
+the benchmark registry would be heavyweight; the report itself is
+exercised end-to-end by the CLI in the benchmark suite, so these tests
+cover the formatting helpers)."""
+
+from repro.bench.report import _markdown_table
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        text = _markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_float_formatting(self):
+        text = _markdown_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_empty_rows(self):
+        text = _markdown_table(["x"], [])
+        assert text.splitlines() == ["| x |", "|---|"]

@@ -1,0 +1,104 @@
+"""Stress and scale tests: deep recursion, many classes, large arrays,
+long candidate lists — the places where caps, GC, and recursion limits
+must hold up."""
+
+from repro.ir import compile_source
+from repro.runtime import run_program
+
+from conftest import check_equivalence
+
+
+class TestScale:
+    def test_deep_recursion(self):
+        result = run_program(
+            compile_source(
+                "def down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }\n"
+                "def main() { print(down(2000)); }"
+            )
+        )
+        assert result.output == ["2000"]
+        assert result.stats.max_call_depth >= 2000
+
+    def test_many_classes_optimize(self):
+        lines = []
+        mains = []
+        for index in range(30):
+            lines.append(
+                f"class R{index} {{ var v; def init(v) {{ this.v = v; }} }}"
+            )
+            lines.append(
+                f"class C{index} {{ var f; def init(p) {{ this.f = p; }} }}"
+            )
+            mains.append(f"var c{index} = new C{index}(new R{index}({index}));")
+            mains.append(f"acc = acc + c{index}.f.v;")
+        lines.append(
+            "def main() { var acc = 0; " + " ".join(mains) + " print(acc); }"
+        )
+        base, _, report = check_equivalence("\n".join(lines))
+        assert base.output == [str(sum(range(30)))]
+        assert len(report.plan.accepted()) == 30
+
+    def test_large_inline_array(self):
+        source = """
+class P { var a; var b; def init(a, b) { this.a = a; this.b = b; } }
+def main() {
+  var n = 2000;
+  var xs = inline_array(n);
+  for (var i = 0; i < n; i = i + 1) { xs[i] = new P(i, i * 2); }
+  var t = 0;
+  for (var j = 0; j < n; j = j + 1) { t = t + xs[j].a + xs[j].b; }
+  print(t);
+}
+"""
+        base, opt, report = check_equivalence(source)
+        assert opt.stats.allocations < base.stats.allocations
+
+    def test_deep_inheritance_chain(self):
+        lines = ["class C0 { var f0; def m0() { return 0; } }"]
+        for index in range(1, 12):
+            lines.append(
+                f"class C{index} : C{index - 1} "
+                f"{{ var f{index}; def m{index}() {{ return {index}; }} }}"
+            )
+        lines.append(
+            "def main() { var o = new C11(); print(o.m0() + o.m11()); }"
+        )
+        base, _, _ = check_equivalence("\n".join(lines))
+        assert base.output == ["11"]
+
+    def test_wide_method_fanout(self):
+        """One dynamic send over many receiver classes must stay correct
+        (dispatch demands across many partitions)."""
+        lines = ["class Base { def tag() { return 0; } }"]
+        for index in range(1, 10):
+            lines.append(
+                f"class K{index} : Base {{ def tag() {{ return {index}; }} }}"
+            )
+        picks = " ".join(
+            f"if (i == {index}) {{ return new K{index}(); }}" for index in range(1, 10)
+        )
+        lines.append(f"def pick(i) {{ {picks} return new Base(); }}")
+        lines.append(
+            "def main() {\n"
+            "  var t = 0;\n"
+            "  for (var i = 0; i < 10; i = i + 1) { t = t + pick(i).tag(); }\n"
+            "  print(t);\n"
+            "}"
+        )
+        base, _, _ = check_equivalence("\n".join(lines))
+        assert base.output == ["45"]
+
+    def test_long_cons_chain_analysis_terminates(self):
+        source = """
+class Cons { var v; var next; def init(v, n) { this.v = v; this.next = n; } }
+def main() {
+  var l = nil;
+  for (var i = 0; i < 500; i = i + 1) { l = new Cons(i, l); }
+  var t = 0;
+  var p = l;
+  while (p != nil) { t = t + p.v; p = p.next; }
+  print(t);
+}
+"""
+        base, _, _ = check_equivalence(source)
+        assert base.output == [str(sum(range(500)))]

@@ -1,0 +1,388 @@
+"""End-to-end transformation tests.
+
+The backbone invariant — identical observable output before and after the
+optimization — is checked on a battery of programs exercising each rewrite
+(field elision/renaming, copy expansion, class variants, element views,
+embedded arrays, stack allocation, devirtualization).
+"""
+
+import pytest
+
+from repro.cloning.variants import mangle, mangle_indexed
+from repro.ir import model as ir
+from repro.runtime import run_program
+
+from conftest import RECTANGLE_SOURCE, check_equivalence
+
+
+class TestRunningExample:
+    def test_output_equivalence(self):
+        base, opt, report = check_equivalence(RECTANGLE_SOURCE)
+        assert len(report.plan.accepted()) == 2
+
+    def test_class_variants_created(self):
+        _, _, report = check_equivalence(RECTANGLE_SOURCE)
+        variants = [
+            name for name, cls in report.program.classes.items()
+            if cls.source_name == "Rectangle" and name != "Rectangle"
+        ]
+        assert len(variants) == 2  # Point-holding and Point3D-holding
+
+    def test_layout_rule(self):
+        """§5.2: the child's first field replaces the inlined slot; the
+        rest are appended at the end of the container's own segment."""
+        _, _, report = check_equivalence(RECTANGLE_SOURCE)
+        for name, cls in report.program.classes.items():
+            if cls.source_name != "Rectangle" or name == "Rectangle":
+                continue
+            fields = cls.fields
+            assert fields[0] == mangle("lower_left", "x_pos")
+            assert fields[1] == mangle("upper_right", "x_pos")
+            assert mangle("lower_left", "y_pos") in fields[2:]
+            assert "lower_left" not in fields
+
+    def test_inlined_state_metadata(self):
+        _, _, report = check_equivalence(RECTANGLE_SOURCE)
+        variant = next(
+            cls for name, cls in report.program.classes.items()
+            if cls.source_name == "Rectangle" and name != "Rectangle"
+        )
+        info = variant.inlined_state["lower_left"]
+        assert info.container_field("x_pos") == mangle("lower_left", "x_pos")
+
+    def test_allocations_become_stack(self):
+        base, opt, _ = check_equivalence(RECTANGLE_SOURCE)
+        assert opt.stats.stack_allocations >= 4  # the four points
+        assert opt.stats.allocations < base.stats.allocations
+
+    def test_dereferences_reduced(self):
+        base, opt, _ = check_equivalence(RECTANGLE_SOURCE)
+        assert opt.stats.dynamic_dispatches <= base.stats.dynamic_dispatches
+
+
+class TestFieldInlining:
+    def test_simple_field(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() { var c = new C(new P(42)); print(c.f.v); }"
+        )
+
+    def test_mutation_through_view(self):
+        base, opt, report = check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() {\n"
+            "  var c = new C(new P(1));\n"
+            "  var p = c.f;\n"
+            "  p.v = 99;\n"
+            "  print(c.f.v, p.v);\n"
+            "}"
+        )
+        assert base.output == ["99 99"]
+        assert report.plan.accepted()
+
+    def test_method_call_on_inlined_value(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } def dbl() { return this.v * 2; } }\n"
+            "class C { var f; def init(p) { this.f = p; } def go() { return this.f.dbl(); } }\n"
+            "def main() { print(new C(new P(21)).go()); }"
+        )
+
+    def test_inlined_value_through_wrapper(self):
+        """The head(l) pattern: reads through an uninlined container must
+        statically bind to the container clone."""
+        base, opt, report = check_equivalence(RECTANGLE_SOURCE)
+        assert base.output == opt.output
+
+    def test_nested_containers_one_level_only(self):
+        base, opt, report = check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class Mid { var p; def init(p) { this.p = p; } }\n"
+            "class Outer { var m; def init(m) { this.m = m; } }\n"
+            "def main() {\n"
+            "  var o = new Outer(new Mid(new P(7)));\n"
+            "  print(o.m.p.v);\n"
+            "}"
+        )
+        accepted = {c.describe() for c in report.plan.accepted()}
+        # One level inlines (the outer); the nested inner is deferred.
+        assert "Outer.m" in accepted
+        assert "Mid.p" not in accepted
+
+    def test_deep_inheritance_variants(self):
+        check_equivalence(
+            "class R { var v; def init(v) { this.v = v; } }\n"
+            "class A { var f; def init(r) { this.f = r; } def get() { return this.f.v; } }\n"
+            "class B : A { var extra; }\n"
+            "def main() {\n"
+            "  var a = new A(new R(1));\n"
+            "  var b = new B(new R(2));\n"
+            "  print(a.get() + b.get());\n"
+            "}"
+        )
+
+    def test_super_calls_in_variants(self):
+        check_equivalence(
+            "class R { var v; def init(v) { this.v = v; } }\n"
+            "class A { var f; def init(r) { this.f = r; } def m() { return this.f.v; } }\n"
+            "class B : A { def m() { return super.m() + 10; } }\n"
+            "def main() { print(new B(new R(5)).m()); }"
+        )
+
+
+class TestArrayInlining:
+    SOURCE = (
+        "class P { var x; var y; def init(x, y) { this.x = x; this.y = y; }\n"
+        "  def total() { return this.x + this.y; } }\n"
+        "def main() {\n"
+        "  var a = array(5);\n"
+        "  for (var i = 0; i < 5; i = i + 1) { a[i] = new P(i, i * 10); }\n"
+        "  var t = 0;\n"
+        "  for (var j = 0; j < 5; j = j + 1) { t = t + a[j].total(); }\n"
+        "  print(t, len(a));\n"
+        "}"
+    )
+
+    def test_element_views(self):
+        base, opt, report = check_equivalence(self.SOURCE)
+        accepted = {c.kind for c in report.plan.accepted()}
+        assert "array" in accepted
+        assert any(
+            isinstance(i, ir.MakeView)
+            for c in report.program.callables()
+            for i in c.instructions()
+        )
+
+    def test_element_allocation_elided(self):
+        base, opt, _ = check_equivalence(self.SOURCE)
+        assert opt.stats.allocations < base.stats.allocations
+        assert opt.stats.stack_allocations == 5
+
+    def test_view_mutation(self):
+        check_equivalence(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() {\n"
+            "  var a = array(3);\n"
+            "  for (var i = 0; i < 3; i = i + 1) { a[i] = new P(0); }\n"
+            "  var p = a[1];\n"
+            "  p.x = 7;\n"
+            "  var q = a[1];\n"
+            "  print(q.x);\n"
+            "}"
+        )
+
+    def test_views_stored_in_other_structures(self):
+        """Views are first-class: storing one in a plain field must work."""
+        check_equivalence(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "class Holder { var item; def init(i) { this.item = i; } }\n"
+            "def main() {\n"
+            "  var a = array(2);\n"
+            "  a[0] = new P(5);\n"
+            "  a[1] = new P(6);\n"
+            "  var h = new Holder(a[0]);\n"
+            "  print(h.item.x);\n"
+            "}"
+        )
+
+    def test_slot_overwrite_by_value(self):
+        check_equivalence(
+            "class P { var x; def init(x) { this.x = x; } }\n"
+            "def main() {\n"
+            "  var a = array(2);\n"
+            "  a[0] = new P(1);\n"
+            "  a[1] = new P(2);\n"
+            "  a[0] = new P(100);\n"
+            "  print(a[0].x, a[1].x);\n"
+            "}"
+        )
+
+
+class TestEmbeddedArrays:
+    SOURCE = (
+        "class C { var tag; var d;\n"
+        "  def init(tag) {\n"
+        "    this.tag = tag;\n"
+        "    var a = array(4);\n"
+        "    for (var i = 0; i < 4; i = i + 1) { a[i] = i * i; }\n"
+        "    this.d = a;\n"
+        "  }\n"
+        "  def sum() {\n"
+        "    var a = this.d; var t = 0;\n"
+        "    for (var i = 0; i < len(a); i = i + 1) { t = t + a[i]; }\n"
+        "    return t;\n"
+        "  }\n"
+        "  def poke(i, v) { var a = this.d; a[i] = v; }\n"
+        "}\n"
+        "def main() {\n"
+        "  var c = new C(9);\n"
+        "  c.poke(0, 100);\n"
+        "  print(c.sum(), c.tag);\n"
+        "}"
+    )
+
+    def test_embedded_array_equivalence(self):
+        base, opt, report = check_equivalence(self.SOURCE)
+        assert "C.d" in {c.describe() for c in report.plan.accepted()}
+
+    def test_embedded_slots_in_layout(self):
+        _, _, report = check_equivalence(self.SOURCE)
+        variant = next(
+            cls for name, cls in report.program.classes.items()
+            if cls.source_name == "C" and name != "C"
+        )
+        assert mangle_indexed("d", 0) in variant.fields
+        assert mangle_indexed("d", 3) in variant.fields
+
+    def test_indexed_instructions_emitted(self):
+        _, _, report = check_equivalence(self.SOURCE)
+        kinds = {
+            type(i).__name__
+            for c in report.program.callables()
+            for i in c.instructions()
+        }
+        assert "GetFieldIndexed" in kinds
+        assert "SetFieldIndexed" in kinds
+
+    def test_len_becomes_constant(self):
+        _, _, report = check_equivalence(self.SOURCE)
+        variant = next(
+            cls for name, cls in report.program.classes.items()
+            if cls.source_name == "C" and name != "C"
+        )
+        sum_clone = variant.methods["sum"]
+        assert not any(
+            isinstance(i, ir.ArrayLen) for i in sum_clone.instructions()
+        )
+        assert any(
+            isinstance(i, ir.Const) and i.value == 4
+            for i in sum_clone.instructions()
+        )
+
+
+class TestDevirtualization:
+    def test_monomorphic_send_static(self):
+        base, opt, _ = check_equivalence(
+            "class A { def m() { return 3; } }\n"
+            "def main() { var a = new A(); print(a.m()); }",
+            inline=False,
+        )
+        assert opt.stats.dynamic_dispatches == 0
+
+    def test_polymorphic_send_stays_dynamic(self):
+        base, opt, _ = check_equivalence(
+            "class A { def m() { return 1; } }\n"
+            "class B : A { def m() { return 2; } }\n"
+            "def pick(i) { if (i == 0) { return new A(); } return new B(); }\n"
+            "def main() {\n"
+            "  var t = 0;\n"
+            "  for (var i = 0; i < 2; i = i + 1) { t = t + pick(i).m(); }\n"
+            "  print(t);\n"
+            "}",
+            inline=False,
+        )
+        assert base.output == ["3"]
+        assert opt.stats.dynamic_dispatches > 0
+
+    def test_possibly_nil_receiver_keeps_error(self):
+        source = (
+            "class A { def m() { return 1; } }\n"
+            "def main() {\n"
+            "  var a = nil;\n"
+            "  if (false) { a = new A(); }\n"
+            "  print(a.m());\n"
+            "}"
+        )
+        from repro.ir import compile_source
+        from repro.inlining.pipeline import optimize
+        from repro.runtime import ReproRuntimeError
+
+        report = optimize(compile_source(source), inline=False)
+        with pytest.raises(ReproRuntimeError):
+            run_program(report.program)
+
+
+class TestBuildModes:
+    def test_manual_only_respects_annotations(self):
+        source = (
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var inline a; var b;\n"
+            "  def init(x, y) { this.a = x; this.b = y; }\n"
+            "}\n"
+            "def main() { var c = new C(new P(1), new P(2)); print(c.a.v + c.b.v); }"
+        )
+        _, _, manual = check_equivalence(source, manual_only=True)
+        accepted = {c.describe() for c in manual.plan.accepted()}
+        assert accepted == {"C.a"}
+        _, _, auto = check_equivalence(source, inline=True)
+        assert {c.describe() for c in auto.plan.accepted()} == {"C.a", "C.b"}
+
+    def test_noinline_accepts_nothing(self):
+        _, _, report = check_equivalence(RECTANGLE_SOURCE, inline=False)
+        assert report.plan.accepted() == []
+
+    def test_idempotent_runs(self):
+        # Optimizing twice from the same source yields the same decisions.
+        _, _, first = check_equivalence(RECTANGLE_SOURCE)
+        _, _, second = check_equivalence(RECTANGLE_SOURCE)
+        names = lambda r: sorted(c.describe() for c in r.plan.accepted())
+        assert names(first) == names(second)
+
+
+class TestTrickyPrograms:
+    def test_conditional_construction(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() {\n"
+            "  var total = 0;\n"
+            "  for (var i = 0; i < 4; i = i + 1) {\n"
+            "    var c = new C(new P(i));\n"
+            "    total = total + c.f.v;\n"
+            "  }\n"
+            "  print(total);\n"
+            "}"
+        )
+
+    def test_field_inlining_with_globals_holding_container(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "var keep = nil;\n"
+            "def main() {\n"
+            "  keep = new C(new P(8));\n"
+            "  print(keep.f.v);\n"
+            "}"
+        )
+
+    def test_two_containers_same_child_class(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C1 { var f; def init(p) { this.f = p; } }\n"
+            "class C2 { var g; def init(p) { this.g = p; } }\n"
+            "def main() {\n"
+            "  var a = new C1(new P(1));\n"
+            "  var b = new C2(new P(2));\n"
+            "  print(a.f.v + b.g.v);\n"
+            "}"
+        )
+
+    def test_container_inside_loop_in_function(self):
+        check_equivalence(
+            "class P { var v; def init(v) { this.v = v; } }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def work(i) { var c = new C(new P(i)); return c.f.v * 2; }\n"
+            "def main() {\n"
+            "  var t = 0;\n"
+            "  for (var i = 0; i < 5; i = i + 1) { t = t + work(i); }\n"
+            "  print(t);\n"
+            "}"
+        )
+
+    def test_print_of_inlined_object_is_stable(self):
+        check_equivalence(
+            "class P { }\n"
+            "class C { var f; def init(p) { this.f = p; } }\n"
+            "def main() { var c = new C(new P()); print(c.f); }"
+        )

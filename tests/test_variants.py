@@ -1,0 +1,117 @@
+"""Class-cloning (VariantMap) unit tests."""
+
+from repro.analysis import analyze
+from repro.cloning.variants import VariantMap, mangle, mangle_indexed
+from repro.inlining.decisions import DecisionEngine
+from repro.ir import compile_source
+
+from conftest import RECTANGLE_SOURCE
+
+
+def variants_for(source):
+    program = compile_source(source)
+    result = analyze(program)
+    plan = DecisionEngine(result).plan()
+    return VariantMap(result, plan), result, plan
+
+
+class TestMangling:
+    def test_mangle(self):
+        assert mangle("lower_left", "x_pos") == "lower_left__x_pos"
+
+    def test_mangle_indexed(self):
+        assert mangle_indexed("data", 3) == "data__3"
+
+    def test_mangles_are_distinct_per_field(self):
+        assert mangle("a", "x") != mangle("b", "x")
+        assert mangle("a", "x") != mangle("a", "y")
+
+
+class TestVariantCreation:
+    def test_one_variant_per_child_class(self):
+        variant_map, result, plan = variants_for(RECTANGLE_SOURCE)
+        rect_variants = [
+            info for info in variant_map.variants.values()
+            if info.source_class == "Rectangle"
+        ]
+        assert len(rect_variants) == 2
+
+    def test_unaffected_class_keeps_name(self):
+        variant_map, result, plan = variants_for(RECTANGLE_SOURCE)
+        for contour in result.manager.object_contours.values():
+            if contour.class_name == "List":
+                assert variant_map.variant_name(contour.id) == "List"
+
+    def test_affected_contours_map_to_variants(self):
+        variant_map, result, plan = variants_for(RECTANGLE_SOURCE)
+        for contour in result.manager.object_contours.values():
+            if contour.class_name == "Rectangle":
+                assert variant_map.variant_name(contour.id).startswith("Rectangle$")
+
+    def test_subclass_variant_links_to_parent_variant(self):
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class Base { var f; def init(p) { this.f = p; } }
+class Derived : Base { var extra; }
+def main() {
+  var b = new Base(new P(1));
+  var d = new Derived(new P(2));
+  print(b.f.v + d.f.v);
+}
+"""
+        variant_map, result, plan = variants_for(source)
+        derived = next(
+            info for info in variant_map.variants.values()
+            if info.source_class == "Derived"
+        )
+        assert derived.parent is not None
+        assert variant_map.variants[derived.parent].source_class == "Base"
+
+    def test_emit_classes_layout(self):
+        variant_map, result, plan = variants_for(RECTANGLE_SOURCE)
+        emitted = {}
+        variant_map.emit_classes(emitted)
+        variant = next(
+            cls for cls in emitted.values()
+            if cls.source_name == "Rectangle"
+        )
+        # First child field replaces the slot; remaining fields appended.
+        assert variant.fields[0].startswith("lower_left__")
+        assert variant.fields[1].startswith("upper_right__")
+        assert "lower_left" not in variant.fields
+        assert "upper_right" not in variant.fields
+
+    def test_point3d_variant_has_extra_state(self):
+        variant_map, result, plan = variants_for(RECTANGLE_SOURCE)
+        emitted = {}
+        variant_map.emit_classes(emitted)
+        field_sets = [
+            set(cls.fields) for cls in emitted.values()
+            if cls.source_name == "Rectangle"
+        ]
+        with_z = [fs for fs in field_sets if mangle("lower_left", "z_pos") in fs]
+        without_z = [fs for fs in field_sets if mangle("lower_left", "z_pos") not in fs]
+        assert len(with_z) == 1 and len(without_z) == 1
+
+    def test_view_class_registration(self):
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+def main() {
+  var a = array(3);
+  for (var i = 0; i < 3; i = i + 1) { a[i] = new P(i); }
+  var t = 0;
+  for (var j = 0; j < 3; j = j + 1) { t = t + a[j].v; }
+  print(t);
+}
+"""
+        variant_map, result, plan = variants_for(source)
+        assert len(variant_map.view_classes) == 1
+        (info,) = variant_map.view_classes.values()
+        assert info.element_class == "P"
+        assert "@elem" in info.name
+
+    def test_no_variants_without_accepted_candidates(self):
+        source = "class A { var x; } def main() { print(new A().x); }"
+        variant_map, _result, _plan = variants_for(source)
+        assert variant_map.variants == {}
+        assert variant_map.changed_classes() == set()

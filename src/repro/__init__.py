@@ -31,6 +31,7 @@ from .inlining.decisions import Candidate, DecisionEngine, InlinePlan
 from .inlining.pipeline import OptimizeReport, optimize
 from .ir import compile_source, format_program, validate_program
 from .lang import parse_program, tokenize
+from .obs import NULL_TRACER, Tracer, tracer_to_file
 from .runtime import (
     CacheConfig,
     CostModel,
@@ -57,7 +58,10 @@ __all__ = [
     "format_program",
     "InlinePlan",
     "Interpreter",
+    "NULL_TRACER",
     "optimize",
+    "Tracer",
+    "tracer_to_file",
     "OptimizeReport",
     "parse_program",
     "ReproRuntimeError",

@@ -120,6 +120,10 @@ class ContourManager:
         self.widened_callables: set[str] = set()
         #: Allocation-site uids widened to a summary object contour.
         self.widened_sites: set[int] = set()
+        #: Lifetime creation counts (splits included), for observability;
+        #: unlike ``method_contour_count()`` these never shrink under GC.
+        self.created_method_contours = 0
+        self.created_object_contours = 0
         #: Set by the analysis engine: collects stale (unreachable) method
         #: contours so they stop counting against the caps.  Called right
         #: before a cap would force widening.
@@ -220,6 +224,7 @@ class ContourManager:
             arg_values=[BOTTOM] * len(args),
         )
         self._next_id += 1
+        self.created_method_contours += 1
         self.method_contours[contour.id] = contour
         self._method_by_key[key] = contour.id
         existing_ids.append(contour.id)
@@ -287,6 +292,7 @@ class ContourManager:
             is_array=is_array,
         )
         self._next_id += 1
+        self.created_object_contours += 1
         self.object_contours[contour.id] = contour
         self._object_by_key[key] = contour.id
         site_ids.append(contour.id)

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..ir import model as ir
+from ..obs.tracer import NULL_TRACER
 from .contours import (
     ARRAY_CLASS,
     AnalysisConfig,
@@ -82,9 +83,15 @@ class _EvalState:
 class FlowAnalysis:
     """Runs the whole-program analysis over an :class:`IRProgram`."""
 
-    def __init__(self, program: ir.IRProgram, config: AnalysisConfig | None = None) -> None:
+    def __init__(
+        self,
+        program: ir.IRProgram,
+        config: AnalysisConfig | None = None,
+        tracer=NULL_TRACER,
+    ) -> None:
         self.program = program
         self.config = config or AnalysisConfig()
+        self.tracer = tracer
         self.manager = ContourManager(self.config)
         #: (object contour id, field name) -> abstract content.
         self.slots: dict[Slot, AbstractVal] = {}
@@ -119,18 +126,19 @@ class FlowAnalysis:
             contour, _ = self.manager.get_method_contour(entry, [], is_method=False)
             self._enqueue(contour.id)
 
-        while self._worklist:
-            self._steps += 1
-            if self._steps > self.config.max_worklist_steps:
-                raise AnalysisBudgetExceeded(
-                    f"analysis exceeded {self.config.max_worklist_steps} steps"
-                )
-            contour_id = self._worklist.popleft()
-            self._in_worklist.discard(contour_id)
-            contour = self.manager.method_contours.get(contour_id)
-            if contour is None:
-                continue  # retired by GC while queued
-            self._evaluate(contour, record=False)
+        with self.tracer.span("analysis.fixpoint"):
+            while self._worklist:
+                self._steps += 1
+                if self._steps > self.config.max_worklist_steps:
+                    raise AnalysisBudgetExceeded(
+                        f"analysis exceeded {self.config.max_worklist_steps} steps"
+                    )
+                contour_id = self._worklist.popleft()
+                self._in_worklist.discard(contour_id)
+                contour = self.manager.method_contours.get(contour_id)
+                if contour is None:
+                    continue  # retired by GC while queued
+                self._evaluate(contour, record=False)
 
         # Drop contours left stale by signature growth (a call site whose
         # argument signature grew re-binds to a fresh contour; the old one
@@ -139,8 +147,25 @@ class FlowAnalysis:
         self._prune_unreachable_contours()
 
         # Fixpoint reached: snapshot per-instruction facts.
-        for contour in list(self.manager.method_contours.values()):
-            self._evaluate(contour, record=True)
+        with self.tracer.span("analysis.record"):
+            for contour in list(self.manager.method_contours.values()):
+                self._evaluate(contour, record=True)
+
+        tracer = self.tracer
+        tracer.count("analysis.worklist_steps", self._steps)
+        tracer.count("analysis.method_contours_created", self.manager.created_method_contours)
+        tracer.count("analysis.object_contours_created", self.manager.created_object_contours)
+        tracer.count("analysis.method_contours_live", self.manager.method_contour_count())
+        tracer.count("analysis.object_contours_live", self.manager.object_contour_count())
+        tracer.count("analysis.widened_callables", len(self.manager.widened_callables))
+        tracer.count("analysis.widened_sites", len(self.manager.widened_sites))
+        tracer.count(
+            "analysis.flow_edges",
+            sum(len(callees) for sites in self.call_edges.values() for callees in sites.values()),
+        )
+        tracer.count("analysis.slots", len(self.slots))
+        tracer.count("analysis.store_sites", len(self._stores))
+        tracer.count("analysis.identity_sites", len(self._identity_sites))
 
         return AnalysisResult(
             program=self.program,
@@ -616,6 +641,15 @@ class FlowAnalysis:
             self._record(contour, instr, args=tuple(args))
 
 
-def analyze(program: ir.IRProgram, config: AnalysisConfig | None = None) -> AnalysisResult:
-    """Run the flow analysis on ``program`` and return its results."""
-    return FlowAnalysis(program, config).run()
+def analyze(
+    program: ir.IRProgram,
+    config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
+) -> AnalysisResult:
+    """Run the flow analysis on ``program`` and return its results.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records fixpoint/recording
+    spans and contour/worklist counters; the default no-op tracer makes
+    instrumentation free.
+    """
+    return FlowAnalysis(program, config, tracer).run()

@@ -19,6 +19,7 @@ from ..codegen import generate
 from ..inlining.pipeline import OptimizeReport, optimize
 from ..ir import compile_source
 from ..ir.model import IRProgram
+from ..obs import NULL_TRACER, Tracer
 from ..runtime import CacheConfig, run_program
 from ..runtime.interp import RunResult
 from .metadata import BenchmarkInfo
@@ -45,6 +46,17 @@ PERFORMANCE_PROGRAMS: dict[str, str] = {
 }
 
 
+#: Compile-phase span names surfaced as per-build timing breakdowns.
+PHASE_NAMES = (
+    "analyze",
+    "plan",
+    "transform",
+    "opt.inline_methods",
+    "opt.loadcse",
+    "opt.dce",
+)
+
+
 @dataclass(slots=True)
 class BuildResult:
     """One build of one benchmark."""
@@ -55,6 +67,8 @@ class BuildResult:
     code_size: int
     optimize_seconds: float
     run_seconds: float
+    #: Wall time per compile phase (span name -> seconds), from the tracer.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def cycles(self) -> int:
@@ -94,8 +108,14 @@ def run_benchmark(
     builds: tuple[str, ...] = BUILDS,
     cache_config: CacheConfig | None = None,
     config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
 ) -> BenchmarkRun:
-    """Compile, optimize, and execute one benchmark in each build."""
+    """Compile, optimize, and execute one benchmark in each build.
+
+    Per-phase compile times are always collected (via an in-memory tracer
+    when no ``tracer`` is given) and land in ``BuildResult.phase_seconds``;
+    pass a real ``tracer`` to also stream the full event log.
+    """
     program = compile_source(source, f"{name}.icc")
     reference = run_program(program, cache_config)
     bench = BenchmarkRun(
@@ -105,11 +125,25 @@ def run_benchmark(
         reference_output=list(reference.output),
     )
     for build in builds:
+        # Phase timings come from span aggregates; when the caller shares
+        # one tracer across builds we diff around this build's work.
+        build_tracer = tracer if tracer.enabled else Tracer()
+        phases_before = {
+            phase: totals[1] for phase, totals in build_tracer.span_totals.items()
+        }
         started = time.perf_counter()
-        report = optimize(program, config=config, **_OPTIMIZE_KW[build])
-        optimized_at = time.perf_counter()
-        run = run_program(report.program, cache_config)
+        with build_tracer.span("bench.build", benchmark=name, build=build):
+            report = optimize(
+                program, config=config, tracer=build_tracer, **_OPTIMIZE_KW[build]
+            )
+            optimized_at = time.perf_counter()
+            run = run_program(report.program, cache_config, tracer=build_tracer)
         finished = time.perf_counter()
+        phase_seconds = {
+            phase: totals[1] - phases_before.get(phase, 0.0)
+            for phase, totals in build_tracer.span_totals.items()
+            if phase in PHASE_NAMES
+        }
         if run.output != bench.reference_output:
             raise AssertionError(
                 f"{name}/{build}: transformed program output diverged:\n"
@@ -122,6 +156,7 @@ def run_benchmark(
             code_size=generate(report.program).size_bytes,
             optimize_seconds=optimized_at - started,
             run_seconds=finished - optimized_at,
+            phase_seconds=phase_seconds,
         )
     return bench
 

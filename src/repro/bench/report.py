@@ -8,7 +8,14 @@ downstream user regenerates to compare against EXPERIMENTS.md.
 from __future__ import annotations
 
 from . import figures
-from .harness import BENCHMARKS, BenchmarkRun, run_all, run_performance_suite
+from ..obs import NULL_TRACER
+from .harness import (
+    BENCHMARKS,
+    BenchmarkRun,
+    PHASE_NAMES,
+    run_all,
+    run_performance_suite,
+)
 
 
 def _markdown_table(header: list[str], rows: list[list[object]]) -> str:
@@ -49,6 +56,21 @@ def _stats_section(runs: dict[str, BenchmarkRun]) -> str:
     return _markdown_table(header, rows)
 
 
+def _phase_time_section(runs: dict[str, BenchmarkRun]) -> str:
+    """Per-phase compile-time breakdown (milliseconds), from the tracer."""
+    header = ["benchmark", "build"] + [f"{p} (ms)" for p in PHASE_NAMES] + ["total (ms)"]
+    rows: list[list[object]] = []
+    for name, run in runs.items():
+        for build, result in run.builds.items():
+            phases = result.phase_seconds
+            rows.append(
+                [name, build]
+                + [phases.get(p, 0.0) * 1e3 for p in PHASE_NAMES]
+                + [result.optimize_seconds * 1e3]
+            )
+    return _markdown_table(header, rows)
+
+
 def _decisions_section(runs: dict[str, BenchmarkRun]) -> str:
     lines: list[str] = []
     for name in BENCHMARKS:
@@ -68,10 +90,10 @@ def _decisions_section(runs: dict[str, BenchmarkRun]) -> str:
     return "\n".join(lines)
 
 
-def generate_report() -> str:
+def generate_report(tracer=NULL_TRACER) -> str:
     """Run everything and render the markdown report."""
-    runs = run_all()
-    performance = run_performance_suite()
+    runs = run_all(tracer=tracer)
+    performance = run_performance_suite(tracer=tracer)
 
     sections: list[str] = [
         "# Object Inlining — full evaluation report",
@@ -95,15 +117,19 @@ def generate_report() -> str:
     sections.append("")
     sections.append(_stats_section(performance))
     sections.append("")
+    sections.append("## Per-phase compile time (Figure 17 programs)")
+    sections.append("")
+    sections.append(_phase_time_section(performance))
+    sections.append("")
     sections.append("## Inlining decisions per benchmark")
     sections.append("")
     sections.append(_decisions_section(runs))
     return "\n".join(sections)
 
 
-def write_report(path: str) -> str:
+def write_report(path: str, tracer=NULL_TRACER) -> str:
     """Generate the report and write it to ``path``; returns the path."""
-    text = generate_report()
+    text = generate_report(tracer=tracer)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return path

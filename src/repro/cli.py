@@ -2,11 +2,17 @@
 
 Usage::
 
-    repro run PROGRAM.icc [--inline | --manual | --noinline]
-    repro analyze PROGRAM.icc
+    repro run PROGRAM.icc [--inline | --manual | --noinline] [--trace FILE]
+    repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
     repro codegen PROGRAM.icc [--optimized]
-    repro bench --figure {14,15,16,17,all}
+    repro bench --figure {14,15,16,17,all} [--trace FILE]
+    repro trace FILE
+
+``--trace FILE`` streams compiler/VM observability events (phase spans,
+counters, the inlining decision trace) as JSONL to FILE; ``repro trace
+FILE`` summarizes such a file into per-phase time and counter tables.
+See docs/OBSERVABILITY.md for the event schema.
 
 (also runnable as ``python -m repro.cli ...``)
 """
@@ -14,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .bench import figures as bench_figures
@@ -21,6 +28,7 @@ from .bench.harness import run_all, run_performance_suite
 from .codegen import generate
 from .inlining.pipeline import optimize
 from .ir import compile_source, format_program
+from .obs import NULL_TRACER, render_file, tracer_to_file
 from .runtime import run_program
 
 
@@ -29,14 +37,29 @@ def _load(path: str):
         return compile_source(handle.read(), path)
 
 
-def _build_program(args: argparse.Namespace):
+def _make_tracer(args: argparse.Namespace):
+    """The JSONL tracer for ``--trace FILE``, or the free no-op tracer."""
+    if getattr(args, "trace", None):
+        return tracer_to_file(args.trace)
+    return NULL_TRACER
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write observability events (spans, counters, decisions) as JSONL",
+    )
+
+
+def _build_program(args: argparse.Namespace, tracer=NULL_TRACER):
     program = _load(args.program)
     if args.noinline:
-        return optimize(program, inline=False).program
+        return optimize(program, inline=False, tracer=tracer).program
     if args.manual:
-        return optimize(program, manual_only=True).program
+        return optimize(program, manual_only=True, tracer=tracer).program
     if args.inline:
-        return optimize(program, inline=True).program
+        return optimize(program, inline=True, tracer=tracer).program
     return program
 
 
@@ -58,33 +81,76 @@ def _add_build_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    program = _build_program(args)
-    if args.profile:
-        from .runtime import profile_program
+    tracer = _make_tracer(args)
+    try:
+        program = _build_program(args, tracer)
+        if args.profile:
+            from .runtime import profile_program
 
-        report = profile_program(program)
-        for line in report.result.output:
+            report = profile_program(program)
+            for line in report.result.output:
+                print(line)
+            print(report.render(), file=sys.stderr)
+            return 0
+        result = run_program(program, tracer=tracer)
+        for line in result.output:
             print(line)
-        print(report.render(), file=sys.stderr)
+        if args.stats:
+            for key, value in result.stats.summary().items():
+                print(f"# {key} = {value}", file=sys.stderr)
         return 0
-    result = run_program(program)
-    for line in result.output:
-        print(line)
-    if args.stats:
-        for key, value in result.stats.summary().items():
-            print(f"# {key} = {value}", file=sys.stderr)
-    return 0
+    finally:
+        tracer.close()
+
+
+def _analysis_payload(args: argparse.Namespace, report) -> dict:
+    """Machine-readable ``repro analyze --json`` output."""
+    stats = report.clone_stats
+    return {
+        "program": args.program,
+        "analysis": {
+            "method_contours": report.analysis.method_contour_count(),
+            "object_contours": report.analysis.object_contour_count(),
+            "contours_per_method": round(
+                report.analysis.method_contours_per_method(), 4
+            ),
+        },
+        "candidates": [
+            candidate.decision_record()
+            for candidate in report.plan.candidates.values()
+        ],
+        "clones": {
+            "method_partitions": stats.method_partitions,
+            "function_partitions": stats.function_partitions,
+            "class_variants": stats.class_variants,
+            "view_classes": stats.view_classes,
+            "installed_methods": stats.installed_methods,
+        },
+        "replan_rounds": report.replan_rounds,
+        "nested_rounds": report.nested_rounds,
+    }
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    program = _load(args.program)
-    report = optimize(program, inline=True)
+    tracer = _make_tracer(args)
+    try:
+        program = _load(args.program)
+        report = optimize(program, inline=True, tracer=tracer)
+    finally:
+        tracer.close()
+    if args.json:
+        print(json.dumps(_analysis_payload(args, report), indent=2))
+        return 0
     print(f"method contours: {report.analysis.method_contour_count()}")
     print(f"object contours: {report.analysis.object_contour_count()}")
     print(f"contours/method: {report.analysis.method_contours_per_method():.2f}")
     print("candidates:")
     for candidate in report.plan.candidates.values():
-        status = "ACCEPT" if candidate.accepted else f"reject: {candidate.reject_reason}"
+        if candidate.accepted:
+            status = "ACCEPT"
+        else:
+            stage = candidate.reject_stage or "?"
+            status = f"reject[{stage}]: {candidate.reject_reason}"
         print(f"  {candidate.describe():30s} {status}")
     stats = report.clone_stats
     print(
@@ -111,23 +177,32 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.output:
-        from .bench.report import write_report
+    tracer = _make_tracer(args)
+    try:
+        if args.output:
+            from .bench.report import write_report
 
-        path = write_report(args.output)
-        print(f"wrote {path}")
-        return 0
-    wanted = args.figure
-    if wanted in ("14", "15", "16"):
-        runs = run_all()
-        figure = getattr(bench_figures, f"figure{wanted}")(runs)
-        print(figure.render())
-    elif wanted == "17":
-        print(bench_figures.figure17(run_performance_suite()).render())
-    else:
-        for figure in bench_figures.all_figures():
+            path = write_report(args.output, tracer=tracer)
+            print(f"wrote {path}")
+            return 0
+        wanted = args.figure
+        if wanted in ("14", "15", "16"):
+            runs = run_all(tracer=tracer)
+            figure = getattr(bench_figures, f"figure{wanted}")(runs)
             print(figure.render())
-            print()
+        elif wanted == "17":
+            print(bench_figures.figure17(run_performance_suite(tracer=tracer)).render())
+        else:
+            for figure in bench_figures.all_figures():
+                print(figure.render())
+                print()
+        return 0
+    finally:
+        tracer.close()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    print(render_file(args.file, top_counters=args.counters))
     return 0
 
 
@@ -144,12 +219,18 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--stats", action="store_true", help="print VM statistics")
     run_parser.add_argument(
         "--profile", action="store_true",
-        help="print a per-callable (inclusive) cycle profile",
+        help="print a per-callable (self + inclusive) cycle profile",
     )
+    _add_trace_flag(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     analyze_parser = sub.add_parser("analyze", help="report analysis + inlining decisions")
     analyze_parser.add_argument("program")
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable analysis output (for tooling / CI diffing)",
+    )
+    _add_trace_flag(analyze_parser)
     analyze_parser.set_defaults(func=cmd_analyze)
 
     ir_parser = sub.add_parser("ir", help="dump the IR")
@@ -169,7 +250,16 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--output", metavar="FILE", help="write the full markdown report to FILE"
     )
+    _add_trace_flag(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    trace_parser = sub.add_parser("trace", help="summarize a JSONL trace file")
+    trace_parser.add_argument("file")
+    trace_parser.add_argument(
+        "--counters", type=int, default=20, metavar="N",
+        help="show the top N counters (default 20)",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

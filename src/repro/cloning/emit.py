@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from ..analysis.results import AnalysisResult
 from ..inlining.decisions import CandidateKey, InlinePlan
 from ..ir import model as ir
+from ..obs.tracer import NULL_TRACER
 from .variants import VariantMap
 from .vectors import VectorBuilder, VectorResult
 
@@ -72,11 +73,13 @@ class Transformer:
         result: AnalysisResult,
         plan: InlinePlan,
         devirtualize: bool = True,
+        tracer=NULL_TRACER,
     ) -> None:
         self.result = result
         self.plan = plan
         self.program = result.program
         self.devirtualize = devirtualize
+        self.tracer = tracer
         self.variants = VariantMap(result, plan)
         self.conflicts: set[CandidateKey] = set()
         self.vectors: VectorResult | None = None
@@ -93,21 +96,37 @@ class Transformer:
     # Entry point.
 
     def run(self) -> TransformOutcome:
-        builder = VectorBuilder(self.result, self.plan, self.variants, self.devirtualize)
-        self.vectors = builder.build()
+        tracer = self.tracer
+        with tracer.span("transform.vectors"):
+            builder = VectorBuilder(
+                self.result, self.plan, self.variants, self.devirtualize
+            )
+            self.vectors = builder.build()
         self.conflicts |= builder.conflicts
         if self.conflicts:
+            tracer.count("transform.conflicts", len(self.conflicts))
             return TransformOutcome(program=None, conflicts=self.conflicts)
 
-        self._partition()
-        self._assign_names()
+        with tracer.span("transform.partition"):
+            self._partition()
+        with tracer.span("transform.naming"):
+            self._assign_names()
         if self.conflicts:
+            tracer.count("transform.conflicts", len(self.conflicts))
             return TransformOutcome(program=None, conflicts=self.conflicts)
-        program = self._emit()
+        with tracer.span("transform.emit"):
+            program = self._emit()
         if self.conflicts:
+            tracer.count("transform.conflicts", len(self.conflicts))
             return TransformOutcome(program=None, conflicts=self.conflicts)
         self.stats.class_variants = len(self.variants.variants)
         self.stats.view_classes = len(self.variants.view_classes)
+        tracer.count("transform.partitions", len(self.partitions))
+        tracer.count("transform.method_partitions", self.stats.method_partitions)
+        tracer.count("transform.function_partitions", self.stats.function_partitions)
+        tracer.count("transform.class_variants", self.stats.class_variants)
+        tracer.count("transform.view_classes", self.stats.view_classes)
+        tracer.count("transform.installed_methods", self.stats.installed_methods)
         return TransformOutcome(program=program, conflicts=set(), stats=self.stats)
 
     # ------------------------------------------------------------------
@@ -821,8 +840,12 @@ def _recopy(instr: ir.Instr) -> ir.Instr:
 
 
 def transform_program(
-    result: AnalysisResult, plan: InlinePlan, devirtualize: bool = True
+    result: AnalysisResult,
+    plan: InlinePlan,
+    devirtualize: bool = True,
+    tracer=NULL_TRACER,
 ) -> TransformOutcome:
     """Apply cloning + inlining rewriting; returns conflicts for replanning
-    if the plan is not consistently emittable."""
-    return Transformer(result, plan, devirtualize).run()
+    if the plan is not consistently emittable.  ``tracer`` records the
+    vector/partition/naming/emission spans and the clone counters."""
+    return Transformer(result, plan, devirtualize, tracer).run()

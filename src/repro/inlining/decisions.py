@@ -137,6 +137,10 @@ class Candidate:
     child_desc_of: dict[int, ChildDesc] = field(default_factory=dict)
     stores: list[StoreSite] = field(default_factory=list)
     reject_reason: str | None = None
+    #: Which decision stage rejected the candidate ('structure', 'stores',
+    #: 'identity', 'purity', 'containment', 'policy', 'replan'); None while
+    #: accepted.  First rejection wins, matching ``reject_reason``.
+    reject_stage: str | None = None
     #: ``new`` instructions whose allocation becomes stack-like once this
     #: candidate's copies are in place: {(method contour id, instr uid)}.
     stackable_allocations: set[tuple[int, int]] = field(default_factory=set)
@@ -145,9 +149,21 @@ class Candidate:
     def accepted(self) -> bool:
         return self.reject_reason is None
 
-    def reject(self, reason: str) -> None:
+    def reject(self, reason: str, stage: str | None = None) -> None:
         if self.reject_reason is None:
             self.reject_reason = reason
+            self.reject_stage = stage
+
+    def decision_record(self) -> dict:
+        """Structured audit record for trace events and ``--json`` output."""
+        return {
+            "candidate": self.describe(),
+            "key": list(self.key),
+            "kind": self.kind,
+            "accepted": self.accepted,
+            "stage": self.reject_stage,
+            "reason": self.reject_reason,
+        }
 
     def child_classes(self) -> set[str]:
         return {desc[1] for desc in self.child_desc_of.values() if desc[0] == "class"}
@@ -307,11 +323,11 @@ class DecisionEngine:
             content = self.result.slot_value(slot)
             if content.prims():
                 kinds = ", ".join(sorted(content.prims()))
-                candidate.reject(f"contents may be non-object ({kinds})")
+                candidate.reject(f"contents may be non-object ({kinds})", stage="structure")
                 return
             container_id = slot[0]
             if self.result.object_contour_is_widened(container_id):
-                candidate.reject("container contour widened")
+                candidate.reject("container contour widened", stage="structure")
                 return
 
             # Determine the per-contour child descriptor.
@@ -321,34 +337,35 @@ class DecisionEngine:
             for child_id in child_ids:
                 child = self.result.object_contour(child_id)
                 if child.summary:
-                    candidate.reject("child contour widened")
+                    candidate.reject("child contour widened", stage="structure")
                     return
                 if child.is_array:
                     length = self._constant_array_length(child.site_uid)
                     if length is None:
-                        candidate.reject("child array has non-constant length")
+                        candidate.reject("child array has non-constant length", stage="structure")
                         return
                     array_lengths.add(length)
                 else:
                     classes.add(child.class_name)
                 candidate.child_contours.add(child_id)
             if classes and array_lengths:
-                candidate.reject("contents mix objects and arrays")
+                candidate.reject("contents mix objects and arrays", stage="structure")
                 return
             if len(classes) > 1:
                 candidate.reject(
                     "polymorphic within one container contour: "
-                    + ", ".join(sorted(classes))
+                    + ", ".join(sorted(classes)),
+                    stage="structure",
                 )
                 return
             if len(array_lengths) > 1:
-                candidate.reject("child arrays of differing lengths in one contour")
+                candidate.reject("child arrays of differing lengths in one contour", stage="structure")
                 return
             if classes:
                 candidate.child_desc_of[container_id] = ("class", classes.pop())
             elif array_lengths:
                 if candidate.kind == "array":
-                    candidate.reject("array-of-arrays inlining is not supported")
+                    candidate.reject("array-of-arrays inlining is not supported", stage="structure")
                     return
                 candidate.child_desc_of[container_id] = ("array", array_lengths.pop())
 
@@ -366,7 +383,7 @@ class DecisionEngine:
             chain = set(self.program.superclass_chain(child_class))
             related = chain | set(self.program.subclasses(child_class)) | {child_class}
             if candidate.declaring_class in related:
-                candidate.reject(f"recursive containment via {child_class}")
+                candidate.reject(f"recursive containment via {child_class}", stage="structure")
                 return
 
     def _constant_array_length(self, site_uid: int) -> int | None:
@@ -408,7 +425,8 @@ class DecisionEngine:
                     and cid not in written
                 ):
                     candidate.reject(
-                        f"field may be read on contour o{cid} that never stores it"
+                        f"field may be read on contour o{cid} that never stores it",
+                        stage="structure",
                     )
                     return
 
@@ -417,11 +435,11 @@ class DecisionEngine:
 
     def _screen_stores(self, candidate: Candidate) -> None:
         if not candidate.stores:
-            candidate.reject("no stores found")
+            candidate.reject("no stores found", stage="stores")
             return
         for store in candidate.stores:
             if self.result.contour_is_widened(store.contour_id):
-                candidate.reject("store inside widened contour")
+                candidate.reject("store inside widened contour", stage="stores")
                 return
             if candidate.kind == "field":
                 # Stores must initialize `this` inside a constructor, so a
@@ -430,15 +448,16 @@ class DecisionEngine:
                 callable_name = store.callable_name
                 if "::" not in callable_name or callable_name.split("::", 1)[1] != "init":
                     candidate.reject(
-                        f"store outside a constructor ({callable_name})"
+                        f"store outside a constructor ({callable_name})",
+                        stage="stores",
                     )
                     return
                 if store.obj_reg != 0:
-                    candidate.reject("store through a non-this reference")
+                    candidate.reject("store through a non-this reference", stage="stores")
                     return
             ok, reason = self.assign.store_is_by_value(store)
             if not ok:
-                candidate.reject(f"not passable by value: {reason}")
+                candidate.reject(f"not passable by value: {reason}", stage="stores")
                 return
             candidate.stackable_allocations |= self._collect_chain_allocations(store)
 
@@ -516,7 +535,8 @@ class DecisionEngine:
             for candidate in self.candidates.values():
                 if candidate.accepted and candidate.child_contours & involved:
                     candidate.reject(
-                        f"child object identity-compared in {site.callable_name}"
+                        f"child object identity-compared in {site.callable_name}",
+                        stage="identity",
                     )
 
     # ------------------------------------------------------------------
@@ -553,7 +573,7 @@ class DecisionEngine:
             for key in list(alive):
                 candidate = self.candidates[key]
                 if candidate.accepted and candidate.child_contours & atoms:
-                    candidate.reject("origin widened (TOP tag) at a use site")
+                    candidate.reject("origin widened (TOP tag) at a use site", stage="purity")
                     rejected = True
             reps = reps - {UNKNOWN}
         keys = {rep for rep in reps if rep != RAW}
@@ -561,13 +581,14 @@ class DecisionEngine:
             for key in keys:
                 self.candidates[key].reject(
                     "use site mixes representations: "
-                    + " / ".join(self.candidates[k].describe() for k in sorted(keys))
+                    + " / ".join(self.candidates[k].describe() for k in sorted(keys)),
+                    stage="purity",
                 )
                 rejected = True
         elif len(keys) == 1 and RAW in reps:
             (key,) = keys
             self.candidates[key].reject(
-                "use site mixes inlined and raw objects"
+                "use site mixes inlined and raw objects", stage="purity"
             )
             rejected = True
         return rejected
@@ -614,11 +635,13 @@ class DecisionEngine:
                     if inner.container_contours & outer.child_contours:
                         if self.containment_preference == "outer":
                             inner.reject(
-                                f"container is itself inlined into {outer.describe()}"
+                                f"container is itself inlined into {outer.describe()}",
+                                stage="containment",
                             )
                         else:
                             outer.reject(
                                 f"deferred to a later round (holds containers "
-                                f"of inlined {inner.describe()})"
+                                f"of inlined {inner.describe()})",
+                                stage="containment",
                             )
                         changed = True

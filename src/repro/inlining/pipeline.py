@@ -30,6 +30,7 @@ from ..opt.inliner import InlinerStats, inline_methods
 from ..opt.loadcse import LoadCSEStats, eliminate_redundant_loads
 from ..ir import model as ir
 from ..ir.validate import validate_program
+from ..obs.tracer import NULL_TRACER
 from .decisions import Candidate, DecisionEngine, InlinePlan
 
 MAX_REPLAN_ROUNDS = 8
@@ -90,20 +91,23 @@ def _optimize_core(
     manual_only: bool,
     config: AnalysisConfig,
     containment_preference: str,
+    tracer=NULL_TRACER,
 ) -> tuple[TransformOutcome, "AnalysisResult", InlinePlan, int]:
     """One analyze → decide → transform round (no scalar passes)."""
     if not inline and not manual_only:
         config = config.with_sensitivity(SENSITIVITY_CONCERT)
-    result = analyze(program, config)
-    plan = DecisionEngine(result, containment_preference).plan()
+    with tracer.span("analyze"):
+        result = analyze(program, config, tracer)
+    with tracer.span("plan"):
+        plan = DecisionEngine(result, containment_preference).plan()
 
     if not inline and not manual_only:
         for candidate in plan.candidates.values():
-            candidate.reject("object inlining disabled")
+            candidate.reject("object inlining disabled", stage="policy")
     elif manual_only:
         for candidate in plan.candidates.values():
             if candidate.accepted and not candidate_is_declared_inline(program, candidate):
-                candidate.reject("not declared inline in the source")
+                candidate.reject("not declared inline in the source", stage="policy")
 
     rounds = 0
     while True:
@@ -113,15 +117,28 @@ def _optimize_core(
                 "transformation kept conflicting after "
                 f"{MAX_REPLAN_ROUNDS} replanning rounds"
             )
-        outcome: TransformOutcome = transform_program(result, plan, devirtualize)
+        with tracer.span("transform", round=rounds):
+            outcome: TransformOutcome = transform_program(
+                result, plan, devirtualize, tracer
+            )
         if outcome.program is not None:
             break
         if not outcome.conflicts:
             raise ReplanLimitExceeded("transformation failed without naming conflicts")
+        tracer.count("pipeline.replans")
         for key in outcome.conflicts:
             candidate = plan.candidates.get(key)
             if candidate is not None:
-                candidate.reject("cloning conflict (dynamic dispatch or mixed site)")
+                candidate.reject(
+                    "cloning conflict (dynamic dispatch or mixed site)", stage="replan"
+                )
+
+    # The decision trace: one structured event per candidate, final verdict.
+    if tracer.enabled:
+        for candidate in plan.candidates.values():
+            tracer.event("decision", **candidate.decision_record())
+        tracer.count("decisions.accepted", len(plan.accepted()))
+        tracer.count("decisions.rejected", len(plan.rejected()))
 
     validate_program(outcome.program)
     return outcome, result, plan, rounds
@@ -156,6 +173,7 @@ def optimize(
     dce_pass: bool = True,
     max_rounds: int = 1,
     config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
 ) -> OptimizeReport:
     """Analyze and transform ``program``; returns the new program + report.
 
@@ -171,46 +189,65 @@ def optimize(
     The loop ends when a round accepts nothing, the program acquires
     constructs the analysis cannot re-model (inlined arrays), or
     ``max_rounds`` is reached.  The input program is not modified.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) times every phase (analyze /
+    plan / transform / scalar passes, per replan and nested round) and
+    records the full decision trace; the default no-op tracer costs
+    nothing.
     """
     config = config or AnalysisConfig()
     nesting = max_rounds > 1 and inline and not manual_only
     preference = "inner" if nesting else "outer"
 
-    outcome, result, plan, replans = _optimize_core(
-        program, inline, devirtualize, manual_only, config, preference
-    )
-    nested_rounds = 1
-    nested_accepted: list[str] = []
-    while (
-        nesting
-        and nested_rounds < max_rounds
-        and plan_has_acceptances(plan)
-        and _reanalyzable(outcome.program)
+    with tracer.span(
+        "optimize", inline=inline, manual_only=manual_only, max_rounds=max_rounds
     ):
-        next_outcome, _result, next_plan, _replans = _optimize_core(
-            outcome.program, inline, devirtualize, manual_only, config, preference
+        outcome, result, plan, replans = _optimize_core(
+            program, inline, devirtualize, manual_only, config, preference, tracer
         )
-        accepted = next_plan.accepted()
-        if not accepted:
-            break
-        nested_rounds += 1
-        nested_accepted.extend(c.describe() for c in accepted)
-        outcome = next_outcome
-        # Keep the first round's analysis/plan in the report (they describe
-        # the source program); later rounds only contribute their programs.
+        nested_rounds = 1
+        nested_accepted: list[str] = []
+        while (
+            nesting
+            and nested_rounds < max_rounds
+            and plan_has_acceptances(plan)
+            and _reanalyzable(outcome.program)
+        ):
+            with tracer.span("nested_round", number=nested_rounds + 1):
+                next_outcome, _result, next_plan, _replans = _optimize_core(
+                    outcome.program,
+                    inline,
+                    devirtualize,
+                    manual_only,
+                    config,
+                    preference,
+                    tracer,
+                )
+            accepted = next_plan.accepted()
+            if not accepted:
+                break
+            nested_rounds += 1
+            tracer.count("pipeline.nested_rounds")
+            nested_accepted.extend(c.describe() for c in accepted)
+            outcome = next_outcome
+            # Keep the first round's analysis/plan in the report (they describe
+            # the source program); later rounds only contribute their programs.
 
-    inliner_stats = None
-    cse_stats = None
-    dce_stats = None
-    if inline_methods_pass:
-        inliner_stats = inline_methods(outcome.program)
-        validate_program(outcome.program)
-    if cache_loads_pass:
-        cse_stats = eliminate_redundant_loads(outcome.program)
-        validate_program(outcome.program)
-    if dce_pass:
-        dce_stats = eliminate_dead_code(outcome.program)
-        validate_program(outcome.program)
+        inliner_stats = None
+        cse_stats = None
+        dce_stats = None
+        if inline_methods_pass:
+            with tracer.span("opt.inline_methods"):
+                inliner_stats = inline_methods(outcome.program)
+            validate_program(outcome.program)
+        if cache_loads_pass:
+            with tracer.span("opt.loadcse"):
+                cse_stats = eliminate_redundant_loads(outcome.program)
+            validate_program(outcome.program)
+        if dce_pass:
+            with tracer.span("opt.dce"):
+                dce_stats = eliminate_dead_code(outcome.program)
+            validate_program(outcome.program)
     return OptimizeReport(
         program=outcome.program,
         analysis=result,

@@ -1,0 +1,38 @@
+"""Observability: phase spans, counters, decision traces, JSONL export.
+
+See docs/OBSERVABILITY.md for the event schema and a worked example.
+"""
+
+from .summary import (
+    PhaseStat,
+    TraceSummary,
+    read_events,
+    render_file,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+from .tracer import (
+    JsonlSink,
+    MemorySink,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    tracer_to_file,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseStat",
+    "Tracer",
+    "TraceSummary",
+    "read_events",
+    "render_file",
+    "render_summary",
+    "summarize_events",
+    "summarize_file",
+    "tracer_to_file",
+]

@@ -1,0 +1,153 @@
+"""Read a JSONL trace back and summarize it.
+
+This is the consumer side of :mod:`repro.obs.tracer`: ``repro trace
+FILE`` parses the event stream and renders a per-phase wall-time table,
+the top counters, and the inlining decision audit.  The parser is
+deliberately tolerant — unknown event kinds and malformed lines are
+skipped, so traces stay readable across schema additions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+
+@dataclass(slots=True)
+class PhaseStat:
+    """Aggregated timings of one span name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Everything ``repro trace`` reports about one JSONL trace."""
+
+    phases: dict[str, PhaseStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    decisions: list[dict] = field(default_factory=list)
+    events: int = 0
+    malformed_lines: int = 0
+    #: Total time of top-level spans (parent is null) — the denominator
+    #: for the share column.
+    root_seconds: float = 0.0
+
+    def accepted_decisions(self) -> list[dict]:
+        return [d for d in self.decisions if d.get("accepted")]
+
+    def rejected_decisions(self) -> list[dict]:
+        return [d for d in self.decisions if not d.get("accepted")]
+
+
+def read_events(lines: Iterable[str]) -> tuple[list[dict], int]:
+    """Parse JSONL lines; returns (events, number of malformed lines)."""
+    events: list[dict] = []
+    malformed = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            malformed += 1
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+        else:
+            malformed += 1
+    return events, malformed
+
+
+def summarize_events(events: list[dict], malformed: int = 0) -> TraceSummary:
+    summary = TraceSummary(malformed_lines=malformed)
+    roots: set[int] = set()
+    for record in events:
+        kind = record.get("ev")
+        if kind == "span_begin":
+            if record.get("parent") is None and isinstance(record.get("id"), int):
+                roots.add(record["id"])
+        elif kind == "span_end":
+            name = record.get("name", "?")
+            duration = float(record.get("dur", 0.0))
+            stat = summary.phases.setdefault(name, PhaseStat(name))
+            stat.count += 1
+            stat.total_seconds += duration
+            if record.get("id") in roots:
+                summary.root_seconds += duration
+        elif kind == "counters":
+            # Final totals win over any intermediate snapshot.
+            for name, value in record.get("counters", {}).items():
+                summary.counters[name] = value
+        elif kind == "event":
+            summary.events += 1
+            if record.get("name") == "decision":
+                summary.decisions.append(record.get("data", {}))
+    if not summary.root_seconds and summary.phases:
+        summary.root_seconds = max(s.total_seconds for s in summary.phases.values())
+    return summary
+
+
+def summarize_file(path: str) -> TraceSummary:
+    with open(path, "r", encoding="utf-8") as handle:
+        events, malformed = read_events(handle)
+    return summarize_events(events, malformed)
+
+
+def render_summary(summary: TraceSummary, top_counters: int = 20) -> str:
+    """Human-readable report: phase table, counters, decision audit."""
+    lines: list[str] = []
+    total = summary.root_seconds or 1e-12
+
+    lines.append(f"{'phase':32s} {'count':>6s} {'total ms':>10s} {'mean ms':>10s} {'share':>7s}")
+    ordered = sorted(
+        summary.phases.values(), key=lambda s: s.total_seconds, reverse=True
+    )
+    for stat in ordered:
+        lines.append(
+            f"{stat.name:32s} {stat.count:>6d} {stat.total_seconds * 1e3:>10.2f} "
+            f"{stat.mean_seconds * 1e3:>10.3f} {stat.total_seconds / total:>6.1%}"
+        )
+    if not ordered:
+        lines.append("(no spans recorded)")
+
+    if summary.counters:
+        lines.append("")
+        lines.append(f"{'counter':44s} {'value':>12s}")
+        by_value = sorted(summary.counters.items(), key=lambda kv: -kv[1])
+        for name, value in by_value[:top_counters]:
+            lines.append(f"{name:44s} {value:>12d}")
+        if len(by_value) > top_counters:
+            lines.append(f"... and {len(by_value) - top_counters} more counters")
+
+    if summary.decisions:
+        accepted = summary.accepted_decisions()
+        rejected = summary.rejected_decisions()
+        lines.append("")
+        lines.append(
+            f"decisions: {len(accepted)} accepted, {len(rejected)} rejected"
+        )
+        for decision in accepted:
+            lines.append(f"  ACCEPT {decision.get('candidate', '?')}")
+        for decision in rejected:
+            lines.append(
+                f"  reject {decision.get('candidate', '?'):28s} "
+                f"[{decision.get('stage', '?')}] {decision.get('reason', '')}"
+            )
+
+    if summary.malformed_lines:
+        lines.append("")
+        lines.append(f"warning: skipped {summary.malformed_lines} malformed line(s)")
+    return "\n".join(lines)
+
+
+def render_file(path: str, top_counters: int = 20) -> str:
+    return render_summary(summarize_file(path), top_counters)

@@ -1,0 +1,236 @@
+"""Structured tracing for the compiler pipeline.
+
+The tracer records three kinds of facts:
+
+- **Spans** — nested wall-clock timers around pipeline phases
+  (``analyze``, ``plan``, ``transform``, the scalar passes, ...).  A span
+  also captures the delta of every counter that moved while it was open,
+  so "the second replan round created 14 contours" falls out for free.
+- **Counters** — monotonic named totals (worklist steps, contour
+  creations, partitions, VM statistics).  Incrementing a counter is a
+  dict update; nothing is emitted until a span closes or the tracer is.
+- **Events** — point-in-time records with a structured payload; the
+  inlining decision trace (every candidate acceptance/rejection with its
+  stage and reason) is emitted this way.
+
+Everything flows to a :class:`Sink` as plain dicts — one JSON object per
+line when the sink is a :class:`JsonlSink` (see docs/OBSERVABILITY.md for
+the schema), or an in-memory list for tests and the bench harness.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose every method
+is an inert no-op (no allocation, no I/O, no timestamping), so
+uninstrumented runs pay nothing beyond an attribute load per phase.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Callable
+
+
+class MemorySink:
+    """Collects events into a list (tests, bench phase timings)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Writes one compact JSON object per line to a path or file object."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+
+    def emit(self, event: dict) -> None:
+        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class _NullSpan:
+    """The span of the no-op tracer; a reusable, stateless context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a no-op.
+
+    Kept deliberately branch-free so instrumentation hooks can call it
+    unconditionally from hot paths.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **meta: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, delta: int = 1) -> None:
+        pass
+
+    def event(self, name: str, **data: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared inert tracer instance; the default for every instrumented API.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One live span: emits begin/end events and diffs the counters."""
+
+    __slots__ = ("_tracer", "name", "id", "meta", "_counters_at_entry")
+
+    def __init__(self, tracer: "Tracer", name: str, meta: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.meta = meta
+        self.id = 0
+        self._counters_at_entry: dict[str, int] = {}
+
+    def __enter__(self) -> "_Span":
+        self._tracer._begin_span(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._end_span(self)
+        return False
+
+
+class Tracer:
+    """Records spans, counters, and events to a :class:`Sink`.
+
+    ``sink`` may be ``None``: the tracer then only accumulates the
+    in-memory aggregates (``counters`` and ``span_totals``), which is what
+    the bench harness uses to time phases without materializing a file.
+    The clock is injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: MemorySink | JsonlSink | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sink = sink
+        self._clock = clock
+        self._t0 = clock()
+        self._next_span_id = 1
+        self._stack: list[_Span] = []
+        #: Monotonic totals; emitted as a final ``counters`` event on close.
+        self.counters: dict[str, int] = {}
+        #: name -> [occurrences, total seconds], aggregated live.
+        self.span_totals: dict[str, list[float]] = {}
+        self._span_started_at: dict[int, float] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API (mirrors NullTracer).
+
+    def span(self, name: str, **meta: object) -> _Span:
+        return _Span(self, name, meta)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def event(self, name: str, **data: object) -> None:
+        self._emit({"ev": "event", "ts": self._now(), "name": name, "data": data})
+
+    def close(self) -> None:
+        """Emit the final counter totals and close the sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.counters:
+            self._emit({"ev": "counters", "ts": self._now(), "counters": dict(self.counters)})
+        if self._sink is not None:
+            self._sink.close()
+
+    # ------------------------------------------------------------------
+    # Span plumbing.
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _emit(self, event: dict) -> None:
+        if self._sink is not None:
+            self._sink.emit(event)
+
+    def _begin_span(self, span: _Span) -> None:
+        span.id = self._next_span_id
+        self._next_span_id += 1
+        span._counters_at_entry = dict(self.counters)
+        now = self._now()
+        self._span_started_at[span.id] = now
+        record = {
+            "ev": "span_begin",
+            "ts": now,
+            "id": span.id,
+            "parent": self._stack[-1].id if self._stack else None,
+            "name": span.name,
+        }
+        if span.meta:
+            record["meta"] = span.meta
+        self._stack.append(span)
+        self._emit(record)
+
+    def _end_span(self, span: _Span) -> None:
+        now = self._now()
+        duration = now - self._span_started_at.pop(span.id, now)
+        # Tolerate mispaired exits defensively: unwind to this span.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        total = self.span_totals.setdefault(span.name, [0, 0.0])
+        total[0] += 1
+        total[1] += duration
+        deltas = {
+            name: value - span._counters_at_entry.get(name, 0)
+            for name, value in self.counters.items()
+            if value != span._counters_at_entry.get(name, 0)
+        }
+        record = {
+            "ev": "span_end",
+            "ts": now,
+            "id": span.id,
+            "name": span.name,
+            "dur": duration,
+        }
+        if deltas:
+            record["counters"] = deltas
+        self._emit(record)
+
+
+def tracer_to_file(path: str) -> Tracer:
+    """Convenience: a tracer writing JSONL to ``path``."""
+    return Tracer(JsonlSink(path))

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..ir import model as ir
 from ..lang.errors import SourceLocation
+from ..obs.tracer import NULL_TRACER
 from .builtins import BuiltinError, call_builtin
 from .cache import CacheConfig, CacheSimulator
 from .costmodel import CostModel, ExecutionStats
@@ -69,6 +70,7 @@ class Interpreter:
         program: ir.IRProgram,
         cache_config: CacheConfig | None = None,
         max_steps: int = 500_000_000,
+        tracer=NULL_TRACER,
     ) -> None:
         self.program = program
         self.heap = Heap()
@@ -78,6 +80,9 @@ class Interpreter:
         self.output: list[str] = []
         self._max_steps = max_steps
         self._depth = 0
+        # Consulted only at run()-end (never in the dispatch loop), so the
+        # default no-op tracer adds zero per-instruction overhead.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Entry points.
@@ -98,6 +103,13 @@ class Interpreter:
             result = self._call(entry_fn, [])
         finally:
             sys.setrecursionlimit(old_limit)
+        if self.tracer.enabled:
+            # Surface the VM's counters as trace data at run end.
+            summary = self.stats.summary()
+            self.tracer.event("run.stats", **summary)
+            for key, value in summary.items():
+                if isinstance(value, int):  # ratios stay event-only
+                    self.tracer.count(f"run.{key}", value)
         return RunResult(
             output=self.output,
             stats=self.stats,
@@ -572,6 +584,13 @@ def run_program(
     program: ir.IRProgram,
     cache_config: CacheConfig | None = None,
     max_steps: int = 500_000_000,
+    tracer=NULL_TRACER,
 ) -> RunResult:
-    """Convenience wrapper: interpret ``program`` from ``main``."""
-    return Interpreter(program, cache_config, max_steps).run()
+    """Convenience wrapper: interpret ``program`` from ``main``.
+
+    ``tracer`` receives a ``run`` span plus the VM statistics as a
+    ``run.stats`` event and ``run.*`` counters when the run completes.
+    """
+    interpreter = Interpreter(program, cache_config, max_steps, tracer)
+    with tracer.span("run"):
+        return interpreter.run()

@@ -6,9 +6,17 @@ callable that executed them — the tool for answering "where did the
 inlining win come from?" on a real program.
 
 Implementation: a subclass that snapshots the interpreter's counters
-around every call frame.  Self-attribution: a frame is charged only for
-work done while it was the innermost frame (callees' work is charged to
-the callees).
+around every call frame and keeps a stack of per-frame child-cost
+accumulators.  Each callable records **both** attributions:
+
+- *self* costs — work done while the frame was the innermost one
+  (callees' work is charged to the callees), and
+- *inclusive* costs — the frame's whole subtree (a recursive callable's
+  inclusive numbers count each live activation, as in gprof).
+
+Self costs are conservative: across a run they sum exactly to the VM's
+totals, so "who is actually burning the cycles?" reads off the ``self``
+column while "which subtree should I optimize?" reads off ``incl``.
 """
 
 from __future__ import annotations
@@ -24,13 +32,18 @@ from .values import Value
 
 @dataclass(slots=True)
 class CallableProfile:
-    """Accumulated self-costs of one callable."""
+    """Accumulated costs of one callable (self and inclusive)."""
 
     name: str
     calls: int = 0
+    #: Inclusive: this callable plus everything it called.
     instructions: int = 0
     heap_accesses: int = 0
     cycles: int = 0
+    #: Self: only work done while this callable's frame was innermost.
+    self_instructions: int = 0
+    self_heap_accesses: int = 0
+    self_cycles: int = 0
 
 
 @dataclass(slots=True)
@@ -40,22 +53,28 @@ class ProfileReport:
     result: RunResult
     profiles: dict[str, CallableProfile] = field(default_factory=dict)
 
-    def hottest(self, limit: int = 10) -> list[CallableProfile]:
+    def hottest(self, limit: int = 10, key: str = "inclusive") -> list[CallableProfile]:
+        """Top callables by ``key``: 'inclusive' (default) or 'self'."""
+        if key not in ("inclusive", "self"):
+            raise ValueError(f"bad profile sort key {key!r}")
+        attr = "cycles" if key == "inclusive" else "self_cycles"
         return sorted(
-            self.profiles.values(), key=lambda p: p.cycles, reverse=True
+            self.profiles.values(), key=lambda p: getattr(p, attr), reverse=True
         )[:limit]
 
     def render(self, limit: int = 10) -> str:
         total = max(self.result.stats.cycles(), 1)
         lines = [
-            f"{'callable':40s} {'calls':>8s} {'instrs':>10s} "
-            f"{'heap':>8s} {'cycles':>10s} {'share':>7s}"
+            f"{'callable':40s} {'calls':>8s} {'self-instr':>10s} "
+            f"{'self-heap':>9s} {'self-cyc':>10s} {'self%':>6s} "
+            f"{'incl-cyc':>10s} {'incl%':>6s}"
         ]
-        for profile in self.hottest(limit):
+        for profile in self.hottest(limit, key="self"):
             lines.append(
-                f"{profile.name:40s} {profile.calls:>8d} {profile.instructions:>10d} "
-                f"{profile.heap_accesses:>8d} {profile.cycles:>10d} "
-                f"{profile.cycles / total:>6.1%}"
+                f"{profile.name:40s} {profile.calls:>8d} "
+                f"{profile.self_instructions:>10d} {profile.self_heap_accesses:>9d} "
+                f"{profile.self_cycles:>10d} {profile.self_cycles / total:>6.1%} "
+                f"{profile.cycles:>10d} {profile.cycles / total:>6.1%}"
             )
         return "\n".join(lines)
 
@@ -73,6 +92,9 @@ class ProfilingInterpreter(Interpreter):
         super().__init__(program, cache_config, max_steps)
         self._model = cost_model or CostModel()
         self.profiles: dict[str, CallableProfile] = {}
+        #: One accumulator per active frame: inclusive costs of the
+        #: frame's *direct callees*, to subtract for self-attribution.
+        self._child_costs: list[list[int]] = []
 
     def _snapshot(self) -> tuple[int, int, int]:
         stats = self.stats
@@ -84,21 +106,29 @@ class ProfilingInterpreter(Interpreter):
 
     def _call(self, callable_: ir.IRCallable, args: list[Value]) -> Value:
         before = self._snapshot()
+        self._child_costs.append([0, 0, 0])
         try:
             return super()._call(callable_, args)
         finally:
             after = self._snapshot()
+            children = self._child_costs.pop()
+            inclusive = [now - then for now, then in zip(after, before)]
             profile = self.profiles.get(callable_.name)
             if profile is None:
                 profile = CallableProfile(callable_.name)
                 self.profiles[callable_.name] = profile
             profile.calls += 1
-            # Inclusive deltas; convert to self-costs by subtracting what
-            # the callees charged since `before` (their inclusive deltas
-            # were recorded after ours started — track via a stack).
-            profile.instructions += after[0] - before[0]
-            profile.heap_accesses += after[1] - before[1]
-            profile.cycles += after[2] - before[2]
+            profile.instructions += inclusive[0]
+            profile.heap_accesses += inclusive[1]
+            profile.cycles += inclusive[2]
+            profile.self_instructions += inclusive[0] - children[0]
+            profile.self_heap_accesses += inclusive[1] - children[1]
+            profile.self_cycles += inclusive[2] - children[2]
+            if self._child_costs:
+                parent = self._child_costs[-1]
+                parent[0] += inclusive[0]
+                parent[1] += inclusive[1]
+                parent[2] += inclusive[2]
 
 
 def profile_program(
@@ -108,9 +138,10 @@ def profile_program(
 ) -> ProfileReport:
     """Run ``program`` under the profiler.
 
-    Costs are *inclusive* (a callable is charged for its callees too), so
-    ``main`` is always ~100%; read the table top-down to find the hot
-    subtree.
+    Each callable gets both attributions: *inclusive* (charged for its
+    callees too — ``main`` is always ~100%; read top-down for the hot
+    subtree) and *self* (only the work its own frames did — self costs
+    sum to the run total; read for the actual hot code).
     """
     interpreter = ProfilingInterpreter(program, cache_config, cost_model)
     result = interpreter.run()

@@ -1,0 +1,347 @@
+"""Observability subsystem tests: spans, counters, JSONL, summaries."""
+
+import json
+
+import pytest
+
+from repro.ir import compile_source
+from repro.inlining.pipeline import optimize
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NULL_TRACER,
+    Tracer,
+    read_events,
+    render_summary,
+    summarize_events,
+    summarize_file,
+    tracer_to_file,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock: advances on demand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        begins = {e["name"]: e for e in sink.events if e["ev"] == "span_begin"}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+        assert begins["sibling"]["parent"] == begins["outer"]["id"]
+        assert begins["inner"]["id"] != begins["sibling"]["id"]
+
+    def test_span_duration_uses_clock(self):
+        clock = FakeClock()
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=clock)
+        with tracer.span("phase"):
+            clock.advance(1.5)
+        end = next(e for e in sink.events if e["ev"] == "span_end")
+        assert end["dur"] == pytest.approx(1.5)
+        assert tracer.span_totals["phase"] == [1, pytest.approx(1.5)]
+
+    def test_span_meta_recorded(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        with tracer.span("transform", round=3):
+            pass
+        begin = next(e for e in sink.events if e["ev"] == "span_begin")
+        assert begin["meta"] == {"round": 3}
+
+    def test_span_totals_aggregate_repeats(self):
+        clock = FakeClock()
+        tracer = Tracer(None, clock=clock)
+        for _ in range(4):
+            with tracer.span("phase"):
+                clock.advance(0.25)
+        assert tracer.span_totals["phase"][0] == 4
+        assert tracer.span_totals["phase"][1] == pytest.approx(1.0)
+
+
+class TestCounters:
+    def test_counter_accumulation(self):
+        tracer = Tracer(MemorySink(), clock=FakeClock())
+        tracer.count("steps")
+        tracer.count("steps", 9)
+        assert tracer.counters["steps"] == 10
+
+    def test_span_end_carries_counter_deltas(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        tracer.count("steps", 5)
+        with tracer.span("phase"):
+            tracer.count("steps", 7)
+            tracer.count("widened", 1)
+        end = next(e for e in sink.events if e["ev"] == "span_end")
+        assert end["counters"] == {"steps": 7, "widened": 1}
+
+    def test_untouched_counters_omitted_from_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        tracer.count("before", 3)
+        with tracer.span("phase"):
+            pass
+        end = next(e for e in sink.events if e["ev"] == "span_end")
+        assert "counters" not in end
+
+    def test_close_emits_totals_once(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=FakeClock())
+        tracer.count("steps", 2)
+        tracer.close()
+        tracer.close()  # idempotent
+        totals = [e for e in sink.events if e["ev"] == "counters"]
+        assert len(totals) == 1
+        assert totals[0]["counters"] == {"steps": 2}
+        assert sink.closed
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = tracer_to_file(path)
+        with tracer.span("optimize"):
+            with tracer.span("analyze"):
+                tracer.count("analysis.worklist_steps", 42)
+            tracer.event("decision", candidate="C.f", accepted=True)
+        tracer.close()
+
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        # Every line is standalone JSON.
+        events = [json.loads(line) for line in lines]
+        kinds = [e["ev"] for e in events]
+        assert kinds.count("span_begin") == 2
+        assert kinds.count("span_end") == 2
+        assert "event" in kinds and "counters" in kinds
+
+        summary = summarize_file(path)
+        assert summary.phases["analyze"].count == 1
+        assert summary.counters["analysis.worklist_steps"] == 42
+        assert summary.decisions == [{"candidate": "C.f", "accepted": True}]
+        assert summary.malformed_lines == 0
+
+    def test_malformed_lines_tolerated(self):
+        events, malformed = read_events(
+            ['{"ev":"span_end","name":"x","dur":1.0,"id":1}', "not json", "", "[1,2]"]
+        )
+        assert len(events) == 1
+        assert malformed == 2
+        summary = summarize_events(events, malformed)
+        assert summary.phases["x"].total_seconds == 1.0
+        assert "malformed" in render_summary(summary)
+
+    def test_sink_accepts_file_object(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = JsonlSink(handle)
+            sink.emit({"ev": "event", "name": "x", "ts": 0.0, "data": {}})
+            sink.close()  # must not close a borrowed handle
+            handle.write("")  # still open
+        assert json.loads(path.read_text().strip())["name"] == "x"
+
+
+class TestNullTracer:
+    def test_noop_tracer_is_inert(self):
+        tracer = NULL_TRACER
+        assert not tracer.enabled
+        with tracer.span("anything", meta=1) as span:
+            tracer.count("x", 5)
+            tracer.event("decision", foo="bar")
+        tracer.close()
+        # No state accumulated anywhere.
+        assert not hasattr(tracer, "counters")
+        assert span is tracer.span("other")  # the shared singleton span
+
+    def test_default_pipeline_runs_untraced(self):
+        source = """
+        class P { var v; def init(v) { this.v = v; } }
+        class C { var f; def init(p) { this.f = p; } }
+        def main() { var c = new C(new P(5)); print(c.f.v); }
+        """
+        report = optimize(compile_source(source))
+        assert report.program is not None  # no tracer argument required
+
+
+class TestPipelineTracing:
+    SOURCE = """
+    class P { var v; def init(v) { this.v = v; } }
+    class C { var f; def init(p) { this.f = p; } }
+    def poly(o) { return o.f; }
+    def main() {
+      var c = new C(new P(5));
+      print(c.f.v);
+    }
+    """
+
+    def test_optimize_emits_phase_spans_and_decisions(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        optimize(compile_source(self.SOURCE), tracer=tracer)
+        tracer.close()
+        ended = {e["name"] for e in sink.events if e["ev"] == "span_end"}
+        for phase in ("optimize", "analyze", "plan", "transform", "opt.dce"):
+            assert phase in ended, f"missing span {phase}"
+        decisions = [
+            e["data"] for e in sink.events
+            if e["ev"] == "event" and e["name"] == "decision"
+        ]
+        assert any(d["candidate"] == "C.f" and d["accepted"] for d in decisions)
+        assert tracer.counters["analysis.worklist_steps"] > 0
+        assert tracer.counters["decisions.accepted"] >= 1
+
+    def test_rejections_carry_stage(self):
+        report = optimize(compile_source(self.SOURCE), inline=False)
+        for candidate in report.plan.rejected():
+            assert candidate.reject_stage == "policy"
+            record = candidate.decision_record()
+            assert record["accepted"] is False
+            assert record["stage"] == "policy"
+
+    def test_decision_engine_stages_populated(self):
+        # A post-construction store rejection must name its screening stage.
+        source = """
+        class P { var v; def init(v) { this.v = v; } }
+        class C {
+          var f;
+          def init(p) { this.f = p; }
+          def set(p) { this.f = p; }
+        }
+        def main() {
+          var c = new C(new P(1));
+          c.set(new P(2));
+          print(c.f.v);
+        }
+        """
+        report = optimize(compile_source(source))
+        rejected = {c.describe(): c for c in report.plan.rejected()}
+        assert "C.f" in rejected
+        assert rejected["C.f"].reject_stage == "stores"
+
+
+class TestTraceSummaryRender:
+    def test_render_contains_phase_table_and_decisions(self):
+        sink = MemorySink()
+        clock = FakeClock()
+        tracer = Tracer(sink, clock=clock)
+        with tracer.span("optimize"):
+            with tracer.span("analyze"):
+                clock.advance(0.010)
+            clock.advance(0.002)
+        tracer.event("decision", candidate="C.f", accepted=True)
+        tracer.event(
+            "decision", candidate="D.g", accepted=False,
+            stage="purity", reason="use site mixes inlined and raw objects",
+        )
+        tracer.count("analysis.worklist_steps", 99)
+        tracer.close()
+        summary = summarize_events(sink.events)
+        assert summary.root_seconds == pytest.approx(0.012)
+        text = render_summary(summary)
+        assert "analyze" in text
+        assert "ACCEPT C.f" in text
+        assert "[purity]" in text
+        assert "analysis.worklist_steps" in text
+
+
+class TestCLITrace:
+    PROGRAM = """
+    class P { var v; def init(v) { this.v = v; } }
+    class C { var f; def init(p) { this.f = p; } }
+    def main() { var c = new C(new P(5)); print(c.f.v); }
+    """
+
+    @pytest.fixture()
+    def program_file(self, tmp_path):
+        path = tmp_path / "prog.icc"
+        path.write_text(self.PROGRAM)
+        return str(path)
+
+    def test_run_trace_flag_writes_jsonl(self, program_file, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = str(tmp_path / "out.jsonl")
+        assert main(["run", program_file, "--inline", "--trace", trace]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+        summary = summarize_file(trace)
+        for phase in ("analyze", "plan", "transform", "run"):
+            assert phase in summary.phases
+        assert summary.decisions  # at least one decision event
+        assert summary.counters["run.instructions"] > 0
+
+    def test_trace_subcommand_renders_table(self, program_file, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = str(tmp_path / "out.jsonl")
+        main(["run", program_file, "--inline", "--trace", trace])
+        capsys.readouterr()
+        assert main(["trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "analyze" in out
+        assert "decisions:" in out
+
+    def test_analyze_json(self, program_file, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", program_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analysis"]["method_contours"] > 0
+        candidates = {c["candidate"]: c for c in payload["candidates"]}
+        assert candidates["C.f"]["accepted"] is True
+        assert payload["clones"]["method_partitions"] >= 1
+
+    def test_analyze_text_shows_stage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = """
+        class P { var v; def init(v) { this.v = v; } }
+        class C {
+          var f;
+          def init(p) { this.f = p; }
+          def set(p) { this.f = p; }
+        }
+        def main() {
+          var c = new C(new P(1));
+          c.set(new P(2));
+          print(c.f.v);
+        }
+        """
+        path = tmp_path / "poly.icc"
+        path.write_text(source)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reject[" in out
+
+
+class TestBenchPhaseTimings:
+    def test_build_results_carry_phase_seconds(self):
+        from repro.bench.harness import run_benchmark
+
+        source = """
+        class P { var v; def init(v) { this.v = v; } }
+        class C { var f; def init(p) { this.f = p; } }
+        def main() { var c = new C(new P(5)); print(c.f.v); }
+        """
+        bench = run_benchmark("tiny", source)
+        for build in ("noinline", "inline", "manual"):
+            phases = bench.builds[build].phase_seconds
+            assert phases.get("analyze", 0.0) > 0.0
+            assert "transform" in phases

@@ -39,6 +39,64 @@ class TestProfiler:
             >= report.profiles["P::get"].instructions
         )
 
+    def test_self_attribution(self):
+        report = profile_program(compile_source(SOURCE))
+        hot = report.profiles["hot"]
+        # Self excludes the P methods' work, so it is strictly below
+        # inclusive; both are positive (the loop body is hot's own work).
+        assert 0 < hot.self_cycles < hot.cycles
+        assert 0 < hot.self_instructions < hot.instructions
+        # Leaves do no further calls: self == inclusive.
+        get = report.profiles["P::get"]
+        assert get.self_cycles == get.cycles
+        assert get.self_instructions == get.instructions
+
+    def test_self_costs_conserve_run_total(self):
+        report = profile_program(compile_source(SOURCE))
+        # Every executed instruction belongs to exactly one innermost
+        # frame, so self costs across all callables sum to the VM totals.
+        assert (
+            sum(p.self_instructions for p in report.profiles.values())
+            == report.result.stats.instructions
+        )
+        assert (
+            sum(p.self_cycles for p in report.profiles.values())
+            == report.result.stats.cycles()
+        )
+
+    def test_pure_delegator_has_near_zero_self(self):
+        source = """
+        def leaf() {
+          var t = 0;
+          for (var i = 0; i < 100; i = i + 1) { t = t + i; }
+          return t;
+        }
+        def wrapper() { return leaf(); }
+        def main() { print(wrapper()); }
+        """
+        report = profile_program(compile_source(source))
+        wrapper = report.profiles["wrapper"]
+        leaf = report.profiles["leaf"]
+        # The wrapper only calls and returns: a handful of instructions,
+        # no loop work — while its inclusive cost subsumes the leaf.
+        assert wrapper.self_instructions < 10
+        assert wrapper.self_cycles < leaf.self_cycles / 10
+        assert wrapper.cycles >= leaf.cycles
+
+    def test_hottest_by_self_ranks_workers_first(self):
+        source = """
+        def leaf() {
+          var t = 0;
+          for (var i = 0; i < 100; i = i + 1) { t = t + i; }
+          return t;
+        }
+        def wrapper() { return leaf(); }
+        def main() { print(wrapper()); }
+        """
+        report = profile_program(compile_source(source))
+        by_self = report.hottest(3, key="self")
+        assert by_self[0].name == "leaf"
+
     def test_hottest_ordering(self):
         report = profile_program(compile_source(SOURCE))
         hottest = report.hottest(3)
@@ -51,6 +109,9 @@ class TestProfiler:
         text = report.render(limit=5)
         assert "main" in text
         assert "%" in text
+        # Both attributions are in the table.
+        assert "self-cyc" in text
+        assert "incl-cyc" in text
 
 
 class TestProfilerCLI:

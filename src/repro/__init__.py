@@ -18,18 +18,28 @@ The package implements, from scratch:
 
 Quickstart::
 
+    from repro import Session
+
+    session = Session(SOURCE)
+    report = session.optimize()                # object inlining ON
+    result = session.run("inline")
+    print(result.output, result.stats.cycles())
+
+:class:`Session` owns the config + tracer threading and caches every
+intermediate artifact (IR, analysis results, per-build reports).  The
+classic one-shot functions still work as thin wrappers::
+
     from repro import compile_source, optimize, run_program
 
     program = compile_source(SOURCE)
     report = optimize(program)                 # object inlining ON
     result = run_program(report.program)
-    print(result.output, result.stats.cycles())
 """
 
-from .analysis import AnalysisConfig, AnalysisResult, analyze
+from .analysis import AnalysisCache, AnalysisConfig, AnalysisResult
 from .inlining.decisions import Candidate, DecisionEngine, InlinePlan
-from .inlining.pipeline import OptimizeReport, optimize
-from .ir import compile_source, format_program, validate_program
+from .inlining.pipeline import OptimizeReport
+from .ir import format_program, validate_program
 from .lang import parse_program, tokenize
 from .obs import NULL_TRACER, Tracer, tracer_to_file
 from .runtime import (
@@ -39,14 +49,15 @@ from .runtime import (
     Interpreter,
     ReproRuntimeError,
     RunResult,
-    run_program,
 )
+from .session import Session, analyze, compile_source, optimize, run_program
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
     "analyze",
+    "AnalysisCache",
     "AnalysisConfig",
     "AnalysisResult",
     "CacheConfig",
@@ -67,6 +78,7 @@ __all__ = [
     "ReproRuntimeError",
     "run_program",
     "RunResult",
+    "Session",
     "tokenize",
     "validate_program",
 ]

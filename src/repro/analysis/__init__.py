@@ -14,6 +14,7 @@ from .contours import (
 )
 from .engine import AnalysisBudgetExceeded, FlowAnalysis, analyze
 from .results import AnalysisResult, IdentitySite, StoreSite
+from .reuse import AnalysisCache
 from .tags import ELEM_FIELD, MAX_TAG_DEPTH, NOFIELD, Slot, Tag, format_tag, head, make_tag
 from .values import (
     AbstractVal,
@@ -33,6 +34,7 @@ __all__ = [
     "AbstractVal",
     "analyze",
     "AnalysisBudgetExceeded",
+    "AnalysisCache",
     "AnalysisConfig",
     "AnalysisResult",
     "ARRAY_CLASS",

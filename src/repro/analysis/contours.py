@@ -28,7 +28,7 @@ candidate field whose analysis touched widened state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .values import AbstractVal, BOTTOM, join
 
@@ -45,15 +45,14 @@ class AnalysisConfig:
     max_object_contours_per_site: int = 32
     max_local_passes: int = 30
     max_worklist_steps: int = 600_000
+    #: Dependency-tracked evaluation: skip clean worklist pops, re-evaluate
+    #: warm from cached registers, and record facts only for contours whose
+    #: last recording is stale.  ``False`` selects the from-scratch
+    #: reference mode the differential tests compare against.
+    incremental: bool = True
 
     def with_sensitivity(self, sensitivity: str) -> "AnalysisConfig":
-        return AnalysisConfig(
-            sensitivity=sensitivity,
-            max_method_contours_per_callable=self.max_method_contours_per_callable,
-            max_object_contours_per_site=self.max_object_contours_per_site,
-            max_local_passes=self.max_local_passes,
-            max_worklist_steps=self.max_worklist_steps,
-        )
+        return replace(self, sensitivity=sensitivity)
 
 
 @dataclass(slots=True)
@@ -73,6 +72,11 @@ class MethodContour:
     #: signature revives them — id stability keeps the fixpoint monotone)
     #: but do not count against the widening caps.
     retired: bool = False
+    #: Version stamps (the engine's global clock) of the last growth of
+    #: ``arg_values`` / ``ret``; the staleness check compares these against
+    #: a dependent contour's last-evaluation stamp.
+    args_version: int = 0
+    ret_version: int = 0
 
     def join_args(self, args: list[AbstractVal]) -> bool:
         """Join ``args`` into the contour; True if anything grew."""
@@ -128,6 +132,11 @@ class ContourManager:
         #: contours so they stop counting against the caps.  Called right
         #: before a cap would force widening.
         self.gc_hook = None
+        #: Set by the analysis engine: called as ``widen_hook(summary,
+        #: dependents)`` when widening folds existing contours into a fresh
+        #: summary, so the engine can stamp the absorbed growth and
+        #: re-enqueue the contours that saw the narrower pre-summary state.
+        self.widen_hook = None
 
     def remove_method_contour(self, contour_id: int) -> None:
         """Drop a stale contour entirely (final post-fixpoint pruning only;
@@ -257,6 +266,8 @@ class ContourManager:
             contour.join_args(existing.arg_values)
             contour.ret = join(contour.ret, existing.ret)
             contour.callers |= existing.callers
+        if self.widen_hook is not None:
+            self.widen_hook(contour, set(contour.callers))
         return contour
 
     # ------------------------------------------------------------------
@@ -316,6 +327,13 @@ class ContourManager:
         self.object_contours[contour.id] = contour
         self._object_by_key[key] = contour.id
         self.contours_of_site[site_uid].append(contour.id)
+        if self.widen_hook is not None:
+            creators = {
+                self.object_contours[cid].creator_id
+                for cid in self.contours_of_site[site_uid]
+                if self.object_contours[cid].creator_id is not None
+            }
+            self.widen_hook(contour, creators)
         return contour
 
     # ------------------------------------------------------------------

@@ -11,18 +11,39 @@ builds on (§3.2.1) together with the tag analysis of §4.1:
   ``MakeTag``; everything else → gated propagation).
 
 The analysis is flow-insensitive inside a contour (registers accumulate
-joins) and runs a global worklist to a fixpoint.  A final *recording*
-pass re-evaluates every contour at the fixpoint and snapshots
-per-instruction facts (operand values, resolved call edges, allocated
-contours, store and identity-comparison sites) into an
-:class:`~repro.analysis.results.AnalysisResult` for the inlining
-decision, cloning, and rewriting stages.
+joins) and runs a global worklist to a fixpoint.
+
+The engine is **incremental and dependency-tracked** (see
+docs/ANALYSIS.md).  Every lattice cell a contour evaluation reads — a
+field slot, a global, a callee contour's return value, the contour's own
+argument tuple — is stamped with a monotonically increasing *version*
+when it grows, and every evaluation records exactly which cells it read.
+That dependency graph drives three optimizations:
+
+- a worklist pop whose dependency versions are all unchanged since the
+  contour's last evaluation is skipped outright (skipping is exact: an
+  unchanged-input evaluation is deterministic and replays precisely the
+  effects of the previous one);
+- within an evaluation, local passes after the first only re-run
+  instructions with an input register that changed in the previous pass
+  (an unchanged-input transfer is a no-op at joined state);
+- the final *recording* pass, which snapshots per-instruction facts
+  (operand values, resolved call edges, allocated contours, store and
+  identity-comparison sites) into an
+  :class:`~repro.analysis.results.AnalysisResult`, replays a single
+  sweep over the cached fixpoint registers instead of re-running every
+  contour's local passes from scratch, and skips contours whose facts
+  were already recorded at their current version.
+
+``AnalysisConfig(incremental=False)`` disables all three and evaluates
+every pop cold — the from-scratch reference used by the differential
+tests, which must produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..ir import model as ir
 from ..obs.tracer import NULL_TRACER
@@ -78,6 +99,9 @@ class _EvalState:
     regs: list[AbstractVal]
     changed: bool = False
     record: bool = False
+    #: Registers written this pass; feeds the dirty-instruction selection
+    #: of the next local pass (incremental mode only).
+    changed_regs: set = field(default_factory=set)
 
 
 class FlowAnalysis:
@@ -109,10 +133,47 @@ class FlowAnalysis:
         self._steps = 0
         self._last_gc_step = -10_000
         self.manager.gc_hook = self._gc_stale_contours
-        # Recording-pass outputs.
+        self.manager.widen_hook = self._on_widened
+        # Version stamps: one global monotone clock; every lattice cell
+        # (slot / global / contour ret / contour args) records the clock
+        # value of its last growth.
+        self._version = 0
+        self._slot_version: dict[Slot, int] = {}
+        self._global_version: dict[str, int] = {}
+        # Per-contour dependency sets, rebuilt on every evaluation; the
+        # reverse maps (_slot_readers / _global_readers / contour.callers)
+        # stay append-only supersets, which is sound (at worst a spurious
+        # enqueue that the staleness check then skips).
+        self._dep_slots: dict[int, set[Slot]] = {}
+        self._dep_globals: dict[int, set[str]] = {}
+        self._dep_callees: dict[int, set[int]] = {}
+        #: contour id -> clock value at the end of its last clean evaluation.
+        self._eval_version: dict[int, int] = {}
+        #: Contours that must re-evaluate regardless of cell versions:
+        #: widening rebinds their call/allocation sites to a summary
+        #: contour, a change no versioned cell captures.
+        self._force_stale: set[int] = set()
+        #: contour id -> converged registers of the last evaluation.
+        self._cached_regs: dict[int, list[AbstractVal]] = {}
+        #: contour id -> _eval_version at which its facts were recorded.
+        self._recorded_version: dict[int, int] = {}
+        #: callable name -> [(instr, source regs)] with CFG-only
+        #: instructions (Jump/Branch — no dataflow effect) filtered out.
+        self._instr_cache: dict[str, list[tuple[ir.Instr, tuple[int, ...]]]] = {}
+        #: Contour currently being evaluated; a write that would enqueue
+        #: it is folded into the running local pass loop instead.
+        self._current_cid: int | None = None
+        self._self_requeued = False
+        #: Contour whose reads (slots, gate head slots) are being tracked.
+        self._reader: int | None = None
+        self._evals = 0
+        self._eval_skips = 0
+        self._record_skips = 0
+        # Recording-pass outputs, keyed per contour so a re-record
+        # replaces (never duplicates) that contour's entries.
         self._facts: dict[tuple[int, int], dict[str, object]] = {}
-        self._stores: list[StoreSite] = []
-        self._identity_sites: list[IdentitySite] = []
+        self._stores: dict[int, list[StoreSite]] = {}
+        self._identity_sites: dict[int, list[IdentitySite]] = {}
 
     # ------------------------------------------------------------------
     # Public API.
@@ -126,6 +187,7 @@ class FlowAnalysis:
             contour, _ = self.manager.get_method_contour(entry, [], is_method=False)
             self._enqueue(contour.id)
 
+        incremental = self.config.incremental
         with self.tracer.span("analysis.fixpoint"):
             while self._worklist:
                 self._steps += 1
@@ -138,7 +200,10 @@ class FlowAnalysis:
                 contour = self.manager.method_contours.get(contour_id)
                 if contour is None:
                     continue  # retired by GC while queued
-                self._evaluate(contour, record=False)
+                if incremental and not self._contour_stale(contour):
+                    self._eval_skips += 1
+                    continue
+                self._evaluate(contour)
 
         # Drop contours left stale by signature growth (a call site whose
         # argument signature grew re-binds to a fresh contour; the old one
@@ -149,10 +214,13 @@ class FlowAnalysis:
         # Fixpoint reached: snapshot per-instruction facts.
         with self.tracer.span("analysis.record"):
             for contour in list(self.manager.method_contours.values()):
-                self._evaluate(contour, record=True)
+                self._record_contour(contour)
 
         tracer = self.tracer
         tracer.count("analysis.worklist_steps", self._steps)
+        tracer.count("analysis.evals", self._evals)
+        tracer.count("analysis.eval_skips", self._eval_skips)
+        tracer.count("analysis.record_skips", self._record_skips)
         tracer.count("analysis.method_contours_created", self.manager.created_method_contours)
         tracer.count("analysis.object_contours_created", self.manager.created_object_contours)
         tracer.count("analysis.method_contours_live", self.manager.method_contour_count())
@@ -164,8 +232,11 @@ class FlowAnalysis:
             sum(len(callees) for sites in self.call_edges.values() for callees in sites.values()),
         )
         tracer.count("analysis.slots", len(self.slots))
-        tracer.count("analysis.store_sites", len(self._stores))
-        tracer.count("analysis.identity_sites", len(self._identity_sites))
+        live = self.manager.method_contours
+        stores = [s for cid in live for s in self._stores.get(cid, ())]
+        identity_sites = [s for cid in live for s in self._identity_sites.get(cid, ())]
+        tracer.count("analysis.store_sites", len(stores))
+        tracer.count("analysis.identity_sites", len(identity_sites))
 
         return AnalysisResult(
             program=self.program,
@@ -176,8 +247,8 @@ class FlowAnalysis:
             call_edges={k: {u: set(v) for u, v in d.items()} for k, d in self.call_edges.items()},
             allocations={k: dict(v) for k, v in self.allocations.items()},
             facts=self._facts,
-            stores=list(self._stores),
-            identity_sites=list(self._identity_sites),
+            stores=stores,
+            identity_sites=identity_sites,
         )
 
     def _gc_stale_contours(self) -> None:
@@ -194,6 +265,29 @@ class FlowAnalysis:
         reachable = self._reachable_contours()
         for contour in self.manager.method_contours.values():
             contour.retired = contour.id not in reachable
+
+    def _on_widened(self, summary: object, callers: set) -> None:
+        """Widening created a summary contour absorbing existing state.
+
+        The absorbed argument/return knowledge grew without flowing
+        through the normal transfer functions, and future contour lookups
+        now rebind to the summary — a change no versioned cell captures.
+        Stamp the summary and force-re-evaluate everything that bound the
+        pre-widening contours; otherwise a dependent could be skipped as
+        "clean" while still holding the narrower pre-summary bindings.
+        """
+        version = self._bump()
+        if isinstance(summary, MethodContour):
+            summary.args_version = version
+            summary.ret_version = version
+            dependents = {caller_id for caller_id, _site in callers}
+        else:
+            # Object-contour widening: the creator contours must rebind
+            # their allocation results to the summary contour.
+            dependents = set(callers)
+        for contour_id in dependents:
+            self._force_stale.add(contour_id)
+            self._enqueue(contour_id)
 
     def _reachable_contours(self) -> set[int]:
         roots = [
@@ -220,6 +314,12 @@ class FlowAnalysis:
             self.manager.remove_method_contour(contour_id)
             self.call_edges.pop(contour_id, None)
             self.allocations.pop(contour_id, None)
+            self._cached_regs.pop(contour_id, None)
+            self._eval_version.pop(contour_id, None)
+            self._force_stale.discard(contour_id)
+            self._dep_slots.pop(contour_id, None)
+            self._dep_globals.pop(contour_id, None)
+            self._dep_callees.pop(contour_id, None)
         # Scrub dead callers so downstream caller walks see live edges only.
         for contour in self.manager.method_contours.values():
             contour.callers = {
@@ -227,27 +327,67 @@ class FlowAnalysis:
             }
 
     # ------------------------------------------------------------------
-    # Worklist plumbing.
+    # Worklist and dependency plumbing.
+
+    def _bump(self) -> int:
+        self._version += 1
+        return self._version
 
     def _enqueue(self, contour_id: int) -> None:
+        if contour_id == self._current_cid:
+            # The running evaluation wrote a cell it reads itself; the
+            # local pass loop rescans instead of a redundant global pop.
+            self._self_requeued = True
+            return
         if contour_id not in self._in_worklist:
             self._in_worklist.add(contour_id)
             self._worklist.append(contour_id)
+
+    def _contour_stale(self, contour: MethodContour) -> bool:
+        """Whether any cell this contour read has grown since its last
+        evaluation (always true if it was never evaluated)."""
+        if contour.id in self._force_stale:
+            return True
+        at = self._eval_version.get(contour.id)
+        if at is None or contour.args_version > at:
+            return True
+        slot_version = self._slot_version
+        for slot in self._dep_slots.get(contour.id, ()):
+            if slot_version.get(slot, 0) > at:
+                return True
+        global_version = self._global_version
+        for name in self._dep_globals.get(contour.id, ()):
+            if global_version.get(name, 0) > at:
+                return True
+        contours = self.manager.method_contours
+        for callee_id in self._dep_callees.get(contour.id, ()):
+            callee = contours.get(callee_id)
+            if callee is None or callee.ret_version > at:
+                return True
+        return False
 
     def _gate(self, value: AbstractVal) -> AbstractVal:
         """Drop tags whose head slot's contents cannot be this value.
 
         This is the paper's ``Creators(Head(t)) ∩ Creators(u) ≠ ∅`` guard on
         tag propagation; it stops tags bleeding across dynamic dispatches.
+        Reading a head slot is a real dependency: if its contents grow, a
+        previously dropped tag may survive, so the reading contour must
+        re-evaluate.
         """
         if not value.tags:
             return value
         kept: set[Tag] = set()
+        reader = self._reader
         for tag in value.tags:
             if not tag or tag[0] == TOP_SLOT:
                 kept.add(tag)
                 continue
-            contents = self.slots.get(tag[0], BOTTOM)
+            head_slot = tag[0]
+            if reader is not None:
+                self._slot_readers.setdefault(head_slot, set()).add(reader)
+                self._dep_slots.setdefault(reader, set()).add(head_slot)
+            contents = self.slots.get(head_slot, BOTTOM)
             if contents.atoms & value.atoms:
                 kept.add(tag)
         if len(kept) == len(value.tags):
@@ -256,6 +396,7 @@ class FlowAnalysis:
 
     def _read_slot(self, slot: Slot, reader: int) -> AbstractVal:
         self._slot_readers.setdefault(slot, set()).add(reader)
+        self._dep_slots.setdefault(reader, set()).add(slot)
         return self.slots.get(slot, BOTTOM)
 
     def _write_slot(self, slot: Slot, value: AbstractVal) -> None:
@@ -264,44 +405,157 @@ class FlowAnalysis:
         merged = join(old, value)
         if merged != old:
             self.slots[slot] = merged
+            self._slot_version[slot] = self._bump()
             for reader in self._slot_readers.get(slot, ()):
                 self._enqueue(reader)
 
     # ------------------------------------------------------------------
     # Contour evaluation.
 
-    def _evaluate(self, contour: MethodContour, record: bool) -> None:
+    def _instr_info(self, callable_: ir.IRCallable) -> list[tuple[ir.Instr, tuple[int, ...]]]:
+        info = self._instr_cache.get(callable_.name)
+        if info is None:
+            info = [
+                (instr, instr.sources())
+                for instr in callable_.instructions()
+                if not isinstance(instr, (ir.Jump, ir.Branch))
+            ]
+            self._instr_cache[callable_.name] = info
+        return info
+
+    def _evaluate(self, contour: MethodContour) -> None:
+        """Run ``contour``'s transfer functions to a local fixpoint."""
         callable_ = self.program.lookup_callable(contour.callable_name)
         if callable_ is None:
             return
+        cid = contour.id
+        self._evals += 1
+        self._force_stale.discard(cid)
+        incremental = self.config.incremental
+
+        # Always evaluate cold from the contour's argument values.  (A warm
+        # start from the previous registers would converge to the same local
+        # fixpoint, but it would skip the transient call bindings that cold
+        # pass-1 sweeps make while intermediate registers are still BOTTOM —
+        # and those bindings are observable in ``call_edges``, so warm and
+        # cold runs would no longer be bit-identical.)
         regs = [BOTTOM] * callable_.num_regs
         for index, value in enumerate(contour.arg_values):
             if index < len(regs):
                 regs[index] = value
-        state = _EvalState(regs=regs, record=False)
+        state = _EvalState(regs=regs)
 
-        self.call_edges[contour.id] = {}
-        self.allocations.setdefault(contour.id, {})
+        # Rebuild the forward dependency sets and call edges from scratch.
+        self._dep_slots[cid] = set()
+        self._dep_globals[cid] = set()
+        self._dep_callees[cid] = set()
+        self.call_edges[cid] = {}
+        self.allocations.setdefault(cid, {})
 
-        for _ in range(self.config.max_local_passes):
-            state.changed = False
-            for instr in callable_.instructions():
-                self._transfer(contour, instr, state)
-            if not state.changed:
-                break
+        info = self._instr_info(callable_)
+        self._current_cid = cid
+        self._reader = cid
+        self._self_requeued = False
+        converged = False
+        dirty: set[int] | None = None  # None = run every instruction
+        try:
+            for _ in range(self.config.max_local_passes):
+                state.changed = False
+                state.changed_regs = set()
+                self._self_requeued = False
+                if dirty is None:
+                    for instr, _sources in info:
+                        self._transfer(contour, instr, state)
+                else:
+                    for instr, sources in info:
+                        for reg in sources:
+                            if reg in dirty:
+                                self._transfer(contour, instr, state)
+                                break
+                if self._self_requeued:
+                    # A write this pass fed a cell the contour itself
+                    # reads (own field slot, self-recursive return, own
+                    # global): rescan everything with re-joined args.
+                    for index, value in enumerate(contour.arg_values):
+                        if index < len(state.regs):
+                            state.regs[index] = join(state.regs[index], value)
+                    dirty = None
+                    continue
+                if not state.changed:
+                    converged = True
+                    break
+                dirty = state.changed_regs if incremental else None
+        finally:
+            self._current_cid = None
+            self._self_requeued = False
+            self._reader = None
 
-        if record:
-            # One more pass with stable registers, snapshotting facts.
+        self._cached_regs[cid] = regs
+        if converged:
+            self._eval_version[cid] = self._version
+        else:
+            # Local pass cap hit with work pending: stay stale + queued.
+            self._eval_version.pop(cid, None)
+            self._enqueue(cid)
+
+    def _record_contour(self, contour: MethodContour) -> None:
+        """Snapshot per-instruction facts for one contour at the fixpoint."""
+        callable_ = self.program.lookup_callable(contour.callable_name)
+        if callable_ is None:
+            return
+        cid = contour.id
+        info = self._instr_info(callable_)
+
+        if self.config.incremental:
+            cached = self._cached_regs.get(cid)
+            if cached is None or len(cached) != callable_.num_regs:
+                self._evaluate(contour)  # revived without a clean eval
+                cached = self._cached_regs.get(cid, [])
+            at = self._eval_version.get(cid)
+            if at is not None and self._recorded_version.get(cid) == at:
+                self._record_skips += 1
+                return
+            regs = list(cached)
+            if len(regs) < callable_.num_regs:
+                regs.extend([BOTTOM] * (callable_.num_regs - len(regs)))
+            state = _EvalState(regs=regs, record=True)
+        else:
+            # From-scratch reference: re-derive the registers with full
+            # local passes, then sweep once more to snapshot facts.
+            regs = [BOTTOM] * callable_.num_regs
+            for index, value in enumerate(contour.arg_values):
+                if index < len(regs):
+                    regs[index] = value
+            state = _EvalState(regs=regs)
+            self.call_edges[cid] = {}
+            self.allocations.setdefault(cid, {})
+            for _ in range(self.config.max_local_passes):
+                state.changed = False
+                for instr, _sources in info:
+                    self._transfer(contour, instr, state)
+                if not state.changed:
+                    break
             state.record = True
-            state.changed = False
-            for instr in callable_.instructions():
+
+        # Replace (never append to) this contour's recorded outputs.
+        self._stores[cid] = []
+        self._identity_sites[cid] = []
+        self._reader = cid
+        try:
+            for instr, _sources in info:
                 self._transfer(contour, instr, state)
+        finally:
+            self._reader = None
+        at = self._eval_version.get(cid)
+        if at is not None:
+            self._recorded_version[cid] = at
 
     def _set_reg(self, state: _EvalState, reg: int, value: AbstractVal) -> None:
         merged = join(state.regs[reg], value)
         if merged != state.regs[reg]:
             state.regs[reg] = merged
             state.changed = True
+            state.changed_regs.add(reg)
 
     def _record(self, contour: MethodContour, instr: ir.Instr, **facts: object) -> None:
         self._facts[(contour.id, instr.uid)] = facts
@@ -348,6 +602,7 @@ class FlowAnalysis:
             self._set_reg(state, instr.dest, AbstractVal(result_kinds, frozenset()))
         elif kind is ir.GetGlobal:
             self._global_readers.setdefault(instr.name, set()).add(contour.id)
+            self._dep_globals.setdefault(contour.id, set()).add(instr.name)
             self._set_reg(state, instr.dest, self.global_values[instr.name])
         elif kind is ir.SetGlobal:
             value = self._gate(regs[instr.src])
@@ -355,6 +610,7 @@ class FlowAnalysis:
             merged = join(old, value)
             if merged != old:
                 self.global_values[instr.name] = merged
+                self._global_version[instr.name] = self._bump()
                 for reader in self._global_readers.get(instr.name, ()):
                     self._enqueue(reader)
             if state.record:
@@ -367,6 +623,7 @@ class FlowAnalysis:
             merged = join(contour.ret, value)
             if merged != contour.ret:
                 contour.ret = merged
+                contour.ret_version = self._bump()
                 for caller_id, _site in contour.callers:
                     self._enqueue(caller_id)
         elif kind is ir.MakeView:
@@ -390,7 +647,7 @@ class FlowAnalysis:
         op = instr.op
         if op in ("==", "!="):
             if state.record and (lhs.may_be_object() or rhs.may_be_object()):
-                self._identity_sites.append(
+                self._identity_sites[contour.id].append(
                     IdentitySite(
                         contour_id=contour.id,
                         instr_uid=instr.uid,
@@ -493,7 +750,7 @@ class FlowAnalysis:
                 continue
             self._write_slot((cid, instr.field_name), src)
             if state.record:
-                self._stores.append(
+                self._stores[contour.id].append(
                     StoreSite(
                         contour_id=contour.id,
                         instr_uid=instr.uid,
@@ -539,7 +796,7 @@ class FlowAnalysis:
                 continue
             self._write_slot((cid, ELEM_FIELD), src)
             if state.record:
-                self._stores.append(
+                self._stores[contour.id].append(
                     StoreSite(
                         contour_id=contour.id,
                         instr_uid=instr.uid,
@@ -575,9 +832,12 @@ class FlowAnalysis:
             callee_name, gated, callee.is_method
         )
         grew = callee_contour.join_args(gated)
+        if grew:
+            callee_contour.args_version = self._bump()
         if created or grew:
             self._enqueue(callee_contour.id)
         callee_contour.callers.add((contour.id, site_uid))
+        self._dep_callees.setdefault(contour.id, set()).add(callee_contour.id)
         self.call_edges.setdefault(contour.id, {}).setdefault(site_uid, set()).add(
             callee_contour.id
         )

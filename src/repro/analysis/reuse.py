@@ -1,0 +1,54 @@
+"""Cross-run reuse of analysis results.
+
+:class:`AnalysisCache` memoizes :class:`~repro.analysis.results.AnalysisResult`
+objects by (program identity, analysis config).  The pipeline's nested
+replan rounds, the benchmark harness's three builds of one source
+program, and a :class:`repro.Session`'s ``analyze``/``optimize`` calls
+all re-analyze identical programs with identical configs; a shared cache
+makes every repeat free.
+
+Identity-keying is sound because the compiler never mutates an analyzed
+program: ``transform_program`` rebuilds every class/callable/instruction
+from scratch, so a transformed program is always a *new* object (cache
+miss), and the scalar passes — the one place a program *is* mutated in
+place — explicitly :meth:`~AnalysisCache.discard` the program first.
+The cache holds a strong reference to each cached program so a recycled
+``id()`` can never alias a dead entry.
+"""
+
+from __future__ import annotations
+
+from .contours import AnalysisConfig
+from .results import AnalysisResult
+
+
+class AnalysisCache:
+    """Memoizes analysis results by (program identity, config)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, AnalysisConfig], tuple[object, AnalysisResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, program, config: AnalysisConfig) -> AnalysisResult | None:
+        entry = self._entries.get((id(program), config))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[1]
+
+    def put(self, program, config: AnalysisConfig, result: AnalysisResult) -> None:
+        self._entries[(id(program), config)] = (program, result)
+
+    def discard(self, program) -> None:
+        """Drop every entry for ``program`` (it is about to be mutated)."""
+        dead = [key for key in self._entries if key[0] == id(program)]
+        for key in dead:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -81,7 +81,19 @@ def make_val(atoms: Iterable[Atom], tags: Iterable[Tag]) -> AbstractVal:
 
 
 def join(*values: AbstractVal) -> AbstractVal:
-    """Least upper bound of the given values."""
+    """Least upper bound of the given values.
+
+    The two-argument case — the analysis engine's hot path — short-circuits
+    when one operand already contains the other, returning the existing
+    (canonical) value so callers' ``merged != old`` growth checks stay cheap
+    identity-friendly comparisons.
+    """
+    if len(values) == 2:
+        a, b = values
+        if b.atoms <= a.atoms and b.tags <= a.tags:
+            return a
+        if a.atoms <= b.atoms and a.tags <= b.tags:
+            return b
     atoms: set = set()
     tags: set = set()
     for value in values:

@@ -1,0 +1,81 @@
+"""Per-phase compile-time regression gating.
+
+Persists the ``BuildResult.phase_seconds`` of a benchmark run as a JSON
+baseline (``BENCH_BASELINE.json`` at the repo root) and checks later
+runs against it: ``repro bench --check-baseline`` fails when any phase
+of any (benchmark, build) regresses more than the tolerance.
+
+Phases faster than :data:`MIN_SECONDS` in the baseline are exempt —
+sub-millisecond spans are dominated by timer noise, and a 30% blowup of
+nothing is still nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+DEFAULT_BASELINE_PATH = "BENCH_BASELINE.json"
+
+#: Maximum tolerated growth of a phase over its baseline (0.30 = +30%).
+DEFAULT_TOLERANCE = 0.30
+
+#: Phases whose baseline is below this many seconds are not gated.
+MIN_SECONDS = 0.010
+
+
+def collect_phase_baseline(runs: dict) -> dict:
+    """``{benchmark: {build: {phase: seconds}}}`` from a harness run."""
+    return {
+        name: {
+            build: dict(result.phase_seconds)
+            for build, result in run.builds.items()
+        }
+        for name, run in runs.items()
+    }
+
+
+def write_baseline(path: str, runs: dict, tolerance: float = DEFAULT_TOLERANCE) -> str:
+    payload = {
+        "tolerance": tolerance,
+        "min_seconds": MIN_SECONDS,
+        "phases": collect_phase_baseline(runs),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_baseline(runs: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against a loaded baseline.
+
+    Returns human-readable regression lines (empty = pass).  Phases or
+    builds missing from the baseline are ignored — they gate once the
+    baseline is regenerated with ``--update-baseline``.
+    """
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    min_seconds = float(baseline.get("min_seconds", MIN_SECONDS))
+    current = collect_phase_baseline(runs)
+    regressions: list[str] = []
+    for name, builds in baseline.get("phases", {}).items():
+        for build, phases in builds.items():
+            measured = current.get(name, {}).get(build)
+            if measured is None:
+                continue
+            for phase, expected in phases.items():
+                if expected < min_seconds:
+                    continue
+                actual = measured.get(phase, 0.0)
+                if actual > expected * (1.0 + tolerance):
+                    regressions.append(
+                        f"{name}/{build}/{phase}: {actual * 1e3:.1f}ms "
+                        f"vs baseline {expected * 1e3:.1f}ms "
+                        f"(+{(actual / expected - 1) * 100:.0f}%, "
+                        f"tolerance +{tolerance * 100:.0f}%)"
+                    )
+    return regressions

@@ -7,7 +7,12 @@ Usage::
     repro ir PROGRAM.icc [--optimized]
     repro codegen PROGRAM.icc [--optimized]
     repro bench --figure {14,15,16,17,all} [--trace FILE]
+    repro bench --check-baseline | --update-baseline [--baseline FILE]
     repro trace FILE
+
+Every compile command drives a :class:`repro.Session`, so a command that
+needs several builds of one program (or analysis + optimization) pays
+for parsing and analysis once.
 
 ``--trace FILE`` streams compiler/VM observability events (phase spans,
 counters, the inlining decision trace) as JSONL to FILE; ``repro trace
@@ -24,17 +29,17 @@ import json
 import sys
 
 from .bench import figures as bench_figures
+from .bench.baseline import (
+    DEFAULT_BASELINE_PATH,
+    check_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .bench.harness import run_all, run_performance_suite
 from .codegen import generate
-from .inlining.pipeline import optimize
-from .ir import compile_source, format_program
+from .ir import format_program
 from .obs import NULL_TRACER, render_file, tracer_to_file
-from .runtime import run_program
-
-
-def _load(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        return compile_source(handle.read(), path)
+from .session import Session
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -44,23 +49,28 @@ def _make_tracer(args: argparse.Namespace):
     return NULL_TRACER
 
 
+def _make_session(args: argparse.Namespace, tracer=NULL_TRACER) -> Session:
+    with open(args.program, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return Session(source, path=args.program, tracer=tracer)
+
+
+def _build_name(args: argparse.Namespace) -> str:
+    if args.noinline:
+        return "noinline"
+    if args.manual:
+        return "manual"
+    if args.inline:
+        return "inline"
+    return "plain"
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
         metavar="FILE",
         help="write observability events (spans, counters, decisions) as JSONL",
     )
-
-
-def _build_program(args: argparse.Namespace, tracer=NULL_TRACER):
-    program = _load(args.program)
-    if args.noinline:
-        return optimize(program, inline=False, tracer=tracer).program
-    if args.manual:
-        return optimize(program, manual_only=True, tracer=tracer).program
-    if args.inline:
-        return optimize(program, inline=True, tracer=tracer).program
-    return program
 
 
 def _add_build_flags(parser: argparse.ArgumentParser) -> None:
@@ -83,16 +93,17 @@ def _add_build_flags(parser: argparse.ArgumentParser) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     try:
-        program = _build_program(args, tracer)
+        session = _make_session(args, tracer)
+        build = _build_name(args)
         if args.profile:
             from .runtime import profile_program
 
-            report = profile_program(program)
+            report = profile_program(session.program_for(build))
             for line in report.result.output:
                 print(line)
             print(report.render(), file=sys.stderr)
             return 0
-        result = run_program(program, tracer=tracer)
+        result = session.run(build)
         for line in result.output:
             print(line)
         if args.stats:
@@ -103,9 +114,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         tracer.close()
 
 
+def _widening_rejections(report) -> list:
+    """Candidates disqualified by contour widening (cap pressure)."""
+    return [
+        candidate
+        for candidate in report.plan.candidates.values()
+        if not candidate.accepted
+        and candidate.reject_reason
+        and "widened" in candidate.reject_reason
+    ]
+
+
 def _analysis_payload(args: argparse.Namespace, report) -> dict:
     """Machine-readable ``repro analyze --json`` output."""
     stats = report.clone_stats
+    manager = report.analysis.manager
     return {
         "program": args.program,
         "analysis": {
@@ -114,10 +137,15 @@ def _analysis_payload(args: argparse.Namespace, report) -> dict:
             "contours_per_method": round(
                 report.analysis.method_contours_per_method(), 4
             ),
+            "widened_callables": len(manager.widened_callables),
+            "widened_sites": len(manager.widened_sites),
         },
         "candidates": [
             candidate.decision_record()
             for candidate in report.plan.candidates.values()
+        ],
+        "widening_rejections": [
+            candidate.describe() for candidate in _widening_rejections(report)
         ],
         "clones": {
             "method_partitions": stats.method_partitions,
@@ -134,16 +162,19 @@ def _analysis_payload(args: argparse.Namespace, report) -> dict:
 def cmd_analyze(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     try:
-        program = _load(args.program)
-        report = optimize(program, inline=True, tracer=tracer)
+        session = _make_session(args, tracer)
+        report = session.optimize(inline=True)
     finally:
         tracer.close()
     if args.json:
         print(json.dumps(_analysis_payload(args, report), indent=2))
         return 0
+    manager = report.analysis.manager
     print(f"method contours: {report.analysis.method_contour_count()}")
     print(f"object contours: {report.analysis.object_contour_count()}")
     print(f"contours/method: {report.analysis.method_contours_per_method():.2f}")
+    print(f"widened callables: {len(manager.widened_callables)}")
+    print(f"widened sites: {len(manager.widened_sites)}")
     print("candidates:")
     for candidate in report.plan.candidates.values():
         if candidate.accepted:
@@ -152,6 +183,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             stage = candidate.reject_stage or "?"
             status = f"reject[{stage}]: {candidate.reject_reason}"
         print(f"  {candidate.describe():30s} {status}")
+    for candidate in _widening_rejections(report):
+        print(
+            f"WARNING: contour widening disqualified {candidate.describe()} "
+            f"({candidate.reject_reason}); consider raising the contour caps "
+            "in AnalysisConfig",
+            file=sys.stderr,
+        )
     stats = report.clone_stats
     print(
         f"clones: {stats.method_partitions} method partitions, "
@@ -161,12 +199,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_ir(args: argparse.Namespace) -> int:
-    print(format_program(_build_program(args)))
+    session = _make_session(args)
+    print(format_program(session.program_for(_build_name(args))))
     return 0
 
 
 def cmd_codegen(args: argparse.Namespace) -> int:
-    result = generate(_build_program(args))
+    session = _make_session(args)
+    result = generate(session.program_for(_build_name(args)))
     print(result.text)
     print(
         f"// {result.size_bytes} bytes, {result.reachable_callables} callables, "
@@ -179,6 +219,20 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     try:
+        if args.check_baseline or args.update_baseline:
+            runs = run_performance_suite(tracer=tracer)
+            if args.update_baseline:
+                path = write_baseline(args.baseline, runs)
+                print(f"wrote {path}")
+                return 0
+            regressions = check_baseline(runs, load_baseline(args.baseline))
+            if regressions:
+                print(f"{len(regressions)} phase regression(s) vs {args.baseline}:")
+                for line in regressions:
+                    print(f"  {line}")
+                return 1
+            print(f"phase timings within tolerance of {args.baseline}")
+            return 0
         if args.output:
             from .bench.report import write_report
 
@@ -249,6 +303,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench_parser.add_argument(
         "--output", metavar="FILE", help="write the full markdown report to FILE"
+    )
+    bench_parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail if any compile phase regresses beyond the stored baseline",
+    )
+    bench_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-measure and overwrite the stored phase-time baseline",
+    )
+    bench_parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_BASELINE_PATH,
+        help=f"baseline file for --check/--update-baseline (default {DEFAULT_BASELINE_PATH})",
     )
     _add_trace_flag(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)

@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis import AnalysisConfig, AnalysisResult, SENSITIVITY_CONCERT, analyze
+from ..analysis import (
+    AnalysisCache,
+    AnalysisConfig,
+    AnalysisResult,
+    SENSITIVITY_CONCERT,
+    analyze,
+)
 from ..cloning.emit import CloneStats, TransformOutcome, transform_program
 from ..opt.dce import DCEStats, eliminate_dead_code
 from ..opt.inliner import InlinerStats, inline_methods
@@ -84,6 +90,24 @@ def candidate_is_declared_inline(program: ir.IRProgram, candidate: Candidate) ->
     return candidate.site_uid in _declared_inline_sites(program)
 
 
+def _emit_round_decisions(tracer, plan: InlinePlan, round_index: int, nested_round: int) -> None:
+    """Intermediate per-round verdicts (``decision.round`` events).
+
+    One event per candidate per replan round, so a multi-round run can be
+    audited round-by-round from a single JSONL trace; the final verdicts
+    still land as ``decision`` events.
+    """
+    if not tracer.enabled:
+        return
+    for candidate in plan.candidates.values():
+        tracer.event(
+            "decision.round",
+            round=round_index,
+            nested_round=nested_round,
+            **candidate.decision_record(),
+        )
+
+
 def _optimize_core(
     program: ir.IRProgram,
     inline: bool,
@@ -92,12 +116,21 @@ def _optimize_core(
     config: AnalysisConfig,
     containment_preference: str,
     tracer=NULL_TRACER,
+    analysis_cache: AnalysisCache | None = None,
+    nested_round: int = 1,
 ) -> tuple[TransformOutcome, "AnalysisResult", InlinePlan, int]:
     """One analyze → decide → transform round (no scalar passes)."""
     if not inline and not manual_only:
         config = config.with_sensitivity(SENSITIVITY_CONCERT)
-    with tracer.span("analyze"):
-        result = analyze(program, config, tracer)
+    cached = analysis_cache.get(program, config) if analysis_cache is not None else None
+    with tracer.span("analyze", cached=cached is not None):
+        if cached is not None:
+            tracer.count("analysis.cache_hits")
+            result = cached
+        else:
+            result = analyze(program, config, tracer)
+            if analysis_cache is not None:
+                analysis_cache.put(program, config, result)
     with tracer.span("plan"):
         plan = DecisionEngine(result, containment_preference).plan()
 
@@ -117,6 +150,9 @@ def _optimize_core(
                 "transformation kept conflicting after "
                 f"{MAX_REPLAN_ROUNDS} replanning rounds"
             )
+        # Verdicts as they stand entering this transform attempt (round 1:
+        # the post-policy plan; later rounds: after conflict rejections).
+        _emit_round_decisions(tracer, plan, rounds, nested_round)
         with tracer.span("transform", round=rounds):
             outcome: TransformOutcome = transform_program(
                 result, plan, devirtualize, tracer
@@ -133,10 +169,16 @@ def _optimize_core(
                     "cloning conflict (dynamic dispatch or mixed site)", stage="replan"
                 )
 
-    # The decision trace: one structured event per candidate, final verdict.
+    # The decision trace: one structured event per candidate, final verdict,
+    # tagged with the replan round that settled it and the nesting depth.
     if tracer.enabled:
         for candidate in plan.candidates.values():
-            tracer.event("decision", **candidate.decision_record())
+            tracer.event(
+                "decision",
+                round=rounds,
+                nested_round=nested_round,
+                **candidate.decision_record(),
+            )
         tracer.count("decisions.accepted", len(plan.accepted()))
         tracer.count("decisions.rejected", len(plan.rejected()))
 
@@ -174,6 +216,7 @@ def optimize(
     max_rounds: int = 1,
     config: AnalysisConfig | None = None,
     tracer=NULL_TRACER,
+    analysis_cache: AnalysisCache | None = None,
 ) -> OptimizeReport:
     """Analyze and transform ``program``; returns the new program + report.
 
@@ -194,6 +237,11 @@ def optimize(
     plan / transform / scalar passes, per replan and nested round) and
     records the full decision trace; the default no-op tracer costs
     nothing.
+
+    ``analysis_cache`` (an :class:`repro.analysis.AnalysisCache`) memoizes
+    analysis results by (program, config) across this and other
+    ``optimize`` calls — e.g. the three benchmark builds of one program,
+    or a :class:`repro.Session`'s repeated pipelines.
     """
     config = config or AnalysisConfig()
     nesting = max_rounds > 1 and inline and not manual_only
@@ -203,7 +251,14 @@ def optimize(
         "optimize", inline=inline, manual_only=manual_only, max_rounds=max_rounds
     ):
         outcome, result, plan, replans = _optimize_core(
-            program, inline, devirtualize, manual_only, config, preference, tracer
+            program,
+            inline,
+            devirtualize,
+            manual_only,
+            config,
+            preference,
+            tracer,
+            analysis_cache,
         )
         nested_rounds = 1
         nested_accepted: list[str] = []
@@ -222,6 +277,8 @@ def optimize(
                     config,
                     preference,
                     tracer,
+                    analysis_cache,
+                    nested_round=nested_rounds + 1,
                 )
             accepted = next_plan.accepted()
             if not accepted:
@@ -236,6 +293,11 @@ def optimize(
         inliner_stats = None
         cse_stats = None
         dce_stats = None
+        if analysis_cache is not None:
+            # The scalar passes below mutate the program in place; any
+            # analysis cached for it (a nested round that accepted nothing
+            # leaves its analyzed program as the final one) would go stale.
+            analysis_cache.discard(outcome.program)
         if inline_methods_pass:
             with tracer.span("opt.inline_methods"):
                 inliner_stats = inline_methods(outcome.program)

@@ -34,6 +34,9 @@ class TraceSummary:
     phases: dict[str, PhaseStat] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     decisions: list[dict] = field(default_factory=list)
+    #: Intermediate per-round verdicts (``decision.round`` events), tagged
+    #: with ``round`` (replan round) and ``nested_round``.
+    round_decisions: list[dict] = field(default_factory=list)
     events: int = 0
     malformed_lines: int = 0
     #: Total time of top-level spans (parent is null) — the denominator
@@ -91,6 +94,8 @@ def summarize_events(events: list[dict], malformed: int = 0) -> TraceSummary:
             summary.events += 1
             if record.get("name") == "decision":
                 summary.decisions.append(record.get("data", {}))
+            elif record.get("name") == "decision.round":
+                summary.round_decisions.append(record.get("data", {}))
     if not summary.root_seconds and summary.phases:
         summary.root_seconds = max(s.total_seconds for s in summary.phases.values())
     return summary
@@ -141,6 +146,21 @@ def render_summary(summary: TraceSummary, top_counters: int = 20) -> str:
             lines.append(
                 f"  reject {decision.get('candidate', '?'):28s} "
                 f"[{decision.get('stage', '?')}] {decision.get('reason', '')}"
+            )
+
+    # Round-by-round audit of multi-round runs (replanning / nesting).
+    by_round: dict[tuple[int, int], list[dict]] = {}
+    for decision in summary.round_decisions:
+        key = (decision.get("nested_round", 1), decision.get("round", 1))
+        by_round.setdefault(key, []).append(decision)
+    if len(by_round) > 1:
+        lines.append("")
+        lines.append("intermediate verdicts by round:")
+        for (nested, replan), batch in sorted(by_round.items()):
+            accepted = sum(1 for d in batch if d.get("accepted"))
+            lines.append(
+                f"  nested {nested} replan {replan}: "
+                f"{accepted} accepted, {len(batch) - accepted} rejected"
             )
 
     if summary.malformed_lines:

@@ -1,0 +1,209 @@
+"""The unified compile API.
+
+:class:`Session` is the front door of the package: it owns the source
+text, the analysis configuration, and the tracer, threads them through
+every phase exactly once, and caches intermediate artifacts — the
+compiled IR, analysis results (via a shared
+:class:`~repro.analysis.AnalysisCache`), and one
+:class:`~repro.inlining.pipeline.OptimizeReport` per distinct set of
+optimization options::
+
+    from repro import Session
+
+    session = Session(SOURCE)
+    program = session.compile()          # parse + lower once
+    result = session.analyze()           # flow analysis of the raw IR
+    report = session.optimize()          # object inlining ON (cached)
+    run = session.run("inline")          # execute the inlined build
+
+    session.optimize(inline=False)       # devirtualize-only build
+    session.run()                        # run the unoptimized program
+
+Repeated calls are free: ``compile`` parses once, ``optimize`` memoizes
+per option set, and ``analyze``/``optimize`` share analysis results for
+identical (program, config) pairs, so ``session.analyze()`` followed by
+``session.optimize()`` runs the (expensive) fixpoint once.
+
+The classic top-level functions — :func:`compile_source`,
+:func:`analyze`, :func:`optimize`, :func:`run_program` — remain as thin
+wrappers over a one-shot session.
+"""
+
+from __future__ import annotations
+
+from .analysis import AnalysisCache, AnalysisConfig, AnalysisResult
+from .analysis import analyze as _analyze
+from .inlining.pipeline import OptimizeReport
+from .inlining.pipeline import optimize as _optimize
+from .ir import compile_source as _compile_source
+from .ir.model import IRProgram
+from .obs import NULL_TRACER
+from .runtime import CacheConfig, RunResult
+from .runtime import run_program as _run_program
+
+#: ``Session.run``/``program_for`` build names -> ``optimize`` options.
+#: ``"plain"`` is the unoptimized compiled program.
+BUILD_OPTIONS: dict[str, dict[str, bool] | None] = {
+    "plain": None,
+    "noinline": {"inline": False},
+    "inline": {"inline": True},
+    "manual": {"manual_only": True},
+}
+
+
+class Session:
+    """One source program moving through the compile pipeline.
+
+    Exactly one of ``source`` (mini-ICC++ text) or ``program`` (an
+    already-lowered :class:`IRProgram`) must be given.  ``config`` and
+    ``tracer`` are threaded through every subsequent phase.
+    """
+
+    def __init__(
+        self,
+        source: str | None = None,
+        *,
+        program: IRProgram | None = None,
+        path: str = "<session>",
+        config: AnalysisConfig | None = None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        if (source is None) == (program is None):
+            raise ValueError("Session needs exactly one of `source` or `program`")
+        self._source = source
+        self._path = path
+        self._program = program
+        self.config = config
+        self.tracer = tracer
+        #: Shared analysis memo: ``analyze()``, every ``optimize()`` build,
+        #: and the pipeline's nested rounds all draw from this cache.
+        self.analysis_cache = AnalysisCache()
+        self._analysis: AnalysisResult | None = None
+        self._reports: dict[tuple, OptimizeReport] = {}
+
+    # ------------------------------------------------------------------
+    # Pipeline phases.
+
+    def compile(self) -> IRProgram:
+        """Parse + lower the source to IR (cached)."""
+        if self._program is None:
+            self._program = _compile_source(self._source, self._path)
+        return self._program
+
+    def analyze(self) -> AnalysisResult:
+        """Flow-analyze the compiled program (cached)."""
+        if self._analysis is None:
+            program = self.compile()
+            config = self.config or AnalysisConfig()
+            result = self.analysis_cache.get(program, config)
+            if result is None:
+                result = _analyze(program, config, self.tracer)
+                self.analysis_cache.put(program, config, result)
+            self._analysis = result
+        return self._analysis
+
+    def optimize(self, **options) -> OptimizeReport:
+        """Run the inlining pipeline; one cached report per option set.
+
+        ``options`` are :func:`repro.inlining.pipeline.optimize` keywords
+        (``inline=``, ``manual_only=``, ``max_rounds=``, ...); config and
+        tracer come from the session.
+        """
+        key = tuple(sorted(options.items()))
+        report = self._reports.get(key)
+        if report is None:
+            report = _optimize(
+                self.compile(),
+                config=self.config,
+                tracer=self.tracer,
+                analysis_cache=self.analysis_cache,
+                **options,
+            )
+            self._reports[key] = report
+        return report
+
+    def program_for(self, build: str = "plain") -> IRProgram:
+        """The program of one named build configuration.
+
+        ``"plain"`` (compiled, unoptimized), ``"noinline"``
+        (devirtualization only), ``"inline"`` (object inlining), or
+        ``"manual"`` (manually annotated inlining only).
+        """
+        options = BUILD_OPTIONS[build]
+        if options is None:
+            return self.compile()
+        return self.optimize(**options).program
+
+    def run(
+        self,
+        build: str = "plain",
+        cache_config: CacheConfig | None = None,
+        **run_options,
+    ) -> RunResult:
+        """Execute one build on the instrumented VM."""
+        return _run_program(
+            self.program_for(build),
+            cache_config,
+            tracer=self.tracer,
+            **run_options,
+        )
+
+
+# ----------------------------------------------------------------------
+# Classic top-level API, as thin wrappers over a one-shot Session.
+
+
+def compile_source(source: str, path: str = "<string>") -> IRProgram:
+    """Compile mini-ICC++ source text to an :class:`IRProgram`."""
+    return Session(source, path=path).compile()
+
+
+def analyze(
+    program: IRProgram,
+    config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
+) -> AnalysisResult:
+    """Flow-analyze ``program`` (see :func:`repro.analysis.analyze`)."""
+    return Session(program=program, config=config, tracer=tracer).analyze()
+
+
+def optimize(
+    program: IRProgram,
+    inline: bool = True,
+    devirtualize: bool = True,
+    manual_only: bool = False,
+    inline_methods_pass: bool = True,
+    cache_loads_pass: bool = True,
+    dce_pass: bool = True,
+    max_rounds: int = 1,
+    config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
+    analysis_cache: AnalysisCache | None = None,
+) -> OptimizeReport:
+    """Run the inlining pipeline on ``program`` (see
+    :func:`repro.inlining.pipeline.optimize` for the options)."""
+    session = Session(program=program, config=config, tracer=tracer)
+    if analysis_cache is not None:
+        session.analysis_cache = analysis_cache
+    return session.optimize(
+        inline=inline,
+        devirtualize=devirtualize,
+        manual_only=manual_only,
+        inline_methods_pass=inline_methods_pass,
+        cache_loads_pass=cache_loads_pass,
+        dce_pass=dce_pass,
+        max_rounds=max_rounds,
+    )
+
+
+def run_program(
+    program: IRProgram,
+    cache_config: CacheConfig | None = None,
+    tracer=NULL_TRACER,
+    **run_options,
+) -> RunResult:
+    """Execute ``program`` on the instrumented VM (see
+    :func:`repro.runtime.run_program`)."""
+    return Session(program=program, tracer=tracer).run(
+        cache_config=cache_config, **run_options
+    )

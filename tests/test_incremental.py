@@ -1,0 +1,305 @@
+"""The incremental dependency-tracked analysis engine.
+
+Differential tests prove the incremental engine (clean-pop skipping,
+dirty-register local passes, single-sweep fact recording) produces
+results bit-identical to the from-scratch reference
+(``AnalysisConfig(incremental=False)``) on every benchmark program, and
+targeted unit tests pin the dependency-invalidation machinery: slot
+writes, signature growth, and contour GC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisCache, AnalysisConfig, analyze
+from repro.analysis.engine import FlowAnalysis
+from repro.bench.programs import oopack, polyover, richards, silo
+from repro.ir import compile_source
+from repro.obs import Tracer
+
+from conftest import RECTANGLE_SOURCE
+
+#: Every source program shipped by ``repro.bench.programs``.
+BENCH_SOURCES = {
+    "oopack": oopack.SOURCE,
+    "richards": richards.SOURCE,
+    "silo": silo.SOURCE,
+    "polyover": polyover.SOURCE,
+    "polyover_array": polyover.SOURCE_ARRAY,
+    "polyover_list": polyover.SOURCE_LIST,
+}
+
+
+def result_snapshot(result):
+    """Every observable piece of an AnalysisResult, as comparable values."""
+    manager = result.manager
+    return {
+        "slots": result.slots,
+        "globals": result.global_values,
+        "edges": {
+            cid: {uid: frozenset(v) for uid, v in sites.items()}
+            for cid, sites in result.call_edges.items()
+        },
+        "allocations": result.allocations,
+        "facts": result.facts,
+        "stores": result.stores,
+        "identity_sites": result.identity_sites,
+        "method_contours": {
+            cid: (c.callable_name, c.key, c.arg_values, c.ret,
+                  frozenset(c.callers), c.summary)
+            for cid, c in manager.method_contours.items()
+        },
+        "object_contours": {
+            cid: (c.class_name, c.site_uid, c.creator_id, c.is_array, c.summary)
+            for cid, c in manager.object_contours.items()
+        },
+        "widened": (
+            frozenset(manager.widened_callables),
+            frozenset(manager.widened_sites),
+        ),
+    }
+
+
+def assert_identical(source: str, name: str, **config_kwargs) -> None:
+    program = compile_source(source, name)
+    reference = analyze(program, AnalysisConfig(incremental=False, **config_kwargs))
+    incremental = analyze(program, AnalysisConfig(incremental=True, **config_kwargs))
+    ref_snap = result_snapshot(reference)
+    inc_snap = result_snapshot(incremental)
+    for key in ref_snap:
+        assert inc_snap[key] == ref_snap[key], f"{name}: {key} diverged"
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(BENCH_SOURCES))
+    def test_bench_program_results_identical(self, name):
+        assert_identical(BENCH_SOURCES[name], f"{name}.icc")
+
+    def test_rectangle_identical(self):
+        assert_identical(RECTANGLE_SOURCE, "rectangle.icc")
+
+    def test_identical_under_concert_sensitivity(self):
+        from repro.analysis import SENSITIVITY_CONCERT
+
+        assert_identical(
+            BENCH_SOURCES["polyover"], "polyover.icc",
+            sensitivity=SENSITIVITY_CONCERT,
+        )
+
+    def test_identical_under_widening_pressure(self):
+        # Tiny contour caps force widening on richards; the widen hook must
+        # keep both modes converging onto the same summary state.
+        assert_identical(
+            BENCH_SOURCES["richards"], "richards.icc",
+            max_method_contours_per_callable=4,
+            max_object_contours_per_site=2,
+        )
+
+    def test_rerun_after_quiescence_skips_clean_contours(self):
+        # With complete dependency tracking a first run rarely pops a clean
+        # contour (enqueues only happen on growth), but re-running a
+        # quiescent engine is pure skip: the entry contours pop clean and
+        # every record pass hits its dirty bit.
+        program = compile_source(BENCH_SOURCES["richards"], "richards.icc")
+        flow = FlowAnalysis(program, AnalysisConfig(incremental=True))
+        first = result_snapshot(flow.run())
+        evals_before = flow._evals
+        second = result_snapshot(flow.run())
+        assert flow._evals == evals_before
+        assert flow._eval_skips >= 2  # @global_init and main popped clean
+        assert flow._record_skips >= len(flow.manager.method_contours)
+        assert second == first
+
+    def test_from_scratch_never_skips(self):
+        program = compile_source(BENCH_SOURCES["oopack"], "oopack.icc")
+        tracer = Tracer()
+        analyze(program, AnalysisConfig(incremental=False), tracer)
+        assert tracer.counters.get("analysis.eval_skips", 0) == 0
+
+
+SLOT_DEP_SOURCE = """
+class Box { var item; def init(v) { this.item = v; } }
+def reader(b) { return b.item; }
+def main() {
+  var b = new Box(1);
+  print(reader(b));
+  b.item = 2.5;
+  print(reader(b));
+}
+"""
+
+
+def _run_flow(source: str, **config_kwargs) -> FlowAnalysis:
+    program = compile_source(source, "test.icc")
+    flow = FlowAnalysis(program, AnalysisConfig(**config_kwargs))
+    flow.run()
+    return flow
+
+
+def _contour_named(flow: FlowAnalysis, name: str):
+    matches = [
+        c for c in flow.manager.method_contours.values() if c.callable_name == name
+    ]
+    assert matches, f"no live contour for {name}"
+    return matches[0]
+
+
+class TestDependencyInvalidation:
+    def test_slot_read_registers_dependency(self):
+        flow = _run_flow(SLOT_DEP_SOURCE)
+        reader = _contour_named(flow, "reader")
+        slots = flow._dep_slots[reader.id]
+        assert any(field == "item" for _cid, field in slots)
+        for slot in slots:
+            assert reader.id in flow._slot_readers[slot]
+
+    def test_slot_write_marks_reader_stale(self):
+        flow = _run_flow(SLOT_DEP_SOURCE)
+        reader = _contour_named(flow, "reader")
+        assert not flow._contour_stale(reader)
+        slot = next(s for s in flow._dep_slots[reader.id] if s[1] == "item")
+        flow._slot_version[slot] = flow._bump()
+        assert flow._contour_stale(reader)
+
+    def test_signature_growth_marks_contour_stale(self):
+        flow = _run_flow(SLOT_DEP_SOURCE)
+        reader = _contour_named(flow, "reader")
+        assert not flow._contour_stale(reader)
+        reader.args_version = flow._bump()
+        assert flow._contour_stale(reader)
+
+    def test_callee_return_growth_marks_caller_stale(self):
+        flow = _run_flow(SLOT_DEP_SOURCE)
+        main = _contour_named(flow, "main")
+        reader = _contour_named(flow, "reader")
+        assert reader.id in flow._dep_callees[main.id]
+        assert not flow._contour_stale(main)
+        reader.ret_version = flow._bump()
+        assert flow._contour_stale(main)
+
+    def test_global_read_registers_dependency(self):
+        source = """
+        var counter;
+        def bump() { counter = counter + 1; return counter; }
+        def main() { counter = 0; print(bump()); }
+        """
+        flow = _run_flow(source)
+        bump = _contour_named(flow, "bump")
+        assert "counter" in flow._dep_globals[bump.id]
+        flow._global_version["counter"] = flow._bump()
+        assert flow._contour_stale(bump)
+
+    def test_missing_callee_counts_as_stale(self):
+        flow = _run_flow(SLOT_DEP_SOURCE)
+        main = _contour_named(flow, "main")
+        callee_id = next(iter(flow._dep_callees[main.id]))
+        del flow.manager.method_contours[callee_id]
+        assert flow._contour_stale(main)
+
+    def test_contour_gc_clears_engine_state(self):
+        # Polymorphic signatures leave stale narrower contours behind; the
+        # final pruning must scrub every engine-side cache for them.
+        source = """
+        def twice(x) { return x + x; }
+        def main() { print(twice(1)); print(twice(2.5)); }
+        """
+        flow = _run_flow(source)
+        live = set(flow.manager.method_contours)
+        for table in (
+            flow._cached_regs, flow._eval_version, flow._dep_slots,
+            flow._dep_globals, flow._dep_callees, flow.call_edges,
+            flow.allocations,
+        ):
+            assert set(table) <= live
+
+    def test_retired_revival_differential(self):
+        # Signature growth retires narrow contours mid-analysis; later calls
+        # revive them.  Both modes must agree on the survivors.
+        source = """
+        class A { var v; def init(x) { this.v = x; } def get() { return this.v; } }
+        def use(a) { return a.get(); }
+        def main() {
+          var i = 0; var acc = 0;
+          while (i < 3) { acc = acc + use(new A(i)); i = i + 1; }
+          acc = acc + use(new A(2.5));
+          print(acc);
+        }
+        """
+        assert_identical(source, "revival.icc")
+
+
+class TestRecordDirtyBit:
+    def test_second_record_pass_skips_clean_contours(self):
+        program = compile_source(SLOT_DEP_SOURCE, "test.icc")
+        flow = FlowAnalysis(program, AnalysisConfig())
+        result = flow.run()
+        assert flow._record_skips == 0
+        before = dict(flow._facts)
+        for contour in list(flow.manager.method_contours.values()):
+            flow._record_contour(contour)
+        assert flow._record_skips == len(flow.manager.method_contours)
+        assert flow._facts == before
+        assert result.facts == before
+
+    def test_rerecord_after_growth_replaces_not_duplicates(self):
+        program = compile_source(SLOT_DEP_SOURCE, "test.icc")
+        flow = FlowAnalysis(program, AnalysisConfig())
+        flow.run()
+        reader = _contour_named(flow, "reader")
+        stores_before = {
+            cid: list(entries) for cid, entries in flow._stores.items()
+        }
+        # Touch the contour so its dirty bit trips, then re-record.
+        flow._eval_version[reader.id] = flow._bump()
+        flow._record_contour(reader)
+        assert flow._stores == stores_before  # replaced, not appended
+
+
+class TestAnalysisCache:
+    def test_same_program_same_config_hits(self):
+        program = compile_source(SLOT_DEP_SOURCE, "test.icc")
+        cache = AnalysisCache()
+        config = AnalysisConfig()
+        first = analyze(program, config)
+        cache.put(program, config, first)
+        assert cache.get(program, config) is first
+        assert cache.hits == 1
+
+    def test_distinct_config_misses(self):
+        program = compile_source(SLOT_DEP_SOURCE, "test.icc")
+        cache = AnalysisCache()
+        config = AnalysisConfig()
+        cache.put(program, config, analyze(program, config))
+        other = AnalysisConfig(max_local_passes=31)
+        assert cache.get(program, other) is None
+
+    def test_discard_drops_program_entries(self):
+        program = compile_source(SLOT_DEP_SOURCE, "test.icc")
+        cache = AnalysisCache()
+        config = AnalysisConfig()
+        cache.put(program, config, analyze(program, config))
+        cache.discard(program)
+        assert cache.get(program, config) is None
+        assert len(cache) == 0
+
+    def test_optimize_shares_analysis_across_builds(self):
+        from repro.inlining.pipeline import optimize
+
+        program = compile_source(BENCH_SOURCES["oopack"], "oopack.icc")
+        cache = AnalysisCache()
+        inline = optimize(program, inline=True, analysis_cache=cache)
+        manual = optimize(program, manual_only=True, analysis_cache=cache)
+        assert manual.analysis is inline.analysis
+        assert cache.hits >= 1
+
+    def test_cached_reuse_preserves_program_output(self):
+        from repro.inlining.pipeline import optimize
+        from repro.runtime import run_program
+
+        program = compile_source(BENCH_SOURCES["polyover_list"], "p.icc")
+        reference = run_program(program).output
+        cache = AnalysisCache()
+        for kwargs in ({"inline": True}, {"manual_only": True}, {"inline": False}):
+            report = optimize(program, analysis_cache=cache, **kwargs)
+            assert run_program(report.program).output == reference

@@ -1,0 +1,200 @@
+"""The :class:`repro.Session` facade and the bench baseline gate."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+import repro
+from repro import Session, analyze, compile_source, optimize, run_program
+from repro.analysis import AnalysisConfig
+from repro.bench.baseline import (
+    MIN_SECONDS,
+    check_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.cli import main
+
+SOURCE = """
+class P { var v; def init(v) { this.v = v; } }
+class C { var f; def init(p) { this.f = p; } }
+def main() { var c = new C(new P(5)); print(c.f.v); }
+"""
+
+
+class TestSession:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ValueError):
+            Session()
+        with pytest.raises(ValueError):
+            Session(SOURCE, program=compile_source(SOURCE))
+
+    def test_compile_is_cached(self):
+        session = Session(SOURCE)
+        assert session.compile() is session.compile()
+
+    def test_analyze_is_cached(self):
+        session = Session(SOURCE)
+        assert session.analyze() is session.analyze()
+
+    def test_optimize_memoizes_per_option_set(self):
+        session = Session(SOURCE)
+        inline = session.optimize(inline=True)
+        assert session.optimize(inline=True) is inline
+        assert session.optimize(inline=False) is not inline
+
+    def test_analyze_and_optimize_share_the_fixpoint(self):
+        session = Session(SOURCE)
+        result = session.analyze()
+        report = session.optimize(inline=True)
+        assert report.analysis is result
+        assert session.analysis_cache.hits >= 1
+
+    def test_builds_share_the_fixpoint(self):
+        session = Session(SOURCE)
+        inline = session.optimize(inline=True)
+        manual = session.optimize(manual_only=True)
+        assert manual.analysis is inline.analysis
+
+    def test_program_for_builds(self):
+        session = Session(SOURCE)
+        assert session.program_for("plain") is session.compile()
+        assert session.program_for("inline") is not session.compile()
+        with pytest.raises(KeyError):
+            session.program_for("bogus")
+
+    def test_run_matches_classic_api(self):
+        session = Session(SOURCE)
+        program = compile_source(SOURCE)
+        assert session.run("plain").output == run_program(program).output
+        classic = run_program(optimize(program, inline=True).program)
+        assert session.run("inline").output == classic.output
+
+    def test_config_threads_through(self):
+        config = AnalysisConfig(max_local_passes=29)
+        session = Session(SOURCE, config=config)
+        assert session.analyze().config is config
+        assert session.optimize(inline=True).analysis.config is config
+
+
+class TestClassicWrappers:
+    def test_top_level_exports(self):
+        for name in ("Session", "AnalysisCache", "compile_source", "analyze",
+                     "optimize", "run_program"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_wrapper_pipeline(self):
+        program = compile_source(SOURCE, "wrap.icc")
+        result = analyze(program)
+        report = optimize(program, inline=True)
+        assert result.facts and report.plan.candidates
+        assert run_program(report.program).output == ["5"]
+
+
+def _stub_runs(analyze_s=0.100, transform_s=0.050):
+    build = SimpleNamespace(
+        phase_seconds={"analyze": analyze_s, "transform": transform_s}
+    )
+    return {"bench": SimpleNamespace(builds={"inline": build})}
+
+
+class TestBaselineGate:
+    def test_roundtrip_and_pass(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs())
+        baseline = load_baseline(path)
+        assert check_baseline(_stub_runs(), baseline) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(analyze_s=0.100))
+        regressions = check_baseline(
+            _stub_runs(analyze_s=0.140), load_baseline(path)
+        )
+        assert len(regressions) == 1
+        assert "bench/inline/analyze" in regressions[0]
+
+    def test_growth_within_tolerance_passes(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(analyze_s=0.100))
+        assert not check_baseline(
+            _stub_runs(analyze_s=0.125), load_baseline(path)
+        )
+
+    def test_sub_millisecond_phases_exempt(self, tmp_path):
+        fast = MIN_SECONDS / 2
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(transform_s=fast))
+        regressions = check_baseline(
+            _stub_runs(transform_s=fast * 100), load_baseline(path)
+        )
+        assert not any("transform" in line for line in regressions)
+
+    def test_missing_benchmark_ignored(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs())
+        assert check_baseline({}, load_baseline(path)) == []
+
+
+class TestCLIBaselineFlags:
+    @pytest.fixture()
+    def patched_suite(self, monkeypatch):
+        state = {"runs": _stub_runs()}
+        monkeypatch.setattr(
+            "repro.cli.run_performance_suite", lambda tracer=None: state["runs"]
+        )
+        return state
+
+    def test_update_then_check(self, patched_suite, tmp_path, capsys):
+        path = str(tmp_path / "base.json")
+        assert main(["bench", "--update-baseline", "--baseline", path]) == 0
+        assert main(["bench", "--check-baseline", "--baseline", path]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_check_fails_on_regression(self, patched_suite, tmp_path, capsys):
+        path = str(tmp_path / "base.json")
+        assert main(["bench", "--update-baseline", "--baseline", path]) == 0
+        patched_suite["runs"] = _stub_runs(analyze_s=0.200)
+        assert main(["bench", "--check-baseline", "--baseline", path]) == 1
+        assert "regression" in capsys.readouterr().out
+
+
+class TestCLIWideningReport:
+    @pytest.fixture()
+    def program_file(self, tmp_path):
+        path = tmp_path / "prog.icc"
+        path.write_text(SOURCE)
+        return str(path)
+
+    def test_text_output_reports_widening_counters(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "widened callables: 0" in out
+        assert "widened sites: 0" in out
+
+    def test_json_output_reports_widening(self, program_file, capsys):
+        assert main(["analyze", program_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analysis"]["widened_callables"] == 0
+        assert payload["analysis"]["widened_sites"] == 0
+        assert payload["widening_rejections"] == []
+
+    def test_widening_rejections_warn_on_stderr(self, monkeypatch, program_file, capsys):
+        # Force a widening-tainted rejection through the decision engine
+        # so the CLI's warning path is exercised end to end.
+        from repro.cli import _widening_rejections
+
+        rejected = SimpleNamespace(
+            accepted=False,
+            reject_reason="container class widened (contour cap)",
+            describe=lambda: "C.f",
+        )
+        accepted = SimpleNamespace(
+            accepted=True, reject_reason=None, describe=lambda: "D.g"
+        )
+        report = SimpleNamespace(
+            plan=SimpleNamespace(candidates={"a": rejected, "b": accepted})
+        )
+        assert _widening_rejections(report) == [rejected]

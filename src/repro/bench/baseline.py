@@ -5,9 +5,26 @@ baseline (``BENCH_BASELINE.json`` at the repo root) and checks later
 runs against it: ``repro bench --check-baseline`` fails when any phase
 of any (benchmark, build) regresses more than the tolerance.
 
-Phases faster than :data:`MIN_SECONDS` in the baseline are exempt —
-sub-millisecond spans are dominated by timer noise, and a 30% blowup of
-nothing is still nothing.
+Two classes of failure:
+
+- **Regression** — a phase grew beyond
+  ``max(expected, MIN_SECONDS) * (1 + tolerance)`` *and* beyond the
+  absolute noise floor.  Clamping the expected side to ``MIN_SECONDS``
+  keeps timer noise on sub-10ms baselines from firing the gate, without
+  exempting such phases forever: a phase baselined at 2ms that grows to
+  hundreds of ms is a regression, not noise.  The noise floor absorbs
+  scheduler jitter on phases that are tiny in absolute terms either way.
+- **Baseline drift** — a benchmark, build, or phase present in the
+  baseline is missing from the measured run (a renamed span, a dropped
+  build, a benchmark pulled from the suite).  Before this check, a
+  vanished phase defaulted to ``actual = 0.0`` and silently passed
+  forever.  Drift is reported as a failure with a hint to rerun
+  ``--update-baseline`` if the change is intentional.
+
+Baselines should be recorded and checked with the same ``--jobs`` mode:
+parallel workers own their analysis caches, so cache-hit phases of a
+serial run (e.g. the ``manual`` build's ``analyze``) measure — and even
+appear — differently under ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -19,8 +36,16 @@ DEFAULT_BASELINE_PATH = "BENCH_BASELINE.json"
 #: Maximum tolerated growth of a phase over its baseline (0.30 = +30%).
 DEFAULT_TOLERANCE = 0.30
 
-#: Phases whose baseline is below this many seconds are not gated.
+#: Expected-side clamp: baselines below this are gated as if they were
+#: this large, so sub-10ms phases get jitter headroom but still gate
+#: once they blow up past it.
 MIN_SECONDS = 0.010
+
+#: Absolute noise floor: a phase whose measured time is below this never
+#: fails the gate, however small its baseline.
+NOISE_FLOOR_SECONDS = 0.050
+
+_DRIFT_HINT = "baseline drift; rerun `repro bench --update-baseline` if intentional"
 
 
 def collect_phase_baseline(runs: dict) -> dict:
@@ -38,6 +63,7 @@ def write_baseline(path: str, runs: dict, tolerance: float = DEFAULT_TOLERANCE) 
     payload = {
         "tolerance": tolerance,
         "min_seconds": MIN_SECONDS,
+        "noise_floor": NOISE_FLOOR_SECONDS,
         "phases": collect_phase_baseline(runs),
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -54,28 +80,45 @@ def load_baseline(path: str) -> dict:
 def check_baseline(runs: dict, baseline: dict) -> list[str]:
     """Compare a fresh run against a loaded baseline.
 
-    Returns human-readable regression lines (empty = pass).  Phases or
-    builds missing from the baseline are ignored — they gate once the
+    Returns human-readable failure lines (empty = pass): phase-time
+    regressions, plus baseline-drift lines for every benchmark, build,
+    or phase the baseline expects but the measured run lacks.  Phases
+    present only in the measured run are ignored — they gate once the
     baseline is regenerated with ``--update-baseline``.
     """
     tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
     min_seconds = float(baseline.get("min_seconds", MIN_SECONDS))
+    noise_floor = float(baseline.get("noise_floor", NOISE_FLOOR_SECONDS))
     current = collect_phase_baseline(runs)
-    regressions: list[str] = []
+    failures: list[str] = []
     for name, builds in baseline.get("phases", {}).items():
+        measured_builds = current.get(name)
+        if measured_builds is None:
+            failures.append(
+                f"{name}: benchmark missing from measured run ({_DRIFT_HINT})"
+            )
+            continue
         for build, phases in builds.items():
-            measured = current.get(name, {}).get(build)
+            measured = measured_builds.get(build)
             if measured is None:
+                failures.append(
+                    f"{name}/{build}: build missing from measured run ({_DRIFT_HINT})"
+                )
                 continue
             for phase, expected in phases.items():
-                if expected < min_seconds:
+                actual = measured.get(phase)
+                if actual is None:
+                    failures.append(
+                        f"{name}/{build}/{phase}: phase missing from measured "
+                        f"run — renamed or removed span? ({_DRIFT_HINT})"
+                    )
                     continue
-                actual = measured.get(phase, 0.0)
-                if actual > expected * (1.0 + tolerance):
-                    regressions.append(
+                gate = max(expected, min_seconds) * (1.0 + tolerance)
+                if actual > gate and actual > noise_floor:
+                    failures.append(
                         f"{name}/{build}/{phase}: {actual * 1e3:.1f}ms "
                         f"vs baseline {expected * 1e3:.1f}ms "
-                        f"(+{(actual / expected - 1) * 100:.0f}%, "
-                        f"tolerance +{tolerance * 100:.0f}%)"
+                        f"(gate {gate * 1e3:.1f}ms = max(baseline, "
+                        f"{min_seconds * 1e3:.0f}ms) +{tolerance * 100:.0f}%)"
                     )
-    return regressions
+    return failures

@@ -186,8 +186,8 @@ def figure17(runs: dict[str, BenchmarkRun] | None = None) -> FigureData:
     )
 
 
-def all_figures() -> list[FigureData]:
+def all_figures(jobs: int = 1) -> list[FigureData]:
     """Regenerate every figure, sharing one benchmark run."""
-    runs = run_all()
-    performance = run_performance_suite()
+    runs = run_all(jobs=jobs)
+    performance = run_performance_suite(jobs=jobs)
     return [figure14(runs), figure15(runs), figure16(runs), figure17(performance)]

@@ -7,21 +7,34 @@ Builds (matching the paper's Figure 17 bars):
 - ``inline``   — Concert with object inlining.
 - ``manual``   — the G++ ``-O2`` proxy: only manually annotated locations
   are inlined.
+
+The (benchmark, build) pairs of the matrix are independent, so
+``run_all``/``run_performance_suite`` accept ``jobs=N`` to fan them out
+over a process pool.  Each worker owns its tracer and analysis cache and
+returns a picklable :class:`_PairResult`; the parent reassembles the
+exact :class:`BenchmarkRun` structures of the serial path (same build
+order, same divergence checks, same trace-event schema), so figures,
+reports, and baselines are bit-identical either way.  Every build gets
+its own single-owner :class:`~repro.obs.Tracer` unconditionally — serial
+or parallel — and the per-build events/aggregates are merged into the
+caller's tracer at join (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from ..analysis import AnalysisCache, AnalysisConfig
+from ..analysis import AnalysisConfig
 from ..codegen import generate
-from ..inlining.pipeline import OptimizeReport, optimize
+from ..inlining.pipeline import OptimizeReport
 from ..ir import compile_source
 from ..ir.model import IRProgram
-from ..obs import NULL_TRACER, Tracer
+from ..obs import MemorySink, NULL_TRACER, Tracer, TraceShard
 from ..runtime import CacheConfig, run_program
 from ..runtime.interp import RunResult
+from ..session import BUILD_OPTIONS, Session
 from .metadata import BenchmarkInfo
 from .programs import oopack, polyover, richards, silo
 
@@ -100,11 +113,57 @@ class BenchmarkRun:
         return self.builds[build].cycles / self.builds["noinline"].cycles
 
 
-_OPTIMIZE_KW: dict[str, dict[str, bool]] = {
-    "noinline": {"inline": False},
-    "inline": {"inline": True},
-    "manual": {"manual_only": True},
-}
+def _phase_seconds(build_tracer: Tracer) -> dict[str, float]:
+    """The per-build timing breakdown from a build's own tracer."""
+    return {
+        phase: totals[1]
+        for phase, totals in build_tracer.span_totals.items()
+        if phase in PHASE_NAMES
+    }
+
+
+def _build_one(
+    session: Session,
+    name: str,
+    build: str,
+    cache_config: CacheConfig | None,
+    parent_tracer=NULL_TRACER,
+) -> tuple[BuildResult, Tracer]:
+    """Optimize and execute one build with its own single-owner tracer.
+
+    The build tracer is unconditional: phase attribution comes straight
+    from its ``span_totals`` (no snapshot diffing against a shared
+    tracer, which double-counts as soon as builds overlap in time).  The
+    caller merges the returned tracer into its own if it wants the event
+    stream.
+    """
+    build_tracer = parent_tracer.child() if parent_tracer.enabled else Tracer()
+    started = time.perf_counter()
+    with build_tracer.span("bench.build", benchmark=name, build=build):
+        report = session.optimize(tracer=build_tracer, **BUILD_OPTIONS[build])
+        optimized_at = time.perf_counter()
+        run = session.run(build, cache_config, tracer=build_tracer)
+    finished = time.perf_counter()
+    result = BuildResult(
+        build=build,
+        report=report,
+        run=run,
+        code_size=generate(report.program).size_bytes,
+        optimize_seconds=optimized_at - started,
+        run_seconds=finished - optimized_at,
+        phase_seconds=_phase_seconds(build_tracer),
+    )
+    return result, build_tracer
+
+
+def _check_output(
+    name: str, build: str, run: RunResult, reference_output: list[str]
+) -> None:
+    if run.output != reference_output:
+        raise AssertionError(
+            f"{name}/{build}: transformed program output diverged:\n"
+            f"  expected {reference_output}\n  actual   {run.output}"
+        )
 
 
 def run_benchmark(
@@ -118,9 +177,9 @@ def run_benchmark(
 ) -> BenchmarkRun:
     """Compile, optimize, and execute one benchmark in each build.
 
-    Per-phase compile times are always collected (via an in-memory tracer
-    when no ``tracer`` is given) and land in ``BuildResult.phase_seconds``;
-    pass a real ``tracer`` to also stream the full event log.
+    Per-phase compile times are always collected (every build runs under
+    its own in-memory tracer) and land in ``BuildResult.phase_seconds``;
+    pass a real ``tracer`` to also receive the merged full event log.
     """
     program = compile_source(source, f"{name}.icc")
     reference = run_program(program, cache_config)
@@ -130,49 +189,121 @@ def run_benchmark(
         program=program,
         reference_output=list(reference.output),
     )
-    # All builds analyze the same source program; the inline and manual
-    # builds share identical (program, config) pairs, so the second of
-    # the two reuses the first's analysis outright.
-    analysis_cache = AnalysisCache()
+    # All builds analyze the same source program; the session's shared
+    # analysis cache means builds with identical (program, config) pairs
+    # reuse one fixpoint outright.
+    session = Session(program=program, config=config)
     for build in builds:
-        # Phase timings come from span aggregates; when the caller shares
-        # one tracer across builds we diff around this build's work.
-        build_tracer = tracer if tracer.enabled else Tracer()
-        phases_before = {
-            phase: totals[1] for phase, totals in build_tracer.span_totals.items()
-        }
-        started = time.perf_counter()
-        with build_tracer.span("bench.build", benchmark=name, build=build):
-            report = optimize(
-                program,
-                config=config,
-                tracer=build_tracer,
-                analysis_cache=analysis_cache,
-                **_OPTIMIZE_KW[build],
-            )
-            optimized_at = time.perf_counter()
-            run = run_program(report.program, cache_config, tracer=build_tracer)
-        finished = time.perf_counter()
-        phase_seconds = {
-            phase: totals[1] - phases_before.get(phase, 0.0)
-            for phase, totals in build_tracer.span_totals.items()
-            if phase in PHASE_NAMES
-        }
-        if run.output != bench.reference_output:
-            raise AssertionError(
-                f"{name}/{build}: transformed program output diverged:\n"
-                f"  expected {bench.reference_output}\n  actual   {run.output}"
-            )
-        bench.builds[build] = BuildResult(
-            build=build,
-            report=report,
-            run=run,
-            code_size=generate(report.program).size_bytes,
-            optimize_seconds=optimized_at - started,
-            run_seconds=finished - optimized_at,
-            phase_seconds=phase_seconds,
-        )
+        result, build_tracer = _build_one(session, name, build, cache_config, tracer)
+        if tracer.enabled:
+            tracer.merge(build_tracer)
+        _check_output(name, build, result.run, bench.reference_output)
+        bench.builds[build] = result
     return bench
+
+
+# ----------------------------------------------------------------------
+# The parallel matrix: (benchmark, build) pairs over a process pool.
+
+
+@dataclass(slots=True)
+class _PairResult:
+    """What one worker ships back for one (benchmark, build) pair."""
+
+    name: str
+    build: str
+    result: BuildResult
+    trace: TraceShard
+    #: Only the anchor pair of each benchmark carries the compiled
+    #: program and the uniform-model reference output (see _run_matrix).
+    program: IRProgram | None = None
+    reference_output: list[str] | None = None
+
+
+def _anchor_build(builds: tuple[str, ...]) -> str:
+    """The build whose worker also provides the benchmark's program and
+    reference output.
+
+    It must be the ``inline`` build when present: instruction uids come
+    from a process-global counter, so ``BenchmarkRun.program`` is only
+    uid-consistent with the Figure-14 candidate plan if both come from
+    the same worker's compile.
+    """
+    return "inline" if "inline" in builds else builds[0]
+
+
+def _run_pair_worker(
+    task: tuple[
+        str, str, str, bool, CacheConfig | None, AnalysisConfig | None
+    ],
+) -> _PairResult:
+    """Process-pool entry: one (benchmark, build) pair, own tracer/cache."""
+    name, source, build, is_anchor, cache_config, config = task
+    tracer = Tracer(MemorySink())
+    program = compile_source(source, f"{name}.icc")
+    reference_output = None
+    if is_anchor:
+        reference_output = list(run_program(program, cache_config).output)
+    session = Session(program=program, config=config)
+    result, build_tracer = _build_one(session, name, build, cache_config, tracer)
+    tracer.merge(build_tracer)
+    return _PairResult(
+        name=name,
+        build=build,
+        result=result,
+        trace=tracer.shard(),
+        program=program if is_anchor else None,
+        reference_output=reference_output,
+    )
+
+
+def _run_matrix(
+    specs: dict[str, tuple[str, BenchmarkInfo | None]],
+    builds: tuple[str, ...],
+    jobs: int,
+    cache_config: CacheConfig | None = None,
+    config: AnalysisConfig | None = None,
+    tracer=NULL_TRACER,
+) -> dict[str, BenchmarkRun]:
+    """Run a benchmark × build matrix on ``jobs`` worker processes.
+
+    Results are reassembled in the serial path's deterministic order
+    (spec order, then build order) regardless of completion order, the
+    same divergence assertion runs at join, and every worker's trace
+    shard is merged into ``tracer`` — so every downstream consumer sees
+    data identical to a serial run.  Note that pair granularity means a
+    worker cannot reuse another build's analysis fixpoint (each owns its
+    cache), so per-phase *timings* differ from a serial run even though
+    every figure-visible quantity is identical; record and check
+    baselines with the same ``--jobs`` mode.
+    """
+    anchor = _anchor_build(builds)
+    tasks = [
+        (name, source, build, build == anchor, cache_config, config)
+        for name, (source, _info) in specs.items()
+        for build in builds
+    ]
+    pairs: dict[tuple[str, str], _PairResult] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        for pair in pool.map(_run_pair_worker, tasks):
+            pairs[(pair.name, pair.build)] = pair
+    runs: dict[str, BenchmarkRun] = {}
+    for name, (_source, info) in specs.items():
+        anchor_pair = pairs[(name, anchor)]
+        bench = BenchmarkRun(
+            name=name,
+            info=info,
+            program=anchor_pair.program,
+            reference_output=anchor_pair.reference_output,
+        )
+        for build in builds:
+            pair = pairs[(name, build)]
+            _check_output(name, build, pair.result.run, bench.reference_output)
+            bench.builds[build] = pair.result
+            if tracer.enabled:
+                tracer.merge(pair.trace)
+        runs[name] = bench
+    return runs
 
 
 def run_named(name: str, builds: tuple[str, ...] = BUILDS, **kwargs) -> BenchmarkRun:
@@ -181,17 +312,26 @@ def run_named(name: str, builds: tuple[str, ...] = BUILDS, **kwargs) -> Benchmar
     return run_benchmark(name, source, info, builds, **kwargs)
 
 
-def run_all(builds: tuple[str, ...] = BUILDS, **kwargs) -> dict[str, BenchmarkRun]:
-    """Run every Figure 14-16 benchmark."""
+def run_all(
+    builds: tuple[str, ...] = BUILDS, jobs: int = 1, **kwargs
+) -> dict[str, BenchmarkRun]:
+    """Run every Figure 14-16 benchmark (``jobs > 1`` fans the pairs out)."""
+    if jobs > 1:
+        return _run_matrix(dict(BENCHMARKS), builds, jobs, **kwargs)
     return {
         name: run_named(name, builds, **kwargs) for name in BENCHMARKS
     }
 
 
-def run_performance_suite(**kwargs) -> dict[str, BenchmarkRun]:
+def run_performance_suite(jobs: int = 1, **kwargs) -> dict[str, BenchmarkRun]:
     """Run the Figure 17 program set (polyover split by variant)."""
+    specs = {
+        name: (source, BENCHMARKS.get(name, (None, None))[1])
+        for name, source in PERFORMANCE_PROGRAMS.items()
+    }
+    if jobs > 1:
+        return _run_matrix(specs, BUILDS, jobs, **kwargs)
     results: dict[str, BenchmarkRun] = {}
-    for name, source in PERFORMANCE_PROGRAMS.items():
-        info = BENCHMARKS.get(name, (None, None))[1]
+    for name, (source, info) in specs.items():
         results[name] = run_benchmark(name, source, info, BUILDS, **kwargs)
     return results

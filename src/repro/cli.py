@@ -6,9 +6,9 @@ Usage::
     repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
     repro codegen PROGRAM.icc [--optimized]
-    repro bench --figure {14,15,16,17,all} [--trace FILE]
-    repro bench --check-baseline | --update-baseline [--baseline FILE]
-    repro trace FILE
+    repro bench --figure {14,15,16,17,all} [--jobs N] [--trace FILE]
+    repro bench --check-baseline | --update-baseline [--baseline FILE] [--jobs N]
+    repro trace FILE [FILE ...]
 
 Every compile command drives a :class:`repro.Session`, so a command that
 needs several builds of one program (or analysis + optimization) pays
@@ -38,7 +38,13 @@ from .bench.baseline import (
 from .bench.harness import run_all, run_performance_suite
 from .codegen import generate
 from .ir import format_program
-from .obs import NULL_TRACER, render_file, tracer_to_file
+from .obs import (
+    NULL_TRACER,
+    render_file,
+    render_summary,
+    summarize_files,
+    tracer_to_file,
+)
 from .session import Session
 
 
@@ -218,9 +224,10 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
+    jobs = max(1, args.jobs)
     try:
         if args.check_baseline or args.update_baseline:
-            runs = run_performance_suite(tracer=tracer)
+            runs = run_performance_suite(tracer=tracer, jobs=jobs)
             if args.update_baseline:
                 path = write_baseline(args.baseline, runs)
                 print(f"wrote {path}")
@@ -236,18 +243,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if args.output:
             from .bench.report import write_report
 
-            path = write_report(args.output, tracer=tracer)
+            path = write_report(args.output, tracer=tracer, jobs=jobs)
             print(f"wrote {path}")
             return 0
         wanted = args.figure
         if wanted in ("14", "15", "16"):
-            runs = run_all(tracer=tracer)
+            runs = run_all(tracer=tracer, jobs=jobs)
             figure = getattr(bench_figures, f"figure{wanted}")(runs)
             print(figure.render())
         elif wanted == "17":
-            print(bench_figures.figure17(run_performance_suite(tracer=tracer)).render())
+            print(
+                bench_figures.figure17(
+                    run_performance_suite(tracer=tracer, jobs=jobs)
+                ).render()
+            )
         else:
-            for figure in bench_figures.all_figures():
+            runs = run_all(tracer=tracer, jobs=jobs)
+            performance = run_performance_suite(tracer=tracer, jobs=jobs)
+            for figure in (
+                bench_figures.figure14(runs),
+                bench_figures.figure15(runs),
+                bench_figures.figure16(runs),
+                bench_figures.figure17(performance),
+            ):
                 print(figure.render())
                 print()
         return 0
@@ -256,7 +274,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    print(render_file(args.file, top_counters=args.counters))
+    if len(args.file) == 1:
+        print(render_file(args.file[0], top_counters=args.counters))
+    else:
+        # Several files (e.g. one per bench worker) render as one merged
+        # summary; totals are additive across shards.
+        summary = summarize_files(args.file)
+        print(render_summary(summary, top_counters=args.counters))
     return 0
 
 
@@ -316,11 +340,19 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline", metavar="FILE", default=DEFAULT_BASELINE_PATH,
         help=f"baseline file for --check/--update-baseline (default {DEFAULT_BASELINE_PATH})",
     )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan (benchmark, build) pairs over N worker processes "
+        "(default 1 = serial; figures are identical either way)",
+    )
     _add_trace_flag(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
 
-    trace_parser = sub.add_parser("trace", help="summarize a JSONL trace file")
-    trace_parser.add_argument("file")
+    trace_parser = sub.add_parser("trace", help="summarize JSONL trace file(s)")
+    trace_parser.add_argument(
+        "file", nargs="+",
+        help="trace file(s); several files render one merged summary",
+    )
     trace_parser.add_argument(
         "--counters", type=int, default=20, metavar="N",
         help="show the top N counters (default 20)",

@@ -499,7 +499,26 @@ class Transformer:
             functions=new_functions,
             global_names=list(self.program.global_names),
         )
+        self._detach_shared_bodies(program)
         return program
+
+    def _detach_shared_bodies(self, program: ir.IRProgram) -> None:
+        """Copy every callable carried over from the input program.
+
+        Bodies untouched by any partition rewrite are aliased straight
+        out of ``self.program``; the scalar passes that follow mutate
+        blocks in place, so without a copy they would rewrite the
+        *input* program too (breaking ``optimize``'s contract and
+        cross-contaminating builds that share one compiled program).
+        """
+        source_bodies = {id(c) for c in self.program.callables()}
+        for name, fn in program.functions.items():
+            if id(fn) in source_bodies:
+                program.functions[name] = ir.copy_callable(fn)
+        for cls in program.classes.values():
+            for method_name, method in cls.methods.items():
+                if id(method) in source_bodies:
+                    cls.methods[method_name] = ir.copy_callable(method)
 
     # ------------------------------------------------------------------
     # Call binding helpers (shared by demand collection and emission).

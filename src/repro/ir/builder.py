@@ -615,7 +615,14 @@ def lower_program(program: ast.Program) -> ir.IRProgram:
     )
     functions[ir.IRProgram.GLOBAL_INIT] = init_builder.build(tuple(init_stmts))
 
-    return ir.IRProgram(classes=classes, functions=functions, global_names=global_names)
+    result = ir.IRProgram(
+        classes=classes, functions=functions, global_names=global_names
+    )
+    # Strip the process-global counter's offset so identical sources
+    # always lower to identical programs (uid values feed clone naming
+    # and candidate keys downstream).
+    ir.renumber_uids(result)
+    return result
 
 
 def compile_source(source: str, filename: str = "<input>") -> ir.IRProgram:

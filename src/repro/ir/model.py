@@ -30,6 +30,43 @@ def fresh_uid() -> int:
     return next(_UID_COUNTER)
 
 
+def renumber_uids(program: "IRProgram") -> None:
+    """Renumber every instruction uid densely to 1..N in traversal order.
+
+    uids otherwise carry whatever the process-wide counter happened to be
+    at, and their absolute values leak into anything sorted or named by
+    uid (clone partition order, ``array-site#N`` candidate keys) — so two
+    compiles of the same source in differently-warmed processes would
+    diverge.  Lowering calls this once per compile; the global counter has
+    already advanced past N, so later ``fresh_uid`` calls during rewrites
+    cannot collide with the renumbered range.
+    """
+    next_uid = itertools.count(1)
+    for callable_ in program.callables():
+        for block in callable_.blocks:
+            block.instrs = [
+                replace(instr, uid=next(next_uid)) for instr in block.instrs
+            ]
+
+
+def copy_callable(callable_: "IRCallable") -> "IRCallable":
+    """A structurally independent copy of a callable.
+
+    Blocks and the callable itself are fresh objects (the scalar passes
+    mutate ``num_regs``, block lists, and ``block.instrs`` in place);
+    instructions are immutable and stay shared.
+    """
+    return IRCallable(
+        name=callable_.name,
+        params=callable_.params,
+        num_regs=callable_.num_regs,
+        blocks=[Block(instrs=list(block.instrs)) for block in callable_.blocks],
+        is_method=callable_.is_method,
+        class_name=callable_.class_name,
+        source_name=callable_.source_name,
+    )
+
+
 # ----------------------------------------------------------------------
 # Instructions.
 

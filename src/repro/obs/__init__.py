@@ -11,6 +11,7 @@ from .summary import (
     render_summary,
     summarize_events,
     summarize_file,
+    summarize_files,
 )
 from .tracer import (
     JsonlSink,
@@ -18,6 +19,7 @@ from .tracer import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    TraceShard,
     tracer_to_file,
 )
 
@@ -28,11 +30,13 @@ __all__ = [
     "NullTracer",
     "PhaseStat",
     "Tracer",
+    "TraceShard",
     "TraceSummary",
     "read_events",
     "render_file",
     "render_summary",
     "summarize_events",
     "summarize_file",
+    "summarize_files",
     "tracer_to_file",
 ]

@@ -49,6 +49,26 @@ class TraceSummary:
     def rejected_decisions(self) -> list[dict]:
         return [d for d in self.decisions if not d.get("accepted")]
 
+    def merge(self, other: "TraceSummary") -> "TraceSummary":
+        """Fold another summary into this one (for per-worker trace files).
+
+        Phase occurrences/durations, root time, event and malformed-line
+        counts are summed; counters are summed too, which is correct for
+        the monotonic totals each worker reports independently.
+        """
+        for name, stat in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseStat(name))
+            mine.count += stat.count
+            mine.total_seconds += stat.total_seconds
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.decisions.extend(other.decisions)
+        self.round_decisions.extend(other.round_decisions)
+        self.events += other.events
+        self.malformed_lines += other.malformed_lines
+        self.root_seconds += other.root_seconds
+        return self
+
 
 def read_events(lines: Iterable[str]) -> tuple[list[dict], int]:
     """Parse JSONL lines; returns (events, number of malformed lines)."""
@@ -105,6 +125,14 @@ def summarize_file(path: str) -> TraceSummary:
     with open(path, "r", encoding="utf-8") as handle:
         events, malformed = read_events(handle)
     return summarize_events(events, malformed)
+
+
+def summarize_files(paths: Iterable[str]) -> TraceSummary:
+    """Merged summary of several trace files (e.g. one per bench worker)."""
+    merged = TraceSummary()
+    for path in paths:
+        merged.merge(summarize_file(path))
+    return merged
 
 
 def render_summary(summary: TraceSummary, top_counters: int = 20) -> str:

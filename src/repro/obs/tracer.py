@@ -20,31 +20,63 @@ the schema), or an in-memory list for tests and the bench harness.
 The default tracer everywhere is :data:`NULL_TRACER`, whose every method
 is an inert no-op (no allocation, no I/O, no timestamping), so
 uninstrumented runs pay nothing beyond an attribute load per phase.
+
+Concurrency model: a :class:`Tracer` is **single-owner** — exactly one
+thread (or process) opens and closes its spans.  Concurrent workloads
+give every worker its own tracer (:meth:`Tracer.child` in-process, a
+fresh ``Tracer(MemorySink())`` in a worker process) and fold the results
+back with :meth:`Tracer.merge`, which re-emits the worker's events with
+freshly allocated span ids so merged streams never collide.  The sinks
+themselves *are* thread-safe: emits are serialized by a lock, so one
+JSONL file fed by a merging parent never interleaves partial lines.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import IO, Callable
 
 
 class MemorySink:
-    """Collects events into a list (tests, bench phase timings)."""
+    """Collects events into a list (tests, bench phase timings).
+
+    ``emit`` appends under a lock, so several tracers/threads may share
+    one sink without tearing the event list.
+    """
 
     def __init__(self) -> None:
         self.events: list[dict] = []
         self.closed = False
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     def close(self) -> None:
         self.closed = True
 
+    # Locks don't pickle; analysis results reference their tracer (and
+    # thus its sink), so drop the lock on the way out and rebuild it.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 class JsonlSink:
-    """Writes one compact JSON object per line to a path or file object."""
+    """Writes one compact JSON object per line to a path or file object.
+
+    Each line is serialized and written atomically under a lock, so
+    concurrent emitters cannot interleave partial lines.
+    """
 
     def __init__(self, target: str | IO[str]) -> None:
         if isinstance(target, str):
@@ -53,14 +85,33 @@ class JsonlSink:
         else:
             self._file = target
             self._owns_file = False
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._file.write(line)
 
     def close(self) -> None:
-        self._file.flush()
-        if self._owns_file:
-            self._file.close()
+        with self._lock:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+
+@dataclass(slots=True)
+class TraceShard:
+    """A picklable snapshot of one tracer's output, for cross-process merge.
+
+    Worker processes cannot hand their :class:`Tracer` back to the parent
+    (sinks hold locks and file handles), so they ship a shard — the
+    buffered events plus the in-memory aggregates — and the parent folds
+    it in with :meth:`Tracer.merge`.
+    """
+
+    events: list[dict] = field(default_factory=list)
+    span_totals: dict[str, list[float]] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
 
 
 class _NullSpan:
@@ -94,6 +145,12 @@ class NullTracer:
         pass
 
     def event(self, name: str, **data: object) -> None:
+        pass
+
+    def child(self) -> "NullTracer":
+        return self
+
+    def merge(self, other: object) -> None:
         pass
 
     def close(self) -> None:
@@ -132,6 +189,12 @@ class Tracer:
     in-memory aggregates (``counters`` and ``span_totals``), which is what
     the bench harness uses to time phases without materializing a file.
     The clock is injectable for deterministic tests.
+
+    A tracer is **single-owner**: its span stack assumes one thread opens
+    and closes spans.  Concurrent work units each get their own tracer —
+    :meth:`child` for an in-process unit sharing this tracer's clock and
+    epoch, or a fresh ``Tracer(MemorySink())`` in a worker process — and
+    are folded back with :meth:`merge` when the unit joins.
     """
 
     enabled = True
@@ -174,6 +237,73 @@ class Tracer:
             self._emit({"ev": "counters", "ts": self._now(), "counters": dict(self.counters)})
         if self._sink is not None:
             self._sink.close()
+
+    # ------------------------------------------------------------------
+    # Concurrency: per-unit child tracers and the merge API.
+
+    def child(self) -> "Tracer":
+        """A fresh single-owner tracer for one concurrent work unit.
+
+        The child shares this tracer's clock and epoch, so its timestamps
+        are directly comparable to the parent's after :meth:`merge`.  It
+        buffers events in its own :class:`MemorySink` (or records
+        aggregates only, when this tracer has no sink) — nothing reaches
+        the parent's sink until the unit joins and is merged.
+        """
+        twin = Tracer(
+            MemorySink() if self._sink is not None else None, clock=self._clock
+        )
+        twin._t0 = self._t0
+        return twin
+
+    def shard(self) -> TraceShard:
+        """Snapshot this tracer's output for transport to another process.
+
+        Events are only recoverable from a :class:`MemorySink`; a tracer
+        writing straight to JSONL shards its aggregates alone.
+        """
+        events = (
+            list(self._sink.events) if isinstance(self._sink, MemorySink) else []
+        )
+        return TraceShard(
+            events=events,
+            span_totals={name: list(t) for name, t in self.span_totals.items()},
+            counters=dict(self.counters),
+        )
+
+    def merge(self, other: "Tracer | TraceShard") -> None:
+        """Fold a finished child tracer (or its shard) into this tracer.
+
+        Span totals and counters are summed; the child's buffered events
+        are re-emitted to this tracer's sink with freshly allocated span
+        ids (begin/end pairing and parent links preserved), so events
+        merged from many workers never collide.  The child's roots stay
+        roots — merged spans are not reparented under whatever span this
+        tracer currently has open.  The child's final ``counters`` event,
+        if any, is dropped: this tracer re-emits grand totals at close.
+        """
+        shard = other.shard() if isinstance(other, Tracer) else other
+        if self._sink is not None:
+            id_map: dict[int, int] = {}
+            for event in shard.events:
+                if event.get("ev") == "counters":
+                    continue
+                record = dict(event)
+                span_id = record.get("id")
+                if span_id is not None:
+                    if span_id not in id_map:
+                        id_map[span_id] = self._next_span_id
+                        self._next_span_id += 1
+                    record["id"] = id_map[span_id]
+                if record.get("parent") is not None:
+                    record["parent"] = id_map.get(record["parent"])
+                self._emit(record)
+        for name, (count, seconds) in shard.span_totals.items():
+            total = self.span_totals.setdefault(name, [0, 0.0])
+            total[0] += count
+            total[1] += seconds
+        for name, value in shard.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
 
     # ------------------------------------------------------------------
     # Span plumbing.

@@ -90,24 +90,34 @@ class Session:
             self._program = _compile_source(self._source, self._path)
         return self._program
 
-    def analyze(self) -> AnalysisResult:
-        """Flow-analyze the compiled program (cached)."""
+    def analyze(self, tracer=None) -> AnalysisResult:
+        """Flow-analyze the compiled program (cached).
+
+        ``tracer`` overrides the session tracer for this call — used by
+        concurrent drivers (the bench harness) that give every work unit
+        its own tracer and merge them at join.  A memoized result is
+        returned as-is: no phase re-runs, so nothing new is traced.
+        """
         if self._analysis is None:
             program = self.compile()
             config = self.config or AnalysisConfig()
             result = self.analysis_cache.get(program, config)
             if result is None:
-                result = _analyze(program, config, self.tracer)
+                result = _analyze(
+                    program, config, self.tracer if tracer is None else tracer
+                )
                 self.analysis_cache.put(program, config, result)
             self._analysis = result
         return self._analysis
 
-    def optimize(self, **options) -> OptimizeReport:
+    def optimize(self, *, tracer=None, **options) -> OptimizeReport:
         """Run the inlining pipeline; one cached report per option set.
 
         ``options`` are :func:`repro.inlining.pipeline.optimize` keywords
-        (``inline=``, ``manual_only=``, ``max_rounds=``, ...); config and
-        tracer come from the session.
+        (``inline=``, ``manual_only=``, ``max_rounds=``, ...); config
+        comes from the session, as does the tracer unless overridden
+        per-call (see :meth:`analyze` — memoized reports are returned
+        without re-tracing).
         """
         key = tuple(sorted(options.items()))
         report = self._reports.get(key)
@@ -115,7 +125,7 @@ class Session:
             report = _optimize(
                 self.compile(),
                 config=self.config,
-                tracer=self.tracer,
+                tracer=self.tracer if tracer is None else tracer,
                 analysis_cache=self.analysis_cache,
                 **options,
             )
@@ -138,13 +148,17 @@ class Session:
         self,
         build: str = "plain",
         cache_config: CacheConfig | None = None,
+        tracer=None,
         **run_options,
     ) -> RunResult:
-        """Execute one build on the instrumented VM."""
+        """Execute one build on the instrumented VM.
+
+        ``tracer`` overrides the session tracer for this run only.
+        """
         return _run_program(
             self.program_for(build),
             cache_config,
-            tracer=self.tracer,
+            tracer=self.tracer if tracer is None else tracer,
             **run_options,
         )
 

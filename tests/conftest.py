@@ -95,6 +95,23 @@ def rejected_names(plan) -> dict[str, str]:
 
 
 @pytest.fixture(scope="session")
+def bench_runs():
+    """All four paper benchmarks, every build, run serially (cached)."""
+    from repro.bench import BENCHMARKS, run_named
+
+    return {name: run_named(name) for name in BENCHMARKS}
+
+
+@pytest.fixture(scope="session")
+def perf_runs():
+    """The serial Figure-17 suite (cached; the parallel differential
+    test compares against this same run)."""
+    from repro.bench import run_performance_suite
+
+    return run_performance_suite()
+
+
+@pytest.fixture(scope="session")
 def rectangle_program():
     return compile_source(RECTANGLE_SOURCE)
 

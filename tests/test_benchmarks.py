@@ -9,18 +9,11 @@ orderings.
 
 import pytest
 
-from repro.bench import BENCHMARKS, field_counts, run_named, run_performance_suite
+from repro.bench import BENCHMARKS, field_counts
 from repro.inlining.pipeline import candidate_is_declared_inline
 
-
-@pytest.fixture(scope="session")
-def bench_runs():
-    return {name: run_named(name) for name in BENCHMARKS}
-
-
-@pytest.fixture(scope="session")
-def perf_runs():
-    return run_performance_suite()
+# bench_runs / perf_runs are session fixtures in conftest.py, shared with
+# the parallel-harness differential tests.
 
 
 class TestEquivalence:

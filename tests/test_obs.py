@@ -261,6 +261,201 @@ class TestTraceSummaryRender:
         assert "analysis.worklist_steps" in text
 
 
+class TestTracerMerge:
+    def _worker_tracer(self, clock, spans=2, events=1):
+        tracer = Tracer(MemorySink(), clock=clock)
+        for index in range(spans):
+            with tracer.span("work", unit=index):
+                clock.advance(0.5)
+                tracer.count("steps", 3)
+        for _ in range(events):
+            tracer.event("decision", candidate="C.f", accepted=True)
+        return tracer
+
+    def test_merge_preserves_totals_counters_and_events(self):
+        clock = FakeClock()
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        with parent.span("own"):
+            clock.advance(0.25)
+        children = [self._worker_tracer(clock) for _ in range(3)]
+        for child in children:
+            parent.merge(child)
+        assert parent.span_totals["work"][0] == 6
+        assert parent.span_totals["work"][1] == pytest.approx(3.0)
+        assert parent.span_totals["own"] == [1, pytest.approx(0.25)]
+        assert parent.counters["steps"] == 18
+        decisions = [
+            e for e in parent_sink.events
+            if e["ev"] == "event" and e["name"] == "decision"
+        ]
+        assert len(decisions) == 3
+        ends = [e for e in parent_sink.events if e["ev"] == "span_end"]
+        assert sum(1 for e in ends if e["name"] == "work") == 6
+
+    def test_merge_remaps_span_ids_without_collisions(self):
+        clock = FakeClock()
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        with parent.span("own"):
+            pass
+        # Two children allocate overlapping span ids independently.
+        for _ in range(2):
+            parent.merge(self._worker_tracer(clock))
+        begin_ids = [e["id"] for e in parent_sink.events if e["ev"] == "span_begin"]
+        assert len(begin_ids) == len(set(begin_ids))
+        # begin/end pairing survives the remap.
+        end_ids = [e["id"] for e in parent_sink.events if e["ev"] == "span_end"]
+        assert sorted(begin_ids) == sorted(end_ids)
+
+    def test_merge_preserves_parent_links_and_roots(self):
+        clock = FakeClock()
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        child = Tracer(MemorySink(), clock=clock)
+        with child.span("outer"):
+            with child.span("inner"):
+                pass
+        parent.merge(child)
+        begins = {e["name"]: e for e in parent_sink.events if e["ev"] == "span_begin"}
+        assert begins["outer"]["parent"] is None  # roots stay roots
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+
+    def test_merge_drops_child_counters_event(self):
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=FakeClock())
+        child = Tracer(MemorySink(), clock=FakeClock())
+        child.count("steps", 7)
+        child.close()  # emits the child's final counters event
+        parent.merge(child)
+        assert not [e for e in parent_sink.events if e["ev"] == "counters"]
+        parent.close()
+        totals = [e for e in parent_sink.events if e["ev"] == "counters"]
+        assert totals and totals[0]["counters"] == {"steps": 7}
+
+    def test_child_shares_clock_and_epoch(self):
+        clock = FakeClock()
+        parent = Tracer(MemorySink(), clock=clock)
+        clock.advance(1.0)
+        child = parent.child()
+        with child.span("late"):
+            clock.advance(0.5)
+        begin = next(e for e in child._sink.events if e["ev"] == "span_begin")
+        assert begin["ts"] == pytest.approx(1.0)  # parent epoch, not 0
+
+    def test_child_of_aggregate_only_tracer_has_no_sink(self):
+        parent = Tracer(None, clock=FakeClock())
+        child = parent.child()
+        with child.span("x"):
+            pass
+        parent.merge(child)
+        assert parent.span_totals["x"][0] == 1
+
+    def test_shard_is_picklable_and_merges(self):
+        import pickle
+
+        clock = FakeClock()
+        child = self._worker_tracer(clock)
+        shard = pickle.loads(pickle.dumps(child.shard()))
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        parent.merge(shard)
+        assert parent.span_totals["work"][0] == 2
+        assert parent.counters["steps"] == 6
+        assert [e for e in parent_sink.events if e["ev"] == "event"]
+
+    def test_null_tracer_merge_and_child_are_noops(self):
+        child = NULL_TRACER.child()
+        assert child is NULL_TRACER
+        NULL_TRACER.merge(Tracer(MemorySink()))  # must not raise
+
+
+class TestSinkConcurrency:
+    def test_memory_sink_concurrent_emits_are_atomic(self):
+        import threading
+
+        sink = MemorySink()
+        tracers = [Tracer(sink, clock=FakeClock()) for _ in range(4)]
+
+        def hammer(tracer):
+            for index in range(500):
+                tracer.event("tick", n=index)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tracer,)) for tracer in tracers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(sink.events) == 4 * 500
+
+    def test_jsonl_sink_concurrent_lines_stay_whole(self):
+        import io
+        import threading
+
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+
+        def hammer(worker):
+            for index in range(300):
+                sink.emit({"ev": "event", "name": "tick", "w": worker, "n": index})
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 4 * 300
+        for line in lines:
+            json.loads(line)  # every line is standalone JSON
+
+    def test_memory_sink_pickles_without_its_lock(self):
+        import pickle
+
+        sink = MemorySink()
+        sink.emit({"ev": "event", "name": "x"})
+        clone = pickle.loads(pickle.dumps(sink))
+        assert clone.events == sink.events
+        clone.emit({"ev": "event", "name": "y"})  # lock was rebuilt
+        assert len(clone.events) == 2
+
+
+class TestMergedSummaries:
+    def test_summarize_files_merges_worker_traces(self, tmp_path):
+        from repro.obs import summarize_files
+
+        paths = []
+        for worker in range(2):
+            path = str(tmp_path / f"w{worker}.jsonl")
+            tracer = tracer_to_file(path)
+            with tracer.span("build"):
+                tracer.count("steps", 5)
+            tracer.event("decision", candidate=f"C{worker}.f", accepted=True)
+            tracer.close()
+            paths.append(path)
+        summary = summarize_files(paths)
+        assert summary.phases["build"].count == 2
+        assert summary.counters["steps"] == 10
+        assert len(summary.decisions) == 2
+
+    def test_trace_cli_accepts_multiple_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = []
+        for worker in range(2):
+            path = str(tmp_path / f"w{worker}.jsonl")
+            tracer = tracer_to_file(path)
+            with tracer.span("build"):
+                pass
+            tracer.close()
+            paths.append(path)
+        assert main(["trace", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "build" in out
+
+
 class TestCLITrace:
     PROGRAM = """
     class P { var v; def init(v) { this.v = v; } }

@@ -1,0 +1,170 @@
+"""The parallel benchmark harness: (benchmark, build) pairs on a process
+pool must produce figures bit-identical to the serial path, with every
+worker's trace shard merged losslessly into the caller's tracer.
+
+The cheap tests drive ``_run_matrix`` directly with tiny programs; the
+full-suite differential (the acceptance bar) re-runs the Figure-17 suite
+with ``jobs=4`` and compares it against the serial session fixture.
+"""
+
+import pytest
+
+from repro.bench.figures import field_counts, figure14, figure15, figure16, figure17
+from repro.bench.harness import (
+    BUILDS,
+    _anchor_build,
+    _run_matrix,
+    run_all,
+    run_benchmark,
+    run_performance_suite,
+)
+from repro.bench.metadata import BenchmarkInfo
+from repro.obs import MemorySink, Tracer
+
+TINY_A = """
+class P { var v; def init(v) { this.v = v; } }
+class C { var f; def init(p) { this.f = p; } }
+def main() { var c = new C(new P(4)); print(c.f.v); }
+"""
+TINY_B = """
+class Q { var w; def init(w) { this.w = w; } }
+class D { var g; def init(q) { this.g = q; } }
+def main() { var d = new D(new Q(7)); print(d.g.w); print(2); }
+"""
+
+TINY_SPECS = {
+    "tiny-a": (TINY_A, BenchmarkInfo(name="tiny-a", description="a", ideal_inlinable=1)),
+    "tiny-b": (TINY_B, BenchmarkInfo(name="tiny-b", description="b", ideal_inlinable=1)),
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_parallel():
+    tracer = Tracer(MemorySink())
+    runs = _run_matrix(TINY_SPECS, BUILDS, jobs=2, tracer=tracer)
+    return runs, tracer
+
+
+@pytest.fixture(scope="module")
+def tiny_serial():
+    return {
+        name: run_benchmark(name, source, info)
+        for name, (source, info) in TINY_SPECS.items()
+    }
+
+
+class TestTinyMatrix:
+    def test_results_match_serial(self, tiny_parallel, tiny_serial):
+        runs, _ = tiny_parallel
+        assert list(runs) == list(tiny_serial)
+        for name, serial in tiny_serial.items():
+            parallel = runs[name]
+            assert parallel.reference_output == serial.reference_output
+            assert list(parallel.builds) == list(serial.builds)
+            for build in BUILDS:
+                par, ser = parallel.builds[build], serial.builds[build]
+                assert par.run.output == ser.run.output
+                assert par.cycles == ser.cycles
+                assert par.code_size == ser.code_size
+                assert par.run.stats.instructions == ser.run.stats.instructions
+
+    def test_figure17_renders_identically(self, tiny_parallel, tiny_serial):
+        runs, _ = tiny_parallel
+        assert figure17(runs).render() == figure17(tiny_serial).render()
+
+    def test_field_counts_consistent_with_anchor_program(self, tiny_parallel, tiny_serial):
+        # Figure 14 cross-references the candidate plan against
+        # BenchmarkRun.program by instruction uid; both must come from the
+        # anchor worker's compile.
+        runs, _ = tiny_parallel
+        for name in TINY_SPECS:
+            assert (
+                field_counts(runs[name]).as_row()
+                == field_counts(tiny_serial[name]).as_row()
+            )
+
+    def test_phase_seconds_present_per_build(self, tiny_parallel):
+        runs, _ = tiny_parallel
+        for run in runs.values():
+            for build in BUILDS:
+                phases = run.builds[build].phase_seconds
+                assert phases.get("analyze", 0.0) > 0.0
+                assert "transform" in phases
+
+    def test_anchor_is_inline_build(self):
+        assert _anchor_build(BUILDS) == "inline"
+        assert _anchor_build(("noinline", "manual")) == "noinline"
+
+    def test_worker_traces_merge_into_caller(self, tiny_parallel):
+        runs, tracer = tiny_parallel
+        pair_count = len(TINY_SPECS) * len(BUILDS)
+        assert tracer.span_totals["bench.build"][0] == pair_count
+        events = tracer._sink.events
+        begin_ids = [e["id"] for e in events if e["ev"] == "span_begin"]
+        assert len(begin_ids) == len(set(begin_ids))  # merge remapped ids
+        decisions = [
+            e for e in events if e["ev"] == "event" and e["name"] == "decision"
+        ]
+        assert decisions  # the decision trace survives the round-trip
+        builds_seen = {
+            (e["meta"]["benchmark"], e["meta"]["build"])
+            for e in events
+            if e["ev"] == "span_begin" and e["name"] == "bench.build"
+        }
+        assert len(builds_seen) == pair_count
+
+    def test_jobs_one_and_many_agree_through_public_api(self):
+        # The public entry points route jobs=1 serially and jobs>1 through
+        # the pool; both must agree (smoke-level: one tiny benchmark set).
+        serial = _run_matrix(TINY_SPECS, BUILDS, jobs=2)
+        assert figure17(serial).render() == figure17(
+            {
+                name: run_benchmark(name, source, info)
+                for name, (source, info) in TINY_SPECS.items()
+            }
+        ).render()
+
+
+class TestSerialSharedTracerAttribution:
+    def test_per_build_phase_seconds_sum_to_merged_totals(self):
+        # Every build owns a tracer; the caller's tracer sees the merged
+        # totals, and per-build attribution never double-counts.
+        tracer = Tracer(MemorySink())
+        run = run_benchmark("tiny-a", TINY_A, tracer=tracer)
+        per_build = [run.builds[b].phase_seconds.get("analyze", 0.0) for b in BUILDS]
+        assert all(t >= 0.0 for t in per_build)
+        merged = tracer.span_totals.get("analyze", [0, 0.0])
+        assert sum(per_build) == pytest.approx(merged[1])
+        assert tracer.span_totals["bench.build"][0] == len(BUILDS)
+
+
+class TestFullSuiteDifferential:
+    """Acceptance: the full Figure-17 suite under ``--jobs 4`` is
+    bit-identical to the serial run (timings excepted, which no figure
+    consumes)."""
+
+    @pytest.fixture(scope="class")
+    def parallel_perf_runs(self):
+        return run_performance_suite(jobs=4)
+
+    def test_figure17_bit_identical(self, perf_runs, parallel_perf_runs):
+        assert (
+            figure17(parallel_perf_runs).render() == figure17(perf_runs).render()
+        )
+
+    def test_stats_and_sizes_identical(self, perf_runs, parallel_perf_runs):
+        assert list(parallel_perf_runs) == list(perf_runs)
+        for name, serial in perf_runs.items():
+            parallel = parallel_perf_runs[name]
+            assert parallel.reference_output == serial.reference_output
+            for build in BUILDS:
+                par, ser = parallel.builds[build], serial.builds[build]
+                assert par.cycles == ser.cycles, (name, build)
+                assert par.code_size == ser.code_size, (name, build)
+                assert par.run.stats.allocations == ser.run.stats.allocations
+                assert par.run.stats.heap_reads == ser.run.stats.heap_reads
+
+    def test_figures_14_to_16_bit_identical(self, bench_runs):
+        parallel = run_all(jobs=4)
+        for figure in (figure14, figure15, figure16):
+            assert figure(parallel).render() == figure(bench_runs).render()

@@ -10,6 +10,7 @@ from repro import Session, analyze, compile_source, optimize, run_program
 from repro.analysis import AnalysisConfig
 from repro.bench.baseline import (
     MIN_SECONDS,
+    NOISE_FLOOR_SECONDS,
     check_baseline,
     load_baseline,
     write_baseline,
@@ -77,6 +78,19 @@ class TestSession:
         assert session.analyze().config is config
         assert session.optimize(inline=True).analysis.config is config
 
+    def test_per_call_tracer_override(self):
+        from repro.obs import MemorySink, Tracer
+
+        session = Session(SOURCE)
+        tracer = Tracer(MemorySink())
+        report = session.optimize(tracer=tracer, inline=True)
+        assert "analyze" in tracer.span_totals
+        assert "transform" in tracer.span_totals
+        # Memoized per option set regardless of the tracer used.
+        assert session.optimize(inline=True) is report
+        run = session.run("inline", tracer=tracer)
+        assert run.output and tracer.span_totals["run"][0] == 1
+
 
 class TestClassicWrappers:
     def test_top_level_exports(self):
@@ -93,11 +107,17 @@ class TestClassicWrappers:
         assert run_program(report.program).output == ["5"]
 
 
-def _stub_runs(analyze_s=0.100, transform_s=0.050):
-    build = SimpleNamespace(
-        phase_seconds={"analyze": analyze_s, "transform": transform_s}
-    )
-    return {"bench": SimpleNamespace(builds={"inline": build})}
+def _stub_runs(analyze_s=0.100, transform_s=0.050, builds=("inline",)):
+    return {
+        "bench": SimpleNamespace(
+            builds={
+                build: SimpleNamespace(
+                    phase_seconds={"analyze": analyze_s, "transform": transform_s}
+                )
+                for build in builds
+            }
+        )
+    }
 
 
 class TestBaselineGate:
@@ -123,19 +143,72 @@ class TestBaselineGate:
             _stub_runs(analyze_s=0.125), load_baseline(path)
         )
 
-    def test_sub_millisecond_phases_exempt(self, tmp_path):
+    def test_small_baseline_has_jitter_headroom(self, tmp_path):
+        # A phase baselined below MIN_SECONDS may jitter up to the
+        # MIN_SECONDS-clamped gate without failing ...
+        fast = MIN_SECONDS / 2
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(transform_s=fast))
+        regressions = check_baseline(
+            _stub_runs(transform_s=fast * 2), load_baseline(path)
+        )
+        assert not any("transform" in line for line in regressions)
+
+    def test_small_baseline_still_gates_blowup(self, tmp_path):
+        # ... but a blowup to hundreds of ms is a regression, not noise
+        # (before the fix, any sub-MIN_SECONDS baseline was exempt forever).
         fast = MIN_SECONDS / 2
         path = str(tmp_path / "base.json")
         write_baseline(path, _stub_runs(transform_s=fast))
         regressions = check_baseline(
             _stub_runs(transform_s=fast * 100), load_baseline(path)
         )
-        assert not any("transform" in line for line in regressions)
+        assert any("bench/inline/transform" in line for line in regressions)
 
-    def test_missing_benchmark_ignored(self, tmp_path):
+    def test_growth_below_noise_floor_passes(self, tmp_path):
+        # Beyond the relative gate but under the absolute noise floor.
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(transform_s=0.002))
+        assert not check_baseline(
+            _stub_runs(transform_s=NOISE_FLOOR_SECONDS * 0.6),
+            load_baseline(path),
+        )
+
+    def test_missing_benchmark_is_drift_failure(self, tmp_path):
+        # Before the fix a vanished benchmark silently passed forever.
         path = str(tmp_path / "base.json")
         write_baseline(path, _stub_runs())
-        assert check_baseline({}, load_baseline(path)) == []
+        failures = check_baseline({}, load_baseline(path))
+        assert len(failures) == 1
+        assert "bench" in failures[0]
+        assert "--update-baseline" in failures[0]
+
+    def test_missing_build_is_drift_failure(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs(builds=("inline", "manual")))
+        failures = check_baseline(_stub_runs(builds=("inline",)), load_baseline(path))
+        assert len(failures) == 1
+        assert "bench/manual" in failures[0]
+        assert "--update-baseline" in failures[0]
+
+    def test_missing_phase_is_drift_failure(self, tmp_path):
+        # e.g. a span rename: the old name would default to actual=0.0
+        # and pass forever before the fix.
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs())
+        measured = _stub_runs()
+        del measured["bench"].builds["inline"].phase_seconds["transform"]
+        failures = check_baseline(measured, load_baseline(path))
+        assert len(failures) == 1
+        assert "bench/inline/transform" in failures[0]
+        assert "--update-baseline" in failures[0]
+
+    def test_new_unbaselined_phase_ignored(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline(path, _stub_runs())
+        measured = _stub_runs()
+        measured["bench"].builds["inline"].phase_seconds["brand.new"] = 9.9
+        assert check_baseline(measured, load_baseline(path)) == []
 
 
 class TestCLIBaselineFlags:
@@ -143,7 +216,8 @@ class TestCLIBaselineFlags:
     def patched_suite(self, monkeypatch):
         state = {"runs": _stub_runs()}
         monkeypatch.setattr(
-            "repro.cli.run_performance_suite", lambda tracer=None: state["runs"]
+            "repro.cli.run_performance_suite",
+            lambda tracer=None, jobs=1: state["runs"],
         )
         return state
 

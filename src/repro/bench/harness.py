@@ -88,6 +88,10 @@ class BuildResult:
     run_seconds: float
     #: Wall time per compile phase (span name -> seconds), from the tracer.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Bounded locality summaries (``{"labels": ..., "heatmap": ...}``)
+    #: when the harness ran with ``locality=True``; plain dicts so the
+    #: parallel path ships them across the process pool unchanged.
+    locality: dict | None = None
 
     @property
     def cycles(self) -> int:
@@ -128,6 +132,7 @@ def _build_one(
     build: str,
     cache_config: CacheConfig | None,
     parent_tracer=NULL_TRACER,
+    locality: bool = False,
 ) -> tuple[BuildResult, Tracer]:
     """Optimize and execute one build with its own single-owner tracer.
 
@@ -136,14 +141,27 @@ def _build_one(
     tracer, which double-counts as soon as builds overlap in time).  The
     caller merges the returned tracer into its own if it wants the event
     stream.
+
+    With ``locality=True`` the run attributes every cache access to a
+    ``(kind, class, field, site)`` label; the bounded summaries land on
+    ``BuildResult.locality`` (and, via the build tracer, in the merged
+    event stream as ``run.locality``/``run.heatmap``).
     """
     build_tracer = parent_tracer.child() if parent_tracer.enabled else Tracer()
     started = time.perf_counter()
     with build_tracer.span("bench.build", benchmark=name, build=build):
         report = session.optimize(tracer=build_tracer, **BUILD_OPTIONS[build])
         optimized_at = time.perf_counter()
-        run = session.run(build, cache_config, tracer=build_tracer)
+        run = session.run(
+            build, cache_config, tracer=build_tracer, attribute_locality=locality
+        )
     finished = time.perf_counter()
+    locality_summary = None
+    if run.stats.locality is not None:
+        locality_summary = {
+            "labels": run.stats.locality.label_summary(),
+            "heatmap": run.stats.locality.heatmap_summary(),
+        }
     result = BuildResult(
         build=build,
         report=report,
@@ -152,6 +170,7 @@ def _build_one(
         optimize_seconds=optimized_at - started,
         run_seconds=finished - optimized_at,
         phase_seconds=_phase_seconds(build_tracer),
+        locality=locality_summary,
     )
     return result, build_tracer
 
@@ -174,12 +193,15 @@ def run_benchmark(
     cache_config: CacheConfig | None = None,
     config: AnalysisConfig | None = None,
     tracer=NULL_TRACER,
+    locality: bool = False,
 ) -> BenchmarkRun:
     """Compile, optimize, and execute one benchmark in each build.
 
     Per-phase compile times are always collected (every build runs under
     its own in-memory tracer) and land in ``BuildResult.phase_seconds``;
     pass a real ``tracer`` to also receive the merged full event log.
+    ``locality=True`` additionally attributes cache misses per build
+    (see :func:`_build_one`).
     """
     program = compile_source(source, f"{name}.icc")
     reference = run_program(program, cache_config)
@@ -194,7 +216,9 @@ def run_benchmark(
     # reuse one fixpoint outright.
     session = Session(program=program, config=config)
     for build in builds:
-        result, build_tracer = _build_one(session, name, build, cache_config, tracer)
+        result, build_tracer = _build_one(
+            session, name, build, cache_config, tracer, locality=locality
+        )
         if tracer.enabled:
             tracer.merge(build_tracer)
         _check_output(name, build, result.run, bench.reference_output)
@@ -234,18 +258,20 @@ def _anchor_build(builds: tuple[str, ...]) -> str:
 
 def _run_pair_worker(
     task: tuple[
-        str, str, str, bool, CacheConfig | None, AnalysisConfig | None
+        str, str, str, bool, CacheConfig | None, AnalysisConfig | None, bool
     ],
 ) -> _PairResult:
     """Process-pool entry: one (benchmark, build) pair, own tracer/cache."""
-    name, source, build, is_anchor, cache_config, config = task
+    name, source, build, is_anchor, cache_config, config, locality = task
     tracer = Tracer(MemorySink())
     program = compile_source(source, f"{name}.icc")
     reference_output = None
     if is_anchor:
         reference_output = list(run_program(program, cache_config).output)
     session = Session(program=program, config=config)
-    result, build_tracer = _build_one(session, name, build, cache_config, tracer)
+    result, build_tracer = _build_one(
+        session, name, build, cache_config, tracer, locality=locality
+    )
     tracer.merge(build_tracer)
     return _PairResult(
         name=name,
@@ -264,6 +290,7 @@ def _run_matrix(
     cache_config: CacheConfig | None = None,
     config: AnalysisConfig | None = None,
     tracer=NULL_TRACER,
+    locality: bool = False,
 ) -> dict[str, BenchmarkRun]:
     """Run a benchmark × build matrix on ``jobs`` worker processes.
 
@@ -279,7 +306,7 @@ def _run_matrix(
     """
     anchor = _anchor_build(builds)
     tasks = [
-        (name, source, build, build == anchor, cache_config, config)
+        (name, source, build, build == anchor, cache_config, config, locality)
         for name, (source, _info) in specs.items()
         for build in builds
     ]

@@ -8,7 +8,7 @@ downstream user regenerates to compare against EXPERIMENTS.md.
 from __future__ import annotations
 
 from . import figures
-from ..obs import NULL_TRACER
+from ..obs import NULL_TRACER, label_display_name
 from .harness import (
     BENCHMARKS,
     BenchmarkRun,
@@ -71,6 +71,43 @@ def _phase_time_section(runs: dict[str, BenchmarkRun]) -> str:
     return _markdown_table(header, rows)
 
 
+def _build_label_misses(result) -> dict[str, int]:
+    """Display name -> miss count for one build's locality summary."""
+    misses: dict[str, int] = {}
+    if not result.locality:
+        return misses
+    for entry in result.locality["labels"]["labels"]:
+        name = label_display_name(
+            entry.get("kind", "other"), entry.get("class"), entry.get("field")
+        )
+        misses[name] = misses.get(name, 0) + int(entry.get("misses", 0))
+    return misses
+
+
+def _locality_section(runs: dict[str, BenchmarkRun], top: int = 5) -> str:
+    """Figure-17 locality delta: per-label misses, no-inlining vs inlining.
+
+    The table makes the paper's locality claim concrete: the rows are the
+    fields/arrays whose cache misses object inlining removed (negative
+    delta) or introduced, ranked by reduction per benchmark.
+    """
+    header = ["benchmark", "label", "noinline misses", "inline misses", "delta"]
+    rows: list[list[object]] = []
+    for name, run in runs.items():
+        before = _build_label_misses(run.builds["noinline"])
+        after = _build_label_misses(run.builds["inline"])
+        deltas = [
+            (label, before.get(label, 0), after.get(label, 0))
+            for label in sorted(set(before) | set(after))
+        ]
+        deltas.sort(key=lambda row: (row[2] - row[1], -row[1], row[0]))
+        for label, b, a in deltas[:top]:
+            rows.append([name, f"`{label}`", b, a, a - b])
+    if not rows:
+        return "(no locality data — harness ran without `locality=True`)"
+    return _markdown_table(header, rows)
+
+
 def _decisions_section(runs: dict[str, BenchmarkRun]) -> str:
     lines: list[str] = []
     for name in BENCHMARKS:
@@ -90,15 +127,17 @@ def _decisions_section(runs: dict[str, BenchmarkRun]) -> str:
     return "\n".join(lines)
 
 
-def generate_report(tracer=NULL_TRACER, jobs: int = 1) -> str:
+def generate_report(tracer=NULL_TRACER, jobs: int = 1, locality: bool = True) -> str:
     """Run everything and render the markdown report.
 
     ``jobs > 1`` runs each benchmark matrix on a process pool; the
     rendered report is identical to a serial run (only wall-clock and
-    the timing tables' values change).
+    the timing tables' values change).  ``locality`` (on by default —
+    attribution is observation-only and does not change any figure) adds
+    the per-field cache-miss delta table for the Figure 17 programs.
     """
     runs = run_all(tracer=tracer, jobs=jobs)
-    performance = run_performance_suite(tracer=tracer, jobs=jobs)
+    performance = run_performance_suite(tracer=tracer, jobs=jobs, locality=locality)
 
     sections: list[str] = [
         "# Object Inlining — full evaluation report",
@@ -126,6 +165,18 @@ def generate_report(tracer=NULL_TRACER, jobs: int = 1) -> str:
     sections.append("")
     sections.append(_phase_time_section(performance))
     sections.append("")
+    if locality:
+        sections.append("## Locality delta (Figure 17 programs)")
+        sections.append("")
+        sections.append(
+            "Cache misses per (class, field) label, Concert-without-inlining "
+            "vs with; negative delta = misses the inlined layout eliminated.  "
+            "Inline-array view accesses collapse onto the element class's "
+            "field names, so rows compare like for like across layouts."
+        )
+        sections.append("")
+        sections.append(_locality_section(performance))
+        sections.append("")
     sections.append("## Inlining decisions per benchmark")
     sections.append("")
     sections.append(_decisions_section(runs))
@@ -145,9 +196,11 @@ def generate_report(tracer=NULL_TRACER, jobs: int = 1) -> str:
     return "\n".join(sections)
 
 
-def write_report(path: str, tracer=NULL_TRACER, jobs: int = 1) -> str:
+def write_report(
+    path: str, tracer=NULL_TRACER, jobs: int = 1, locality: bool = True
+) -> str:
     """Generate the report and write it to ``path``; returns the path."""
-    text = generate_report(tracer=tracer, jobs=jobs)
+    text = generate_report(tracer=tracer, jobs=jobs, locality=locality)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return path

@@ -2,13 +2,14 @@
 
 Usage::
 
-    repro run PROGRAM.icc [--inline | --manual | --noinline] [--trace FILE]
+    repro run PROGRAM.icc [--inline | --manual | --noinline] [--trace FILE] [--locality]
     repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
     repro codegen PROGRAM.icc [--optimized]
-    repro bench --figure {14,15,16,17,all} [--jobs N] [--trace FILE]
+    repro bench --figure {14,15,16,17,all} [--jobs N] [--trace FILE] [--locality]
     repro bench --check-baseline | --update-baseline [--baseline FILE] [--jobs N]
     repro trace FILE [FILE ...]
+    repro heatmap TRACE [TRACE2]
 
 Every compile command drives a :class:`repro.Session`, so a command that
 needs several builds of one program (or analysis + optimization) pays
@@ -17,7 +18,12 @@ for parsing and analysis once.
 ``--trace FILE`` streams compiler/VM observability events (phase spans,
 counters, the inlining decision trace) as JSONL to FILE; ``repro trace
 FILE`` summarizes such a file into per-phase time and counter tables.
-See docs/OBSERVABILITY.md for the event schema.
+``--locality`` additionally attributes every simulated cache access to a
+``(kind, class, field, alloc_site)`` label and an address bucket;
+``repro heatmap TRACE`` renders the resulting address-space heatmap, and
+``repro heatmap BEFORE AFTER`` diffs two traces to show which fields'
+misses a layout change eliminated.  See docs/OBSERVABILITY.md for the
+event schema.
 
 (also runnable as ``python -m repro.cli ...``)
 """
@@ -40,8 +46,12 @@ from .codegen import generate
 from .ir import format_program
 from .obs import (
     NULL_TRACER,
+    locality_from_file,
     render_file,
+    render_heatmap,
+    render_locality_diff,
     render_summary,
+    report_from_stats,
     summarize_files,
     tracer_to_file,
 )
@@ -109,12 +119,15 @@ def cmd_run(args: argparse.Namespace) -> int:
                 print(line)
             print(report.render(), file=sys.stderr)
             return 0
-        result = session.run(build)
+        result = session.run(build, attribute_locality=args.locality)
         for line in result.output:
             print(line)
         if args.stats:
             for key, value in result.stats.summary().items():
                 print(f"# {key} = {value}", file=sys.stderr)
+        if args.locality:
+            report = report_from_stats(result.stats.locality)
+            print(render_heatmap(report), file=sys.stderr)
         return 0
     finally:
         tracer.close()
@@ -225,9 +238,13 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     jobs = max(1, args.jobs)
+    locality = args.locality
     try:
         if args.check_baseline or args.update_baseline:
-            runs = run_performance_suite(tracer=tracer, jobs=jobs)
+            # The gate only compares compile-phase timings, so locality
+            # attribution (a run-time feature) cannot perturb the verdict;
+            # enabling it here just enriches the emitted trace.
+            runs = run_performance_suite(tracer=tracer, jobs=jobs, locality=locality)
             if args.update_baseline:
                 path = write_baseline(args.baseline, runs)
                 print(f"wrote {path}")
@@ -248,18 +265,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 0
         wanted = args.figure
         if wanted in ("14", "15", "16"):
-            runs = run_all(tracer=tracer, jobs=jobs)
+            runs = run_all(tracer=tracer, jobs=jobs, locality=locality)
             figure = getattr(bench_figures, f"figure{wanted}")(runs)
             print(figure.render())
         elif wanted == "17":
             print(
                 bench_figures.figure17(
-                    run_performance_suite(tracer=tracer, jobs=jobs)
+                    run_performance_suite(tracer=tracer, jobs=jobs, locality=locality)
                 ).render()
             )
         else:
-            runs = run_all(tracer=tracer, jobs=jobs)
-            performance = run_performance_suite(tracer=tracer, jobs=jobs)
+            runs = run_all(tracer=tracer, jobs=jobs, locality=locality)
+            performance = run_performance_suite(
+                tracer=tracer, jobs=jobs, locality=locality
+            )
             for figure in (
                 bench_figures.figure14(runs),
                 bench_figures.figure15(runs),
@@ -284,6 +303,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_heatmap(args: argparse.Namespace) -> int:
+    if len(args.file) > 2:
+        print("heatmap takes one trace or a before/after pair", file=sys.stderr)
+        return 2
+    if len(args.file) == 1:
+        print(render_heatmap(locality_from_file(args.file[0]), top=args.top))
+        return 0
+    before = locality_from_file(args.file[0])
+    after = locality_from_file(args.file[1])
+    print(
+        render_locality_diff(
+            before, after, top=args.top, names=(args.file[0], args.file[1])
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -298,6 +334,11 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--profile", action="store_true",
         help="print a per-callable (self + inclusive) cycle profile",
+    )
+    run_parser.add_argument(
+        "--locality", action="store_true",
+        help="attribute cache misses to (class, field, alloc site) labels "
+        "and print an address-space heatmap to stderr",
     )
     _add_trace_flag(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -345,6 +386,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fan (benchmark, build) pairs over N worker processes "
         "(default 1 = serial; figures are identical either way)",
     )
+    bench_parser.add_argument(
+        "--locality", action="store_true",
+        help="run benchmarks with cache-miss attribution; per-build "
+        "locality rides along in the trace and the markdown report",
+    )
     _add_trace_flag(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
 
@@ -358,6 +404,22 @@ def main(argv: list[str] | None = None) -> int:
         help="show the top N counters (default 20)",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    heatmap_parser = sub.add_parser(
+        "heatmap",
+        help="render an address-space miss heatmap from a locality trace; "
+        "two traces render a side-by-side locality diff",
+    )
+    heatmap_parser.add_argument(
+        "file", nargs="+",
+        help="one trace: heatmap + per-field miss table; "
+        "two traces (before after): locality diff",
+    )
+    heatmap_parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="show the top N labels (default 20)",
+    )
+    heatmap_parser.set_defaults(func=cmd_heatmap)
 
     args = parser.parse_args(argv)
     return args.func(args)

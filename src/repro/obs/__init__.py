@@ -3,6 +3,16 @@
 See docs/OBSERVABILITY.md for the event schema and a worked example.
 """
 
+from .heatmap import (
+    LocalityReport,
+    collect_locality,
+    label_display_name,
+    locality_from_file,
+    misses_by_field,
+    render_heatmap,
+    render_locality_diff,
+    report_from_stats,
+)
 from .summary import (
     PhaseStat,
     TraceSummary,
@@ -25,6 +35,7 @@ from .tracer import (
 
 __all__ = [
     "JsonlSink",
+    "LocalityReport",
     "MemorySink",
     "NULL_TRACER",
     "NullTracer",
@@ -32,9 +43,16 @@ __all__ = [
     "Tracer",
     "TraceShard",
     "TraceSummary",
+    "collect_locality",
+    "label_display_name",
+    "locality_from_file",
+    "misses_by_field",
     "read_events",
     "render_file",
+    "render_heatmap",
+    "render_locality_diff",
     "render_summary",
+    "report_from_stats",
     "summarize_events",
     "summarize_file",
     "summarize_files",

@@ -37,6 +37,13 @@ class TraceSummary:
     #: Intermediate per-round verdicts (``decision.round`` events), tagged
     #: with ``round`` (replan round) and ``nested_round``.
     round_decisions: list[dict] = field(default_factory=list)
+    #: One entry per ``run.stats`` event — the VM counter snapshot of each
+    #: traced run, including the float ratios (``cache_miss_rate``) that
+    #: the integer counter table cannot carry.
+    run_stats: list[dict] = field(default_factory=list)
+    #: ``run.locality`` / ``run.heatmap`` payloads (locality attribution).
+    localities: list[dict] = field(default_factory=list)
+    heatmaps: list[dict] = field(default_factory=list)
     events: int = 0
     malformed_lines: int = 0
     #: Total time of top-level spans (parent is null) — the denominator
@@ -64,6 +71,9 @@ class TraceSummary:
             self.counters[name] = self.counters.get(name, 0) + value
         self.decisions.extend(other.decisions)
         self.round_decisions.extend(other.round_decisions)
+        self.run_stats.extend(other.run_stats)
+        self.localities.extend(other.localities)
+        self.heatmaps.extend(other.heatmaps)
         self.events += other.events
         self.malformed_lines += other.malformed_lines
         self.root_seconds += other.root_seconds
@@ -116,6 +126,12 @@ def summarize_events(events: list[dict], malformed: int = 0) -> TraceSummary:
                 summary.decisions.append(record.get("data", {}))
             elif record.get("name") == "decision.round":
                 summary.round_decisions.append(record.get("data", {}))
+            elif record.get("name") == "run.stats":
+                summary.run_stats.append(record.get("data", {}))
+            elif record.get("name") == "run.locality":
+                summary.localities.append(record.get("data", {}))
+            elif record.get("name") == "run.heatmap":
+                summary.heatmaps.append(record.get("data", {}))
     if not summary.root_seconds and summary.phases:
         summary.root_seconds = max(s.total_seconds for s in summary.phases.values())
     return summary
@@ -133,6 +149,98 @@ def summarize_files(paths: Iterable[str]) -> TraceSummary:
     for path in paths:
         merged.merge(summarize_file(path))
     return merged
+
+
+#: Columns of the multi-run compact table, in display order.
+_RUN_TABLE_COLUMNS = (
+    "instructions",
+    "heap_reads",
+    "allocations",
+    "cache_misses",
+    "cache_miss_rate",
+    "cycles",
+)
+
+
+def _format_stat(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, int):
+        return str(value)
+    return str(value)
+
+
+def _render_run_stats(run_stats: list[dict]) -> list[str]:
+    """Render ``run.stats`` payloads.
+
+    A single traced run gets the full key/value block (the only place
+    float ratios like ``cache_miss_rate`` appear — the counters channel is
+    integer-only).  Several runs in one trace (e.g. a bench matrix)
+    collapse into a compact comparison table.
+    """
+    lines: list[str] = []
+    if len(run_stats) == 1:
+        lines.append("runtime stats:")
+        for key, value in run_stats[0].items():
+            lines.append(f"  {key:32s} {_format_stat(value):>14s}")
+        return lines
+    lines.append(f"runtime stats ({len(run_stats)} runs):")
+    header = f"  {'run':>4s}"
+    for column in _RUN_TABLE_COLUMNS:
+        header += f" {column:>15s}"
+    lines.append(header)
+    for i, stats in enumerate(run_stats):
+        row = f"  {i:>4d}"
+        for column in _RUN_TABLE_COLUMNS:
+            row += f" {_format_stat(stats.get(column, '-')):>15s}"
+        lines.append(row)
+    return lines
+
+
+def _render_locality_brief(summary: TraceSummary, top_labels: int = 8) -> list[str]:
+    """A short locality digest: top miss labels aggregated across runs.
+
+    The full per-bucket heatmap and the two-trace diff live in
+    ``repro heatmap``; this section just proves attribution data is in
+    the trace and names the worst offenders.
+    """
+    misses: dict[tuple, dict] = {}
+    truncated = 0
+    for payload in summary.localities:
+        truncated += int(payload.get("truncated", 0))
+        for entry in payload.get("labels", []):
+            key = (
+                entry.get("kind"),
+                entry.get("class"),
+                entry.get("field"),
+                entry.get("site"),
+            )
+            slot = misses.setdefault(key, {"misses": 0, "accesses": 0})
+            slot["misses"] += int(entry.get("misses", 0))
+            slot["accesses"] += int(entry.get("accesses", 0))
+    lines = [f"locality: {len(misses)} labels across {len(summary.localities)} run(s)"]
+    ranked = sorted(misses.items(), key=lambda kv: (-kv[1]["misses"], str(kv[0])))
+    for (kind, cls, fld, site), agg in ranked[:top_labels]:
+        name = f"{cls}.{fld}" if fld else (cls or kind)
+        site_text = f" @ {site}" if site else ""
+        lines.append(
+            f"  {name:32s} {agg['misses']:>10d} misses "
+            f"/ {agg['accesses']:>10d} accesses [{kind}]{site_text}"
+        )
+    if len(ranked) > top_labels:
+        lines.append(f"  ... and {len(ranked) - top_labels} more labels")
+    if truncated:
+        lines.append(f"  ({truncated} label(s) truncated at trace time)")
+    if summary.heatmaps:
+        total_misses = sum(int(h.get("total_misses", 0)) for h in summary.heatmaps)
+        total_buckets = sum(int(h.get("total_buckets", 0)) for h in summary.heatmaps)
+        lines.append(
+            f"  heatmap: {total_misses} misses over {total_buckets} address "
+            f"bucket(s) — run `repro heatmap <trace>` for the address-space view"
+        )
+    return lines
 
 
 def render_summary(summary: TraceSummary, top_counters: int = 20) -> str:
@@ -160,6 +268,14 @@ def render_summary(summary: TraceSummary, top_counters: int = 20) -> str:
             lines.append(f"{name:44s} {value:>12d}")
         if len(by_value) > top_counters:
             lines.append(f"... and {len(by_value) - top_counters} more counters")
+
+    if summary.run_stats:
+        lines.append("")
+        lines.extend(_render_run_stats(summary.run_stats))
+
+    if summary.localities:
+        lines.append("")
+        lines.extend(_render_locality_brief(summary))
 
     if summary.decisions:
         accepted = summary.accepted_decisions()

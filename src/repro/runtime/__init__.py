@@ -1,7 +1,7 @@
 """The VM substrate: simulated heap, cache simulator, cost model, interpreter."""
 
 from .builtins import BuiltinError, call_builtin
-from .cache import CacheConfig, CacheSimulator, CacheStats
+from .cache import CacheConfig, CacheSimulator, CacheStats, LabelStats, LocalityStats
 from .costmodel import CostModel, ExecutionStats
 from .heap import ARRAY_HEADER, Heap, HeapError, HeapStats, OBJECT_HEADER, SLOT_SIZE
 from .interp import Interpreter, ReproRuntimeError, RunResult, StepLimitExceeded, run_program
@@ -28,6 +28,8 @@ __all__ = [
     "HeapStats",
     "Interpreter",
     "is_truthy",
+    "LabelStats",
+    "LocalityStats",
     "OBJECT_HEADER",
     "ObjectRef",
     "ReproRuntimeError",

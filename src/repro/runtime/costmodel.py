@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .cache import CacheStats
+from .cache import CacheStats, LocalityStats
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +46,10 @@ class ExecutionStats:
     builtin_calls: int = 0
     max_call_depth: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Per-label / per-bucket cache attribution; populated only when the
+    #: interpreter runs with ``attribute_locality=True`` (never consulted
+    #: by the cost model — attribution is observation-only).
+    locality: LocalityStats | None = None
 
     def cycles(self, model: CostModel | None = None) -> int:
         """Estimated cycles under ``model`` (default :class:`CostModel`)."""
@@ -63,8 +67,14 @@ class ExecutionStats:
         )
 
     def summary(self) -> dict[str, float]:
-        """A flat dict of the interesting numbers (for reports/tests)."""
-        return {
+        """A flat dict of the interesting numbers (for reports/tests).
+
+        When locality attribution was enabled the dict additionally
+        carries the attribution scalars; the bounded per-label and
+        per-bucket breakdowns travel as their own ``run.locality`` /
+        ``run.heatmap`` trace events (see ``LocalityStats.label_summary``).
+        """
+        result = {
             "instructions": self.instructions,
             "heap_reads": self.heap_reads,
             "heap_writes": self.heap_writes,
@@ -78,3 +88,7 @@ class ExecutionStats:
             "cache_miss_rate": round(self.cache.miss_rate, 6),
             "cycles": self.cycles(),
         }
+        if self.locality is not None:
+            result["locality_labels"] = len(self.locality.by_label)
+            result["locality_attributed_misses"] = self.locality.attributed_misses
+        return result

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .values import ArrayRef, ObjectRef, Value
+from .values import ArrayRef, ObjectRef, Value, ViewRef
 
 SLOT_SIZE = 8
 OBJECT_HEADER = 8
@@ -34,6 +34,9 @@ class _ObjectRecord:
     class_name: str
     layout: tuple[str, ...]  # field order, inherited first
     slots: list[Value]
+    #: Source position of the allocating instruction; only populated when
+    #: the interpreter runs with locality attribution enabled.
+    alloc_site: str | None = None
 
     def slot_index(self, field_name: str) -> int:
         try:
@@ -51,6 +54,8 @@ class _ArrayRecord:
     inline_fields: tuple[str, ...]  # element class layout for inline arrays
     parallel: bool  # SoA (field-major) if True, AoS (element-major) if False
     slots: list[Value]
+    #: See :attr:`_ObjectRecord.alloc_site`.
+    alloc_site: str | None = None
 
 
 @dataclass(slots=True)
@@ -93,7 +98,11 @@ class Heap:
         return address
 
     def alloc_object(
-        self, class_name: str, layout: tuple[str, ...], on_stack: bool = False
+        self,
+        class_name: str,
+        layout: tuple[str, ...],
+        on_stack: bool = False,
+        alloc_site: str | None = None,
     ) -> ObjectRef:
         size = OBJECT_HEADER + len(layout) * SLOT_SIZE
         address = self._bump(size, on_stack)
@@ -101,6 +110,7 @@ class Heap:
             class_name=class_name,
             layout=layout,
             slots=[None] * len(layout),
+            alloc_site=alloc_site,
         )
         self.stats.objects_allocated += 1
         self.stats.bytes_allocated += size
@@ -114,6 +124,7 @@ class Heap:
         inline_layout: str | None = None,
         inline_fields: tuple[str, ...] = (),
         parallel: bool = False,
+        alloc_site: str | None = None,
     ) -> ArrayRef:
         if length < 0:
             raise HeapError(f"negative array length {length}")
@@ -126,6 +137,7 @@ class Heap:
             inline_fields=inline_fields,
             parallel=parallel,
             slots=[None] * (length * slots_per_elem),
+            alloc_site=alloc_site,
         )
         self.stats.arrays_allocated += 1
         self.stats.bytes_allocated += size
@@ -185,6 +197,23 @@ class Heap:
 
     def object_layout(self, ref: ObjectRef) -> tuple[str, ...]:
         return self._object(ref).layout
+
+    def site_of(self, ref: Value) -> str | None:
+        """The allocation site recorded for ``ref``'s backing block.
+
+        Views resolve to their underlying inline array.  Returns ``None``
+        for non-heap values, dangling references, or allocations made
+        without attribution enabled.
+        """
+        if isinstance(ref, ObjectRef):
+            record = self._objects.get(ref.address)
+        elif isinstance(ref, ArrayRef):
+            record = self._arrays.get(ref.address)
+        elif isinstance(ref, ViewRef):
+            record = self._arrays.get(ref.array.address)
+        else:
+            return None
+        return record.alloc_site if record is not None else None
 
     # ------------------------------------------------------------------
     # Array access.

@@ -71,11 +71,22 @@ class Interpreter:
         cache_config: CacheConfig | None = None,
         max_steps: int = 500_000_000,
         tracer=NULL_TRACER,
+        attribute_locality: bool = False,
+        locality_bucket_lines: int = 64,
     ) -> None:
         self.program = program
         self.heap = Heap()
         self.cache = CacheSimulator(cache_config)
-        self.stats = ExecutionStats(cache=self.cache.stats)
+        # Attribution is observation-only and off by default: when
+        # ``_locality`` is None every accessor takes the exact pre-existing
+        # call path, and the simulated counters are bit-identical either
+        # way (differentially tested in tests/test_locality.py).
+        self._locality = (
+            self.cache.enable_attribution(locality_bucket_lines)
+            if attribute_locality
+            else None
+        )
+        self.stats = ExecutionStats(cache=self.cache.stats, locality=self._locality)
         self.globals: dict[str, Value] = {name: None for name in program.global_names}
         self.output: list[str] = []
         self._max_steps = max_steps
@@ -110,6 +121,10 @@ class Interpreter:
             for key, value in summary.items():
                 if isinstance(value, int):  # ratios stay event-only
                     self.tracer.count(f"run.{key}", value)
+            if self._locality is not None:
+                # Bounded breakdowns: top-K labels/buckets + truncation count.
+                self.tracer.event("run.locality", **self._locality.label_summary())
+                self.tracer.event("run.heatmap", **self._locality.heatmap_summary())
         return RunResult(
             output=self.output,
             stats=self.stats,
@@ -287,6 +302,13 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Heap operations.
 
+    @staticmethod
+    def _site(loc: SourceLocation | None) -> str:
+        """Attribution label for an allocation site (``file:line``)."""
+        if loc is None or not loc.line:
+            return "<synthetic>"
+        return f"{loc.filename}:{loc.line}"
+
     def _new_object(
         self,
         class_name: str,
@@ -299,7 +321,8 @@ class Interpreter:
         if cls is None:
             raise ReproRuntimeError(f"unknown class {class_name!r}", loc)
         layout = tuple(self.program.layout(class_name))
-        ref = self.heap.alloc_object(class_name, layout, on_stack)
+        site = self._site(loc) if self._locality is not None else None
+        ref = self.heap.alloc_object(class_name, layout, on_stack, alloc_site=site)
         if on_stack:
             # Proven non-escaping by assignment specialization: charged as a
             # stack allocation; the (hot) stack lines are not simulated.
@@ -308,7 +331,15 @@ class Interpreter:
             self.stats.allocations += 1
             self.stats.allocated_slots += len(layout) + 1  # +1 for the header
             self.stats.allocated_bytes += 8 + len(layout) * 8
-            self.cache.touch_range(ref.address, 8 + len(layout) * 8, is_write=True)
+            if self._locality is None:
+                self.cache.touch_range(ref.address, 8 + len(layout) * 8, is_write=True)
+            else:
+                self.cache.touch_range(
+                    ref.address,
+                    8 + len(layout) * 8,
+                    is_write=True,
+                    label=("alloc", class_name, None, site),
+                )
 
         if skip_init:
             return ref
@@ -340,12 +371,24 @@ class Interpreter:
             if inline_layout not in self.program.classes:
                 raise ReproRuntimeError(f"unknown inline class {inline_layout!r}", loc)
             inline_fields = tuple(self.program.layout(inline_layout))
-        ref = self.heap.alloc_array(size, inline_layout, inline_fields, parallel)
+        site = self._site(loc) if self._locality is not None else None
+        ref = self.heap.alloc_array(
+            size, inline_layout, inline_fields, parallel, alloc_site=site
+        )
         slots = size * (len(inline_fields) if inline_layout else 1)
         self.stats.allocations += 1
         self.stats.allocated_slots += slots + 2  # +2 for the array header
         self.stats.allocated_bytes += 16 + slots * 8
-        self.cache.touch_range(ref.address, 16 + slots * 8, is_write=True)
+        if self._locality is None:
+            self.cache.touch_range(ref.address, 16 + slots * 8, is_write=True)
+        else:
+            class_label = f"{inline_layout}[]" if inline_layout else "<array>"
+            self.cache.touch_range(
+                ref.address,
+                16 + slots * 8,
+                is_write=True,
+                label=("alloc", class_label, None, site),
+            )
         return ref
 
     def _make_view(
@@ -368,17 +411,26 @@ class Interpreter:
         try:
             if isinstance(obj, ObjectRef):
                 value, address = self.heap.read_field(obj, field_name)
+                kind = "field"
             elif isinstance(obj, ViewRef):
                 value, address = self.heap.read_inline_field(
                     obj.array, obj.index, field_name
                 )
+                kind = "inline_field"
             else:
                 raise ReproRuntimeError(
                     f"field access .{field_name} on non-object {format_value(obj)}", loc
                 )
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=False)
+        if self._locality is None:
+            self.cache.access(address, is_write=False)
+        else:
+            self.cache.access(
+                address,
+                False,
+                (kind, obj.class_name, field_name, self.heap.site_of(obj)),
+            )
         return value
 
     def _set_field(
@@ -388,17 +440,26 @@ class Interpreter:
         try:
             if isinstance(obj, ObjectRef):
                 address = self.heap.write_field(obj, field_name, value)
+                kind = "field"
             elif isinstance(obj, ViewRef):
                 address = self.heap.write_inline_field(
                     obj.array, obj.index, field_name, value
                 )
+                kind = "inline_field"
             else:
                 raise ReproRuntimeError(
                     f"field store .{field_name} on non-object {format_value(obj)}", loc
                 )
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=True)
+        if self._locality is None:
+            self.cache.access(address, is_write=True)
+        else:
+            self.cache.access(
+                address,
+                True,
+                (kind, obj.class_name, field_name, self.heap.site_of(obj)),
+            )
 
     def _get_field_indexed(
         self, obj: Value, base_field: str, length: int, index: Value, loc: SourceLocation
@@ -412,7 +473,14 @@ class Interpreter:
             value, address = self.heap.read_field_indexed(obj, base_field, length, index)
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=False)
+        if self._locality is None:
+            self.cache.access(address, is_write=False)
+        else:
+            self.cache.access(
+                address,
+                False,
+                ("field", obj.class_name, base_field, self.heap.site_of(obj)),
+            )
         return value
 
     def _set_field_indexed(
@@ -433,7 +501,14 @@ class Interpreter:
             address = self.heap.write_field_indexed(obj, base_field, length, index, value)
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=True)
+        if self._locality is None:
+            self.cache.access(address, is_write=True)
+        else:
+            self.cache.access(
+                address,
+                True,
+                ("field", obj.class_name, base_field, self.heap.site_of(obj)),
+            )
 
     def _get_index(self, array: Value, index: Value, loc: SourceLocation) -> Value:
         if not isinstance(array, ArrayRef):
@@ -443,7 +518,12 @@ class Interpreter:
             value, address = self.heap.read_element(array, index)
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=False)
+        if self._locality is None:
+            self.cache.access(address, is_write=False)
+        else:
+            self.cache.access(
+                address, False, ("element", "<array>", None, self.heap.site_of(array))
+            )
         return value
 
     def _set_index(
@@ -456,7 +536,12 @@ class Interpreter:
             address = self.heap.write_element(array, index, value)
         except HeapError as exc:
             raise ReproRuntimeError(str(exc), loc) from exc
-        self.cache.access(address, is_write=True)
+        if self._locality is None:
+            self.cache.access(address, is_write=True)
+        else:
+            self.cache.access(
+                address, True, ("element", "<array>", None, self.heap.site_of(array))
+            )
 
     # ------------------------------------------------------------------
     # Calls.
@@ -585,12 +670,25 @@ def run_program(
     cache_config: CacheConfig | None = None,
     max_steps: int = 500_000_000,
     tracer=NULL_TRACER,
+    attribute_locality: bool = False,
+    locality_bucket_lines: int = 64,
 ) -> RunResult:
     """Convenience wrapper: interpret ``program`` from ``main``.
 
     ``tracer`` receives a ``run`` span plus the VM statistics as a
     ``run.stats`` event and ``run.*`` counters when the run completes.
+    With ``attribute_locality=True`` every heap access is additionally
+    attributed to a ``(kind, class, field, alloc_site)`` label and an
+    address bucket, surfaced as ``run.locality`` / ``run.heatmap`` events
+    and on ``RunResult.stats.locality``.
     """
-    interpreter = Interpreter(program, cache_config, max_steps, tracer)
+    interpreter = Interpreter(
+        program,
+        cache_config,
+        max_steps,
+        tracer,
+        attribute_locality=attribute_locality,
+        locality_bucket_lines=locality_bucket_lines,
+    )
     with tracer.span("run"):
         return interpreter.run()

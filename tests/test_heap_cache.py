@@ -203,12 +203,77 @@ class TestCacheBehavior:
         cache.flush()
         assert cache.access(0x1000) is False
 
+    def test_flush_keeps_statistics(self):
+        # flush() is a cold-cache boundary, not a counter reset: a
+        # warmup -> measurement transition wants cumulative stats.
+        cache = CacheSimulator()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.stats.reads == 2
+        assert cache.stats.read_misses == 1
+
+    def test_reset_stats_zeroes_in_place(self):
+        cache = CacheSimulator()
+        stats = cache.stats  # the alias ExecutionStats.cache would hold
+        cache.access(0x1000, is_write=True)
+        cache.access(0x2000)
+        cache.reset_stats()
+        assert cache.stats is stats  # never replaced, only zeroed
+        assert stats.accesses == 0 and stats.misses == 0
+        # Contents survive a stats reset: the line is still warm.
+        assert cache.access(0x1000) is True
+        assert stats.reads == 1 and stats.read_misses == 0
+
+    def test_reset_stats_clears_attribution(self):
+        cache = CacheSimulator()
+        recorder = cache.enable_attribution()
+        cache.access(0x1000, label=("field", "P", "x", None))
+        assert recorder.by_label
+        cache.reset_stats()
+        assert cache.locality is recorder  # recorder kept, data cleared
+        assert not recorder.by_label
+        assert not recorder.bucket_accesses
+
     def test_miss_rate(self):
         cache = CacheSimulator()
         cache.access(0)
         cache.access(0)
         assert cache.stats.miss_rate == 0.5
         assert CacheSimulator().stats.miss_rate == 0.0
+
+    def test_touch_range_zero_size_touches_nothing(self):
+        cache = CacheSimulator()
+        assert cache.touch_range(0x4000, 0) == 0
+        assert cache.touch_range(0x4000, -8) == 0
+        assert cache.stats.accesses == 0
+
+    def test_touch_range_smaller_than_line(self):
+        cache = CacheSimulator()  # 32-byte lines
+        assert cache.touch_range(0x4000, 1) == 1
+        assert cache.stats.accesses == 1
+        # Any other byte of the same line is now warm.
+        assert cache.touch_range(0x4000 + 31, 1) == 0
+
+    def test_touch_range_unaligned_start_crosses_boundary(self):
+        cache = CacheSimulator()
+        # 8 bytes starting 4 bytes before a line boundary: exactly the
+        # two straddled lines are touched, both cold.
+        assert cache.touch_range(32 * 100 - 4, 8) == 2
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 2
+        # Re-touching the same span is all hits.
+        assert cache.touch_range(32 * 100 - 4, 8) == 0
+        assert cache.stats.misses == 2
+
+    def test_touch_range_exact_line_counts(self):
+        cache = CacheSimulator()
+        # [0x4000, 0x4064): bytes 0..99 from an aligned start = 4 lines.
+        assert cache.touch_range(0x4000, 100) == 4
+        assert cache.stats.accesses == 4
+        # One trailing byte into line 4 -> exactly one new line.
+        assert cache.touch_range(0x4000, 129) == 1
+        assert cache.stats.accesses == 9
 
     def test_sequential_scan_larger_than_cache_always_misses(self):
         config = CacheConfig(size_bytes=1024, line_bytes=32, associativity=2)

@@ -1,0 +1,319 @@
+"""Locality attribution: per-label cache accounting, heatmap events,
+the ``repro heatmap`` CLI, and the bench-harness threading.
+
+The differential tests are the backbone: attribution is observation-only,
+so every figure-visible quantity (output, cycles, aggregate cache stats)
+must be bit-identical with it on or off, serial or parallel.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.harness import BUILDS, _run_matrix, run_benchmark
+from repro.bench.metadata import BenchmarkInfo
+from repro.bench.report import _locality_section
+from repro.ir import compile_source
+from repro.obs import (
+    MemorySink,
+    Tracer,
+    collect_locality,
+    label_display_name,
+    locality_from_file,
+    misses_by_field,
+    render_heatmap,
+    render_locality_diff,
+    report_from_stats,
+)
+from repro.runtime import run_program
+from repro.runtime.cache import DEFAULT_TOP_K, CacheSimulator, LocalityStats
+
+#: A shrunken OOPACK: arrays of Complex objects vs inline arrays — the
+#: paper's locality showcase, small enough for unit tests.
+MINI_OOPACK = """
+class Complex {
+  var re;
+  var im;
+  def init(r, i) { this.re = r; this.im = i; }
+  def norm() { return this.re * this.re + this.im * this.im; }
+}
+var N = 64;
+def make(n, bias) {
+  var a = inline_array(n);
+  for (var i = 0; i < n; i = i + 1) {
+    a[i] = new Complex(float(i) * 0.5 + bias, float(i) - bias);
+  }
+  return a;
+}
+def main() {
+  var a = make(N, 0.5);
+  var b = make(N, -0.25);
+  var total = 0.0;
+  for (var i = 0; i < n_of(a); i = i + 1) {
+    total = total + a[i].re * b[i].re + a[i].im * b[i].im;
+  }
+  print(total);
+}
+def n_of(a) { return N; }
+"""
+
+
+def _run(source: str, **kwargs):
+    return run_program(compile_source(source), **kwargs)
+
+
+class TestAttributionRecording:
+    def test_labels_and_sites_recorded(self):
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        locality = result.stats.locality
+        assert locality is not None
+        kinds = {label[0] for label in locality.by_label}
+        assert "field" in kinds and "alloc" in kinds
+        field_classes = {
+            label[1] for label in locality.by_label if label[0] == "field"
+        }
+        assert "Complex" in field_classes
+        sites = {label[3] for label in locality.by_label if label[0] == "alloc"}
+        assert any(site and ":" in site for site in sites)
+
+    def test_every_miss_is_attributed(self):
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        locality = result.stats.locality
+        assert locality.attributed_misses == result.stats.cache.misses
+        total_accesses = sum(s.accesses for s in locality.by_label.values())
+        assert total_accesses == result.stats.cache.accesses
+
+    def test_off_by_default(self):
+        result = _run(MINI_OOPACK)
+        assert result.stats.locality is None
+
+    def test_summary_gains_locality_scalars_only_when_on(self):
+        on = _run(MINI_OOPACK, attribute_locality=True).stats.summary()
+        off = _run(MINI_OOPACK).stats.summary()
+        assert "locality_labels" in on and "locality_attributed_misses" in on
+        assert "locality_labels" not in off
+
+    def test_unlabeled_access_falls_back(self):
+        cache = CacheSimulator()
+        cache.enable_attribution()
+        cache.access(0x1000)
+        assert ("other", None, None, None) in cache.locality.by_label
+
+
+class TestDifferential:
+    """Attribution on vs off: all figure-visible quantities identical."""
+
+    def test_cycles_output_and_cache_identical(self):
+        on = _run(MINI_OOPACK, attribute_locality=True)
+        off = _run(MINI_OOPACK)
+        assert on.output == off.output
+        assert on.stats.cycles() == off.stats.cycles()
+        assert on.stats.cache.misses == off.stats.cache.misses
+        assert on.stats.cache.accesses == off.stats.cache.accesses
+        assert on.stats.instructions == off.stats.instructions
+
+    def test_trace_identical_except_locality_keys(self):
+        def events_of(**kwargs):
+            sink = MemorySink()
+            _run(MINI_OOPACK, tracer=Tracer(sink), **kwargs)
+            return sink.events
+
+        on = events_of(attribute_locality=True)
+        off = events_of()
+        names_on = [e.get("name") for e in on if e.get("ev") == "event"]
+        names_off = [e.get("name") for e in off if e.get("ev") == "event"]
+        assert "run.locality" in names_on and "run.heatmap" in names_on
+        assert "run.locality" not in names_off
+        stats_on = next(
+            e["data"] for e in on
+            if e.get("ev") == "event" and e.get("name") == "run.stats"
+        )
+        stats_off = next(
+            e["data"] for e in off
+            if e.get("ev") == "event" and e.get("name") == "run.stats"
+        )
+        for key, value in stats_off.items():
+            assert stats_on[key] == value
+
+
+class TestBoundedEvents:
+    def test_label_summary_is_bounded(self):
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        summary = result.stats.locality.label_summary(top_k=3)
+        assert len(summary["labels"]) <= 3
+        assert summary["total_labels"] == len(result.stats.locality.by_label)
+        assert summary["truncated"] == summary["total_labels"] - 3
+
+    def test_heatmap_summary_is_bounded_and_totals_full(self):
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        locality = result.stats.locality
+        summary = locality.heatmap_summary(top_k=2)
+        assert len(summary["buckets"]) <= 2
+        # Totals always cover the untruncated data.
+        assert summary["total_misses"] == locality.attributed_misses
+        assert summary["truncated"] == max(0, len(locality.bucket_misses) - 2)
+
+    def test_default_bound_applies_to_trace_events(self):
+        sink = MemorySink()
+        _run(MINI_OOPACK, tracer=Tracer(sink), attribute_locality=True)
+        payload = next(
+            e["data"] for e in sink.events
+            if e.get("ev") == "event" and e.get("name") == "run.locality"
+        )
+        assert len(payload["labels"]) <= DEFAULT_TOP_K
+        assert "truncated" in payload
+
+    def test_bucket_lines_validation(self):
+        from repro.runtime.cache import CacheConfig
+
+        with pytest.raises(ValueError):
+            LocalityStats(CacheConfig(), bucket_lines=0)
+
+
+class TestDisplayNames:
+    def test_field_kinds_collapse(self):
+        assert label_display_name("field", "Complex", "re") == "Complex.re"
+        assert label_display_name("inline_field", "Complex@elem1", "re") == "Complex.re"
+        assert label_display_name("element", "<array>", None) == "<array>[]"
+        assert label_display_name("alloc", "Complex", None) == "new Complex"
+        assert label_display_name("alloc", "Complex@elem1[]", None) == "new Complex[]"
+
+    def test_report_round_trip_from_stats(self):
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        report = report_from_stats(result.stats.locality)
+        assert report.has_data
+        assert report.total_misses == result.stats.locality.attributed_misses
+        assert "Complex.re" in misses_by_field(report) or "Complex.re" in report.labels
+
+
+class TestHeatmapCLI:
+    @pytest.fixture()
+    def oopack_traces(self, tmp_path):
+        """uniform + inline locality traces of the real OOPACK program."""
+        from repro.bench.programs import oopack
+        from repro.cli import main
+
+        src = tmp_path / "oopack.icc"
+        src.write_text(oopack.SOURCE)
+        traces = {}
+        for build in ("noinline", "inline"):
+            trace = str(tmp_path / f"{build}.jsonl")
+            assert main(
+                ["run", str(src), f"--{build}", "--locality", "--trace", trace]
+            ) == 0
+            traces[build] = trace
+        return traces
+
+    def test_single_trace_renders_heatmap(self, oopack_traces, capsys):
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(["heatmap", oopack_traces["noinline"]]) == 0
+        out = capsys.readouterr().out
+        assert "address-space heatmap" in out
+        assert "Complex.re" in out
+
+    def test_diff_names_field_whose_misses_drop(self, oopack_traces, capsys):
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(
+            ["heatmap", oopack_traces["noinline"], oopack_traces["inline"]]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "locality diff" in out
+        # The acceptance bar: a (class, field) whose misses inlining cut.
+        assert "fields with fewer misses" in out
+        assert "Complex.re" in out.split("fields with fewer misses")[1]
+        before = locality_from_file(oopack_traces["noinline"])
+        after = locality_from_file(oopack_traces["inline"])
+        assert misses_by_field(after)["Complex.re"] < misses_by_field(before)["Complex.re"]
+
+    def test_exits_zero_on_locality_free_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "plain.jsonl"
+        trace.write_text('{"ev": "event", "name": "decision", "data": {}}\n')
+        assert main(["heatmap", str(trace)]) == 0
+        assert "no locality data" in capsys.readouterr().out
+
+    def test_rejects_more_than_two_traces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("")
+        assert main(["heatmap", str(trace), str(trace), str(trace)]) == 2
+
+    def test_run_locality_flag_prints_heatmap(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "mini.icc"
+        src.write_text(MINI_OOPACK)
+        assert main(["run", str(src), "--noinline", "--locality"]) == 0
+        err = capsys.readouterr().err
+        assert "address-space heatmap" in err
+
+
+TINY_SPECS = {
+    "tiny-loc": (
+        MINI_OOPACK,
+        BenchmarkInfo(name="tiny-loc", description="mini oopack", ideal_inlinable=1),
+    ),
+}
+
+
+class TestHarnessThreading:
+    @pytest.fixture(scope="class")
+    def serial_run(self):
+        source, info = TINY_SPECS["tiny-loc"]
+        return run_benchmark("tiny-loc", source, info, locality=True)
+
+    def test_build_results_carry_locality(self, serial_run):
+        for build in BUILDS:
+            locality = serial_run.builds[build].locality
+            assert locality is not None
+            assert set(locality) == {"labels", "heatmap"}
+            assert locality["labels"]["labels"]
+
+    def test_locality_off_leaves_field_none(self):
+        source, info = TINY_SPECS["tiny-loc"]
+        run = run_benchmark("tiny-loc", source, info)
+        assert all(r.locality is None for r in run.builds.values())
+
+    def test_parallel_matches_serial(self, serial_run):
+        runs = _run_matrix(TINY_SPECS, BUILDS, jobs=2, locality=True)
+        parallel = runs["tiny-loc"]
+        for build in BUILDS:
+            par, ser = parallel.builds[build], serial_run.builds[build]
+            assert par.locality == ser.locality
+            assert par.cycles == ser.cycles
+
+    def test_locality_summaries_pickle(self, serial_run):
+        result = serial_run.builds["inline"]
+        clone = pickle.loads(pickle.dumps(result.locality))
+        assert clone == result.locality
+
+    def test_worker_shards_carry_locality_events(self):
+        sink = MemorySink()
+        _run_matrix(TINY_SPECS, BUILDS, jobs=2, locality=True, tracer=Tracer(sink))
+        report = collect_locality(sink.events)
+        assert report.runs == len(BUILDS)
+        assert report.has_data
+
+    def test_report_section_names_improved_field(self, serial_run):
+        section = _locality_section({"tiny-loc": serial_run})
+        assert "| benchmark |" in section
+        assert "tiny-loc" in section
+
+
+class TestRenderers:
+    def test_render_heatmap_without_data(self):
+        report = collect_locality([])
+        assert "no locality data" in render_heatmap(report)
+
+    def test_render_diff_requires_both_sides(self):
+        empty = collect_locality([])
+        result = _run(MINI_OOPACK, attribute_locality=True)
+        full = report_from_stats(result.stats.locality)
+        text = render_locality_diff(empty, full, names=("u", "i"))
+        assert "no locality data in u" in text

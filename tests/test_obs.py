@@ -260,6 +260,77 @@ class TestTraceSummaryRender:
         assert "[purity]" in text
         assert "analysis.worklist_steps" in text
 
+    def test_single_run_stats_render_as_block_with_ratios(self):
+        events = [
+            {
+                "ev": "event",
+                "name": "run.stats",
+                "data": {"instructions": 1000, "cache_miss_rate": 0.251234, "cycles": 9000},
+            }
+        ]
+        summary = summarize_events(events)
+        assert summary.run_stats == [events[0]["data"]]
+        text = render_summary(summary)
+        assert "runtime stats:" in text
+        # Float ratios survive — the integer counter table can't carry them.
+        assert "cache_miss_rate" in text and "0.251234" in text
+
+    def test_multiple_run_stats_render_as_table(self):
+        events = [
+            {
+                "ev": "event",
+                "name": "run.stats",
+                "data": {"instructions": n, "cache_miss_rate": 0.5, "cycles": n * 3},
+            }
+            for n in (100, 200)
+        ]
+        text = render_summary(summarize_events(events))
+        assert "runtime stats (2 runs):" in text
+        assert "100" in text and "200" in text
+
+    def test_locality_events_render_brief_digest(self):
+        events = [
+            {
+                "ev": "event",
+                "name": "run.locality",
+                "data": {
+                    "labels": [
+                        {
+                            "kind": "field", "class": "C", "field": "f",
+                            "site": "x.icc:3", "reads": 8, "writes": 0,
+                            "misses": 5, "accesses": 8, "miss_rate": 0.625,
+                        }
+                    ],
+                    "total_labels": 1,
+                    "truncated": 0,
+                },
+            },
+            {
+                "ev": "event",
+                "name": "run.heatmap",
+                "data": {
+                    "bucket_bytes": 2048, "buckets": [], "total_buckets": 4,
+                    "truncated": 0, "total_misses": 5, "total_accesses": 8,
+                },
+            },
+        ]
+        summary = summarize_events(events)
+        assert summary.localities and summary.heatmaps
+        text = render_summary(summary)
+        assert "locality:" in text
+        assert "C.f" in text
+        assert "repro heatmap" in text
+
+    def test_merge_concatenates_run_stats_and_locality(self):
+        a = summarize_events(
+            [{"ev": "event", "name": "run.stats", "data": {"cycles": 1}}]
+        )
+        b = summarize_events(
+            [{"ev": "event", "name": "run.stats", "data": {"cycles": 2}}]
+        )
+        a.merge(b)
+        assert [s["cycles"] for s in a.run_stats] == [1, 2]
+
 
 class TestTracerMerge:
     def _worker_tracer(self, clock, spans=2, events=1):

@@ -217,7 +217,7 @@ class TestCLIBaselineFlags:
         state = {"runs": _stub_runs()}
         monkeypatch.setattr(
             "repro.cli.run_performance_suite",
-            lambda tracer=None, jobs=1: state["runs"],
+            lambda tracer=None, jobs=1, locality=False: state["runs"],
         )
         return state
 

@@ -77,6 +77,20 @@ def load_baseline(path: str) -> dict:
         return json.load(handle)
 
 
+def phase_gate(baseline: dict, expected: float) -> tuple[float, float]:
+    """``(gate, noise_floor)`` for one phase under ``baseline``'s knobs.
+
+    A phase regresses when its measured time exceeds *both*.  Exposed so
+    the perf-history check (:mod:`repro.obs.history`) can apply the
+    identical single-sample rule as its compatibility fallback while the
+    ledger is still too thin for statistics.
+    """
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    min_seconds = float(baseline.get("min_seconds", MIN_SECONDS))
+    noise_floor = float(baseline.get("noise_floor", NOISE_FLOOR_SECONDS))
+    return max(float(expected), min_seconds) * (1.0 + tolerance), noise_floor
+
+
 def check_baseline(runs: dict, baseline: dict) -> list[str]:
     """Compare a fresh run against a loaded baseline.
 

@@ -6,8 +6,12 @@ Usage::
     repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
     repro codegen PROGRAM.icc [--optimized]
-    repro bench --figure {14,15,16,17,all} [--jobs N] [--trace FILE] [--locality]
+    repro bench --figure {14,15,16,17,all} [--jobs N] [--repeat N] [--trace FILE] [--locality]
+    repro bench --check [--repeat N] [--history FILE] [--baseline FILE]
     repro bench --check-baseline | --update-baseline [--baseline FILE] [--jobs N]
+    repro perf record | list | diff REV1 REV2 | trend METRIC [--history FILE]
+    repro export chrome TRACE [-o FILE]
+    repro export flame TRACE [-o FILE]
     repro trace FILE [FILE ...]
     repro heatmap TRACE [TRACE2]
 
@@ -25,6 +29,13 @@ FILE`` summarizes such a file into per-phase time and counter tables.
 misses a layout change eliminated.  See docs/OBSERVABILITY.md for the
 event schema.
 
+Performance history: ``repro bench`` (and ``repro perf record``) append
+each measured run to the ``PERF_HISTORY.jsonl`` ledger; ``repro bench
+--check`` issues statistical pass/regressed/improved verdicts against
+the ledger's recent window; ``repro perf list/diff/trend`` browse it.
+``repro export chrome|flame`` converts a span trace for Perfetto or
+speedscope/flamegraph.pl.
+
 (also runnable as ``python -m repro.cli ...``)
 """
 
@@ -41,20 +52,33 @@ from .bench.baseline import (
     load_baseline,
     write_baseline,
 )
-from .bench.harness import run_all, run_performance_suite
+from .bench.harness import run_all, run_performance_suite, run_suite_samples
 from .codegen import generate
 from .ir import format_program
 from .obs import (
     NULL_TRACER,
+    append_entry,
+    check_entry,
+    environment,
+    export_chrome_file,
+    export_collapsed_file,
+    load_history,
     locality_from_file,
+    make_entry,
+    render_entry_diff,
     render_file,
     render_heatmap,
+    render_history_list,
     render_locality_diff,
     render_summary,
+    render_trend,
+    render_verdicts,
     report_from_stats,
+    resolve_rev,
     summarize_files,
     tracer_to_file,
 )
+from .obs.history import DEFAULT_HISTORY_PATH
 from .session import Session
 
 
@@ -235,11 +259,46 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _measure_suite_entry(args: argparse.Namespace, tracer, jobs: int):
+    """Run the Figure-17 suite ``--repeat`` times; (samples, ledger entry)."""
+    samples = run_suite_samples(
+        repeat=args.repeat, jobs=jobs, tracer=tracer, locality=args.locality
+    )
+    entry = make_entry(
+        samples.ledger_benchmarks(),
+        samples.ledger_config(),
+        environment(jobs=jobs),
+        repeat=args.repeat,
+        note=getattr(args, "note", None),
+    )
+    return samples, entry
+
+
+def _record_entry(args: argparse.Namespace, entry: dict, history: list[dict]) -> None:
+    append_entry(args.history, entry)
+    print(f"recorded ledger entry #{len(history)} in {args.history}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     jobs = max(1, args.jobs)
     locality = args.locality
     try:
+        if args.check:
+            # Statistical gate: verdicts from the ledger's recent window,
+            # falling back to the single-sample baseline where history is
+            # too thin (fresh clones stay protected).
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, json.JSONDecodeError):
+                baseline = None
+            samples, entry = _measure_suite_entry(args, tracer, jobs)
+            history = load_history(args.history)
+            verdicts = check_entry(entry, history, baseline=baseline)
+            print(render_verdicts(verdicts))
+            if not args.no_record:
+                _record_entry(args, entry, history)
+            return 1 if any(v.failed for v in verdicts) else 0
         if args.check_baseline or args.update_baseline:
             # The gate only compares compile-phase timings, so locality
             # attribution (a run-time feature) cannot perturb the verdict;
@@ -268,37 +327,101 @@ def cmd_bench(args: argparse.Namespace) -> int:
             runs = run_all(tracer=tracer, jobs=jobs, locality=locality)
             figure = getattr(bench_figures, f"figure{wanted}")(runs)
             print(figure.render())
-        elif wanted == "17":
-            print(
-                bench_figures.figure17(
-                    run_performance_suite(tracer=tracer, jobs=jobs, locality=locality)
-                ).render()
-            )
         else:
-            runs = run_all(tracer=tracer, jobs=jobs, locality=locality)
-            performance = run_performance_suite(
-                tracer=tracer, jobs=jobs, locality=locality
-            )
-            for figure in (
-                bench_figures.figure14(runs),
-                bench_figures.figure15(runs),
-                bench_figures.figure16(runs),
-                bench_figures.figure17(performance),
-            ):
-                print(figure.render())
-                print()
+            # Figure 17 (alone or in "all") measures the performance
+            # suite through the repeat/sample path, so every such bench
+            # run also lands one entry in the perf-history ledger.
+            samples, entry = _measure_suite_entry(args, tracer, jobs)
+            if wanted == "all":
+                runs = run_all(tracer=tracer, jobs=jobs, locality=locality)
+                for figure in (
+                    bench_figures.figure14(runs),
+                    bench_figures.figure15(runs),
+                    bench_figures.figure16(runs),
+                ):
+                    print(figure.render())
+                    print()
+            print(bench_figures.figure17(samples.runs).render())
+            if not args.no_record:
+                _record_entry(args, entry, load_history(args.history))
         return 0
     finally:
         tracer.close()
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """The ``repro perf`` verb group: record / list / diff / trend."""
+    if args.perf_command == "record":
+        tracer = _make_tracer(args)
+        try:
+            _, entry = _measure_suite_entry(args, tracer, max(1, args.jobs))
+        finally:
+            tracer.close()
+        history = load_history(args.history)
+        _record_entry(args, entry, history)
+        verdicts = check_entry(entry, history)
+        print(render_verdicts(verdicts))
+        return 0
+    entries = load_history(args.history)
+    if args.perf_command == "list":
+        print(render_history_list(entries, limit=args.limit))
+        return 0
+    if args.perf_command == "diff":
+        try:
+            base = resolve_rev(entries, args.base)
+            diff = resolve_rev(entries, args.diff)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(render_entry_diff(base, diff))
+        return 0
+    if args.perf_command == "trend":
+        print(render_trend(entries, args.metric, build=args.build, last=args.last))
+        return 0
+    raise AssertionError(f"unknown perf command {args.perf_command!r}")
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Convert a span JSONL trace for Perfetto or speedscope."""
+    if args.export_format == "chrome":
+        out = args.output or f"{args.file}.chrome.json"
+        exporter, what = export_chrome_file, "trace event(s)"
+    else:
+        out = args.output or f"{args.file}.collapsed.txt"
+        exporter, what = export_collapsed_file, "stack(s)"
+    try:
+        count = exporter(args.file, out)
+    except OSError as error:
+        print(f"error: cannot export {args.file}: {error}", file=sys.stderr)
+        return 1
+    print(f"wrote {count} {what} to {out}")
+    if count == 0:
+        print(
+            f"note: no span events found in {args.file} "
+            "(was it recorded with --trace?)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        summary = summarize_files(args.file)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 1
+    if not summary.phases and not summary.events and not summary.counters:
+        name = args.file[0] if len(args.file) == 1 else f"{len(args.file)} files"
+        print(
+            f"no trace data in {name} (no span/counter/decision events; "
+            "record with --trace FILE)"
+        )
+        return 0
     if len(args.file) == 1:
         print(render_file(args.file[0], top_counters=args.counters))
     else:
         # Several files (e.g. one per bench worker) render as one merged
         # summary; totals are additive across shards.
-        summary = summarize_files(args.file)
         print(render_summary(summary, top_counters=args.counters))
     return 0
 
@@ -307,11 +430,15 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
     if len(args.file) > 2:
         print("heatmap takes one trace or a before/after pair", file=sys.stderr)
         return 2
-    if len(args.file) == 1:
-        print(render_heatmap(locality_from_file(args.file[0]), top=args.top))
-        return 0
-    before = locality_from_file(args.file[0])
-    after = locality_from_file(args.file[1])
+    try:
+        if len(args.file) == 1:
+            print(render_heatmap(locality_from_file(args.file[0]), top=args.top))
+            return 0
+        before = locality_from_file(args.file[0])
+        after = locality_from_file(args.file[1])
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 1
     print(
         render_locality_diff(
             before, after, top=args.top, names=(args.file[0], args.file[1])
@@ -391,8 +518,114 @@ def main(argv: list[str] | None = None) -> int:
         help="run benchmarks with cache-miss attribution; per-build "
         "locality rides along in the trace and the markdown report",
     )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="measure the performance suite N times (cold each time) and "
+        "record all samples in the perf-history ledger (default 1)",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help="statistical regression check: verdicts vs the perf-history "
+        "ledger's recent window (median + MAD), with BENCH_BASELINE.json "
+        "as fallback while history is thin",
+    )
+    bench_parser.add_argument(
+        "--history", metavar="FILE", default=DEFAULT_HISTORY_PATH,
+        help=f"perf-history ledger (default {DEFAULT_HISTORY_PATH})",
+    )
+    bench_parser.add_argument(
+        "--no-record", action="store_true",
+        help="do not append this run to the perf-history ledger",
+    )
+    bench_parser.add_argument(
+        "--note", metavar="TEXT", help="free-form note stored on the ledger entry"
+    )
     _add_trace_flag(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
+
+    perf_parser = sub.add_parser(
+        "perf", help="record, browse, and compare perf-history ledger entries"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    def _add_history_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--history", metavar="FILE", default=DEFAULT_HISTORY_PATH,
+            help=f"perf-history ledger (default {DEFAULT_HISTORY_PATH})",
+        )
+
+    record_parser = perf_sub.add_parser(
+        "record", help="measure the performance suite and append a ledger entry"
+    )
+    record_parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                               help="samples per phase (default 3)")
+    record_parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    record_parser.add_argument("--locality", action="store_true",
+                               help="also record locality totals")
+    record_parser.add_argument("--note", metavar="TEXT",
+                               help="free-form note stored on the entry")
+    _add_history_flag(record_parser)
+    _add_trace_flag(record_parser)
+    record_parser.set_defaults(func=cmd_perf)
+
+    list_parser = perf_sub.add_parser("list", help="list recorded runs")
+    list_parser.add_argument("--limit", type=int, default=20, metavar="N")
+    _add_history_flag(list_parser)
+    list_parser.set_defaults(func=cmd_perf)
+
+    diff_parser = perf_sub.add_parser(
+        "diff", help="jitdiff-style comparison of two recorded runs"
+    )
+    diff_parser.add_argument(
+        "base", help="ledger index (0, -1, ...) or git-revision prefix"
+    )
+    diff_parser.add_argument(
+        "diff", help="ledger index (0, -1, ...) or git-revision prefix"
+    )
+    _add_history_flag(diff_parser)
+    diff_parser.set_defaults(func=cmd_perf)
+
+    trend_parser = perf_sub.add_parser(
+        "trend", help="ASCII sparkline of a metric across the ledger"
+    )
+    trend_parser.add_argument(
+        "metric",
+        help="`cycles`, a phase name (`analyze`, `opt.dce`, ...), "
+        "`optimize_seconds`, or `run_seconds`",
+    )
+    trend_parser.add_argument(
+        "--build", default="inline", help="build to plot (default inline)"
+    )
+    trend_parser.add_argument("--last", type=int, default=40, metavar="N",
+                              help="plot the last N entries (default 40)")
+    _add_history_flag(trend_parser)
+    trend_parser.set_defaults(func=cmd_perf)
+
+    export_parser = sub.add_parser(
+        "export", help="convert a span trace for Perfetto or speedscope"
+    )
+    export_sub = export_parser.add_subparsers(dest="export_format", required=True)
+    chrome_parser = export_sub.add_parser(
+        "chrome",
+        help="Chrome trace-event JSON (load in ui.perfetto.dev); one "
+        "timeline lane per merged worker shard",
+    )
+    chrome_parser.add_argument("file", help="span JSONL trace (from --trace)")
+    chrome_parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="output path (default TRACE.chrome.json)",
+    )
+    chrome_parser.set_defaults(func=cmd_export)
+    flame_parser = export_sub.add_parser(
+        "flame",
+        help="collapsed stacks with self-time weights (speedscope / flamegraph.pl)",
+    )
+    flame_parser.add_argument("file", help="span JSONL trace (from --trace)")
+    flame_parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="output path (default TRACE.collapsed.txt)",
+    )
+    flame_parser.set_defaults(func=cmd_export)
 
     trace_parser = sub.add_parser("trace", help="summarize JSONL trace file(s)")
     trace_parser.add_argument(

@@ -640,6 +640,32 @@ class Transformer:
             source_name=callable_.source_name or callable_.name,
         )
 
+    def _array_elem_class(self, contour_id: int, uid: int) -> str | None:
+        """The single proven element class of an array allocation, if any.
+
+        Reads the analysis' ``@elem`` slot of the site's object contour.
+        Returns ``None`` unless the elements resolve to exactly one
+        non-array class with no primitive admixture — the annotation only
+        sharpens locality labels, so ambiguity simply keeps the generic
+        ``<array>`` label.
+        """
+        from ..analysis.tags import ELEM_FIELD
+
+        ocid = self.result.allocations.get(contour_id, {}).get(uid)
+        if ocid is None:
+            return None
+        value = self.result.slot_value((ocid, ELEM_FIELD))
+        contours = value.object_contours()
+        if not contours or value.prims() - {"nil"}:
+            return None
+        classes = {
+            self.result.object_contour(c).class_name for c in contours
+        }
+        if len(classes) != 1:
+            return None
+        elem = next(iter(classes))
+        return None if elem.startswith("@") else elem
+
     def _rewrite_instr(
         self,
         instr: ir.Instr,
@@ -650,6 +676,14 @@ class Transformer:
     ) -> list[ir.Instr]:
         loc = instr.loc
         if action is None:
+            if isinstance(instr, ir.NewArray) and instr.inline_layout is None:
+                elem = self._array_elem_class(contour_id, instr.uid)
+                if elem is not None:
+                    from dataclasses import replace
+
+                    return [
+                        replace(instr, uid=ir.fresh_uid(), elem_class=elem)
+                    ]
             return [_recopy(instr)]
 
         kind = action[0]

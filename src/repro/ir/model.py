@@ -186,6 +186,12 @@ class NewArray(Instr):
     #: programmer would have declared this an array of objects by value.
     #: Ignored by the uniform model; consumed by the manual baseline.
     declared_inline: bool = False
+    #: Element class when the analysis proved every element of this array
+    #: is one class (annotated by the transformation, never the parser).
+    #: Purely observational — it sharpens locality labels from the
+    #: generic ``<array>`` to ``Cls[]``; no execution semantics hang off
+    #: it.
+    elem_class: str | None = None
 
     def sources(self) -> tuple[int, ...]:
         return (self.size,)

@@ -23,7 +23,12 @@ def format_instr(instr: ir.Instr) -> str:
     if isinstance(instr, ir.NewArray):
         layout = f" inline[{instr.inline_layout}]" if instr.inline_layout else ""
         parallel = " parallel" if instr.parallel_layout else ""
-        return f"r{instr.dest} = newarray r{instr.size}{layout}{parallel}"
+        elem = (
+            f" elem[{instr.elem_class}]"
+            if instr.elem_class and not instr.inline_layout
+            else ""
+        )
+        return f"r{instr.dest} = newarray r{instr.size}{layout}{parallel}{elem}"
     if isinstance(instr, ir.GetField):
         return f"r{instr.dest} = r{instr.obj}.{instr.field_name}"
     if isinstance(instr, ir.SetField):

@@ -56,6 +56,9 @@ class _ArrayRecord:
     slots: list[Value]
     #: See :attr:`_ObjectRecord.alloc_site`.
     alloc_site: str | None = None
+    #: Declared element class (analysis-proven, reference arrays only);
+    #: sharpens locality labels from ``<array>`` to ``Cls[]``.
+    elem_class: str | None = None
 
 
 @dataclass(slots=True)
@@ -125,6 +128,7 @@ class Heap:
         inline_fields: tuple[str, ...] = (),
         parallel: bool = False,
         alloc_site: str | None = None,
+        elem_class: str | None = None,
     ) -> ArrayRef:
         if length < 0:
             raise HeapError(f"negative array length {length}")
@@ -138,6 +142,7 @@ class Heap:
             parallel=parallel,
             slots=[None] * (length * slots_per_elem),
             alloc_site=alloc_site,
+            elem_class=elem_class,
         )
         self.stats.arrays_allocated += 1
         self.stats.bytes_allocated += size
@@ -214,6 +219,13 @@ class Heap:
         else:
             return None
         return record.alloc_site if record is not None else None
+
+    def elem_class_of(self, ref: Value) -> str | None:
+        """The declared element class of an array, if one was recorded."""
+        if isinstance(ref, ArrayRef):
+            record = self._arrays.get(ref.address)
+            return record.elem_class if record is not None else None
+        return None
 
     # ------------------------------------------------------------------
     # Array access.

@@ -238,6 +238,7 @@ class Interpreter:
                         instr.inline_layout,
                         instr.parallel_layout,
                         instr.loc,
+                        instr.elem_class,
                     )
                 elif kind is ir.MakeView:
                     regs[instr.dest] = self._make_view(
@@ -361,6 +362,7 @@ class Interpreter:
         inline_layout: str | None,
         parallel: bool,
         loc: SourceLocation,
+        elem_class: str | None = None,
     ) -> Value:
         if isinstance(size, bool) or not isinstance(size, int):
             raise ReproRuntimeError(f"array size must be an int, got {format_value(size)}", loc)
@@ -373,7 +375,12 @@ class Interpreter:
             inline_fields = tuple(self.program.layout(inline_layout))
         site = self._site(loc) if self._locality is not None else None
         ref = self.heap.alloc_array(
-            size, inline_layout, inline_fields, parallel, alloc_site=site
+            size,
+            inline_layout,
+            inline_fields,
+            parallel,
+            alloc_site=site,
+            elem_class=elem_class,
         )
         slots = size * (len(inline_fields) if inline_layout else 1)
         self.stats.allocations += 1
@@ -382,7 +389,11 @@ class Interpreter:
         if self._locality is None:
             self.cache.touch_range(ref.address, 16 + slots * 8, is_write=True)
         else:
-            class_label = f"{inline_layout}[]" if inline_layout else "<array>"
+            # Prefer the concrete element class where one is known: the
+            # inline layout class, else the analysis-declared element
+            # class, else the generic <array>.
+            known = inline_layout or elem_class
+            class_label = f"{known}[]" if known else "<array>"
             self.cache.touch_range(
                 ref.address,
                 16 + slots * 8,
@@ -510,6 +521,11 @@ class Interpreter:
                 ("field", obj.class_name, base_field, self.heap.site_of(obj)),
             )
 
+    def _array_class(self, array: ArrayRef) -> str:
+        """Locality class of an array's elements: the declared element
+        class where the analysis proved one, else the generic ``<array>``."""
+        return self.heap.elem_class_of(array) or "<array>"
+
     def _get_index(self, array: Value, index: Value, loc: SourceLocation) -> Value:
         if not isinstance(array, ArrayRef):
             raise ReproRuntimeError(f"indexing non-array {format_value(array)}", loc)
@@ -522,7 +538,8 @@ class Interpreter:
             self.cache.access(address, is_write=False)
         else:
             self.cache.access(
-                address, False, ("element", "<array>", None, self.heap.site_of(array))
+                address, False, ("element", self._array_class(array), None,
+                                 self.heap.site_of(array))
             )
         return value
 
@@ -540,7 +557,8 @@ class Interpreter:
             self.cache.access(address, is_write=True)
         else:
             self.cache.access(
-                address, True, ("element", "<array>", None, self.heap.site_of(array))
+                address, True, ("element", self._array_class(array), None,
+                                self.heap.site_of(array))
             )
 
     # ------------------------------------------------------------------

@@ -69,3 +69,37 @@ class TestIRAndCodegen:
         captured = capsys.readouterr()
         assert "struct C" in captured.out
         assert "bytes" in captured.err
+
+
+class TestGracefulNoData:
+    """`repro trace` / `repro heatmap` degrade to messages, not tracebacks."""
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no trace data" in out
+        assert "record with --trace" in out
+
+    def test_heatmap_missing_file(self, tmp_path, capsys):
+        assert main(["heatmap", str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_heatmap_trace_without_locality(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["run", program_file, "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["heatmap", trace]) == 0
+        assert "no locality data" in capsys.readouterr().out
+
+    def test_heatmap_diff_missing_second_file(self, program_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["run", program_file, "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["heatmap", trace, str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err

@@ -186,6 +186,85 @@ class TestDisplayNames:
         assert "Complex.re" in misses_by_field(report) or "Complex.re" in report.labels
 
 
+ARRAY_OF_OBJECTS = """
+class P {
+  var v;
+  def init(v) { this.v = v; }
+}
+def main() {
+  var a = array(8);
+  for (var i = 0; i < 8; i = i + 1) {
+    a[i] = new P(i);
+  }
+  var total = 0;
+  for (var i = 0; i < 8; i = i + 1) {
+    total = total + a[i].v;
+  }
+  print(total);
+}
+"""
+
+
+class TestElementClassLabels:
+    """Arrays whose element class the analysis proves get ``Cls[]`` labels
+    instead of the generic ``<array>`` (transformation-annotated)."""
+
+    def _labels(self, build):
+        from repro.session import Session
+
+        session = Session(ARRAY_OF_OBJECTS)
+        result = session.run(build, attribute_locality=True)
+        return {
+            label_display_name(*label[:3])
+            for label in result.stats.locality.by_label
+        }
+
+    def test_unoptimized_build_keeps_generic_label(self):
+        labels = self._labels("plain")
+        assert "<array>[]" in labels
+        assert "P[]" not in labels
+
+    def test_optimized_build_sharpens_array_labels(self):
+        labels = self._labels("noinline")
+        assert "P[]" in labels  # element accesses
+        assert "new P[]" in labels  # the allocation itself
+        assert "<array>[]" not in labels
+
+    def test_annotation_is_observation_only(self):
+        from repro.session import Session
+
+        annotated = Session(ARRAY_OF_OBJECTS).run("noinline", attribute_locality=True)
+        bare = Session(ARRAY_OF_OBJECTS).run("noinline")
+        assert annotated.output == bare.output
+        assert annotated.stats.cycles() == bare.stats.cycles()
+        assert annotated.stats.cache.misses == bare.stats.cache.misses
+
+    def test_mixed_element_classes_stay_generic(self):
+        from repro.session import Session
+
+        source = """
+class P { var v; def init(v) { this.v = v; } }
+class Q { var w; def init(w) { this.w = w; } }
+def main() {
+  var a = array(4);
+  a[0] = new P(1);
+  a[1] = new Q(2);
+  a[2] = new P(3);
+  a[3] = new Q(4);
+  print(a[0].v + a[3].w);
+}
+"""
+        session = Session(source)
+        result = session.run("noinline", attribute_locality=True)
+        labels = {
+            label_display_name(*label[:3])
+            for label in result.stats.locality.by_label
+        }
+        # Two possible element classes: the label must stay generic.
+        assert "<array>[]" in labels
+        assert "P[]" not in labels and "Q[]" not in labels
+
+
 class TestHeatmapCLI:
     @pytest.fixture()
     def oopack_traces(self, tmp_path):

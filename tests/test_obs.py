@@ -392,6 +392,63 @@ class TestTracerMerge:
         assert begins["outer"]["parent"] is None  # roots stay roots
         assert begins["inner"]["parent"] == begins["outer"]["id"]
 
+    def test_nested_merge_remaps_ids_through_intermediate_tracer(self):
+        # Worker shards merged into an intermediate child tracer which is
+        # itself merged into the session parent (the shape the parallel
+        # harness produces when a worker fans out again).  Span ids must
+        # stay globally unique through both remap layers, and the tree
+        # shape must survive intact.
+        clock = FakeClock()
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        with parent.span("own"):
+            clock.advance(0.1)
+        intermediate = Tracer(MemorySink(), clock=clock)
+        with intermediate.span("stage"):
+            clock.advance(0.1)
+        # Shards allocate overlapping ids independently of each other,
+        # of the intermediate, and of the parent.
+        for _ in range(2):
+            intermediate.merge(self._worker_tracer(clock))
+        parent.merge(intermediate)
+
+        begins = [e for e in parent_sink.events if e["ev"] == "span_begin"]
+        begin_ids = [e["id"] for e in begins]
+        assert len(begin_ids) == len(set(begin_ids))
+        end_ids = [e["id"] for e in parent_sink.events if e["ev"] == "span_end"]
+        assert sorted(begin_ids) == sorted(end_ids)
+        # own + stage + 2 shards x 2 work spans.
+        assert sum(1 for e in begins if e["name"] == "work") == 4
+        # Roots stay roots through both layers and nested shard spans
+        # keep pointing at a begin that exists in the merged stream.
+        by_id = {e["id"]: e for e in begins}
+        for event in begins:
+            if event["parent"] is None:
+                continue
+            assert event["parent"] in by_id
+        assert all(by_id[e["id"]]["parent"] is None
+                   for e in begins if e["name"] in ("own", "stage", "work"))
+        # Aggregates accumulated through the intermediate as well.
+        assert parent.span_totals["work"][0] == 4
+        assert parent.counters["steps"] == 12
+
+    def test_nested_merge_preserves_deep_parent_links(self):
+        clock = FakeClock()
+        parent_sink = MemorySink()
+        parent = Tracer(parent_sink, clock=clock)
+        intermediate = Tracer(MemorySink(), clock=clock)
+        shard = Tracer(MemorySink(), clock=clock)
+        with shard.span("outer"):
+            with shard.span("inner"):
+                with shard.span("leaf"):
+                    clock.advance(0.05)
+        intermediate.merge(shard)
+        parent.merge(intermediate)
+        begins = {e["name"]: e for e in parent_sink.events if e["ev"] == "span_begin"}
+        assert begins["outer"]["parent"] is None
+        assert begins["inner"]["parent"] == begins["outer"]["id"]
+        assert begins["leaf"]["parent"] == begins["inner"]["id"]
+
     def test_merge_drops_child_counters_event(self):
         parent_sink = MemorySink()
         parent = Tracer(parent_sink, clock=FakeClock())

@@ -18,22 +18,26 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import Session
+    from repro import CompileConfig, Session
 
     session = Session(SOURCE)
-    report = session.optimize()                # object inlining ON
+    report = session.optimize(CompileConfig(inline=True))
     result = session.run("inline")
     print(result.output, result.stats.cycles())
 
 :class:`Session` owns the config + tracer threading and caches every
-intermediate artifact (IR, analysis results, per-build reports).  The
-classic one-shot functions still work as thin wrappers::
+intermediate artifact (IR, analysis results, per-build reports);
+:class:`CompileConfig` is the immutable, content-hashable description
+of one build, and :class:`SessionPool` manages per-tenant sessions for
+long-lived drivers.  The **compile service** builds on all three::
 
-    from repro import compile_source, optimize, run_program
+    repro serve --socket /tmp/repro.sock     # async compile daemon
+    repro loadgen --requests 500             # latency/throughput client
 
-    program = compile_source(SOURCE)
-    report = optimize(program)                 # object inlining ON
-    result = run_program(report.program)
+(see :mod:`repro.service` and docs/SERVICE.md).  The classic one-shot
+functions (``compile_source``/``analyze``/``optimize``/``run_program``)
+remain as deprecated shims; use :class:`Session` or the subpackage
+primitives (:func:`repro.ir.compile_source`, ...) instead.
 """
 
 from .analysis import AnalysisCache, AnalysisConfig, AnalysisResult
@@ -50,7 +54,16 @@ from .runtime import (
     ReproRuntimeError,
     RunResult,
 )
-from .session import Session, analyze, compile_source, optimize, run_program
+from .session import (
+    CompileConfig,
+    Session,
+    SessionPool,
+    analyze,
+    compile_source,
+    optimize,
+    run_program,
+    source_key,
+)
 
 __version__ = "1.0.0"
 
@@ -62,6 +75,7 @@ __all__ = [
     "AnalysisResult",
     "CacheConfig",
     "Candidate",
+    "CompileConfig",
     "compile_source",
     "CostModel",
     "DecisionEngine",
@@ -79,6 +93,8 @@ __all__ = [
     "run_program",
     "RunResult",
     "Session",
+    "SessionPool",
+    "source_key",
     "tokenize",
     "validate_program",
 ]

@@ -30,12 +30,11 @@ from dataclasses import dataclass, field
 from ..analysis import AnalysisConfig
 from ..codegen import generate
 from ..inlining.pipeline import OptimizeReport
-from ..ir import compile_source
 from ..ir.model import IRProgram
 from ..obs import MemorySink, NULL_TRACER, Tracer, TraceShard
-from ..runtime import CacheConfig, run_program
+from ..runtime import CacheConfig
 from ..runtime.interp import RunResult
-from ..session import BUILD_OPTIONS, Session
+from ..session import BUILD_CONFIGS, Session
 from .metadata import BenchmarkInfo
 from .programs import oopack, polyover, richards, silo
 
@@ -151,7 +150,7 @@ def _build_one(
     build_tracer = parent_tracer.child() if parent_tracer.enabled else Tracer()
     started = time.perf_counter()
     with build_tracer.span("bench.build", benchmark=name, build=build):
-        report = session.optimize(tracer=build_tracer, **BUILD_OPTIONS[build])
+        report = session.optimize(BUILD_CONFIGS[build], tracer=build_tracer)
         optimized_at = time.perf_counter()
         run = session.run(
             build, cache_config, tracer=build_tracer, attribute_locality=locality
@@ -204,18 +203,18 @@ def run_benchmark(
     ``locality=True`` additionally attributes cache misses per build
     (see :func:`_build_one`).
     """
-    program = compile_source(source, f"{name}.icc")
-    reference = run_program(program, cache_config)
+    # All builds analyze the same source program; the session's shared
+    # analysis cache means builds with identical (program, config) pairs
+    # reuse one fixpoint outright.
+    session = Session(source, path=f"{name}.icc", config=config)
+    program = session.compile()
+    reference = session.run("plain", cache_config)
     bench = BenchmarkRun(
         name=name,
         info=info,
         program=program,
         reference_output=list(reference.output),
     )
-    # All builds analyze the same source program; the session's shared
-    # analysis cache means builds with identical (program, config) pairs
-    # reuse one fixpoint outright.
-    session = Session(program=program, config=config)
     for build in builds:
         result, build_tracer = _build_one(
             session, name, build, cache_config, tracer, locality=locality
@@ -265,11 +264,11 @@ def _run_pair_worker(
     """Process-pool entry: one (benchmark, build) pair, own tracer/cache."""
     name, source, build, is_anchor, cache_config, config, locality = task
     tracer = Tracer(MemorySink())
-    program = compile_source(source, f"{name}.icc")
+    session = Session(source, path=f"{name}.icc", config=config)
+    program = session.compile()
     reference_output = None
     if is_anchor:
-        reference_output = list(run_program(program, cache_config).output)
-    session = Session(program=program, config=config)
+        reference_output = list(session.run("plain", cache_config).output)
     result, build_tracer = _build_one(
         session, name, build, cache_config, tracer, locality=locality
     )

@@ -2,6 +2,8 @@
 
 Usage::
 
+    repro serve [--socket PATH] [--workers N] [--trace-dir DIR] | repro serve --stop
+    repro loadgen [--requests N] [--concurrency N] [--op OP] [--json FILE]
     repro run PROGRAM.icc [--inline | --manual | --noinline] [--trace FILE] [--locality]
     repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
@@ -35,6 +37,13 @@ each measured run to the ``PERF_HISTORY.jsonl`` ledger; ``repro bench
 the ledger's recent window; ``repro perf list/diff/trend`` browse it.
 ``repro export chrome|flame`` converts a span trace for Perfetto or
 speedscope/flamegraph.pl.
+
+Compile service: ``repro serve`` runs the asyncio compile daemon on a
+local socket (content-addressed artifact cache, process-pool workers,
+per-request timeouts, graceful shutdown — see docs/SERVICE.md);
+``repro loadgen`` replays the benchmark corpus against it at a chosen
+concurrency and reports throughput + p50/p95/p99 latency, recording
+the run into the perf-history ledger.
 
 (also runnable as ``python -m repro.cli ...``)
 """
@@ -404,6 +413,87 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run (or stop) the compile-service daemon."""
+    from .service import ServiceClient, ServiceError, serve
+
+    if args.stop:
+        try:
+            with ServiceClient(args.socket, timeout=args.request_timeout) as client:
+                client.shutdown()
+        except (ServiceError, OSError) as error:
+            print(f"error: cannot stop daemon at {args.socket}: {error}", file=sys.stderr)
+            return 1
+        print(f"daemon at {args.socket} is draining")
+        return 0
+    print(
+        f"repro service listening on {args.socket} "
+        f"(workers={args.workers}, store={args.store_entries} entries, "
+        f"timeout={args.request_timeout:g}s)",
+        flush=True,
+    )
+    if args.trace_dir:
+        print(f"tracing to a fresh run directory under {args.trace_dir}", flush=True)
+    service = serve(
+        args.socket,
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        store_entries=args.store_entries,
+        trace_dir=args.trace_dir,
+        allow_test_ops=args.allow_test_ops,
+    )
+    stats = service.describe()
+    print(
+        f"daemon stopped after {stats['requests']} request(s); "
+        f"store: {stats['store']['hits']} hits / {stats['store']['misses']} misses"
+    )
+    if service.run_dir:
+        print(f"trace run directory: {service.run_dir}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay the benchmark corpus against a live daemon."""
+    from .service import ServiceThread, report_entry, run_loadgen, write_report_json
+
+    self_hosted = None
+    socket_path = args.socket
+    if args.self_host:
+        import tempfile
+
+        socket_path = f"{tempfile.mkdtemp(prefix='repro-loadgen-')}/service.sock"
+        self_hosted = ServiceThread(
+            socket_path, workers=args.workers, trace_dir=args.trace_dir
+        ).start()
+    try:
+        try:
+            report = run_loadgen(
+                socket_path,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                op=args.op,
+                build=args.build,
+                timeout=args.timeout,
+            )
+        except OSError as error:
+            print(
+                f"error: cannot reach daemon at {socket_path}: {error}\n"
+                "(start one with `repro serve`, or pass --self-host)",
+                file=sys.stderr,
+            )
+            return 1
+    finally:
+        if self_hosted is not None:
+            self_hosted.stop()
+    print(report.render())
+    if args.json:
+        print(f"wrote {write_report_json(args.json, report)}")
+    if not args.no_record:
+        entry = report_entry(report, note=getattr(args, "note", None))
+        _record_entry(args, entry, load_history(args.history))
+    return 1 if report.errors else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     try:
         summary = summarize_files(args.file)
@@ -600,6 +690,97 @@ def main(argv: list[str] | None = None) -> int:
                               help="plot the last N entries (default 40)")
     _add_history_flag(trend_parser)
     trend_parser.set_defaults(func=cmd_perf)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the compile-service daemon on a local socket"
+    )
+    from .service.daemon import DEFAULT_REQUEST_TIMEOUT, DEFAULT_SOCKET_PATH
+
+    serve_parser.add_argument(
+        "--socket", metavar="PATH", default=DEFAULT_SOCKET_PATH,
+        help=f"unix socket to listen on (default {DEFAULT_SOCKET_PATH})",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="compile worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=DEFAULT_REQUEST_TIMEOUT, metavar="S",
+        help=f"default per-request timeout in seconds (default {DEFAULT_REQUEST_TIMEOUT:g})",
+    )
+    serve_parser.add_argument(
+        "--store-entries", type=int, default=256, metavar="N",
+        help="artifact-store LRU bound (default 256 entries)",
+    )
+    serve_parser.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="write JSONL service traces into a fresh run directory under DIR",
+    )
+    serve_parser.add_argument(
+        "--stop", action="store_true",
+        help="gracefully stop the daemon listening on --socket",
+    )
+    serve_parser.add_argument(
+        "--allow-test-ops", action="store_true", help=argparse.SUPPRESS
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="replay the benchmark corpus against the daemon; report "
+        "throughput and p50/p95/p99 latency",
+    )
+    loadgen_parser.add_argument(
+        "--socket", metavar="PATH", default=DEFAULT_SOCKET_PATH,
+        help=f"daemon socket (default {DEFAULT_SOCKET_PATH})",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=500, metavar="N",
+        help="total requests to send (default 500)",
+    )
+    loadgen_parser.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="client threads, one connection each (default 8)",
+    )
+    loadgen_parser.add_argument(
+        "--op", choices=["compile", "analyze", "optimize", "run"],
+        default="optimize", help="request op to replay (default optimize)",
+    )
+    loadgen_parser.add_argument(
+        "--build", choices=["plain", "noinline", "inline", "manual"],
+        default="inline", help="build for --op run (default inline)",
+    )
+    loadgen_parser.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="per-request timeout to ask the daemon for",
+    )
+    loadgen_parser.add_argument(
+        "--self-host", action="store_true",
+        help="spin up a private in-process daemon for this run "
+        "(no `repro serve` needed)",
+    )
+    loadgen_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for --self-host (default 2)",
+    )
+    loadgen_parser.add_argument(
+        "--trace-dir", metavar="DIR", help="trace directory for --self-host"
+    )
+    loadgen_parser.add_argument(
+        "--json", metavar="FILE", help="also write the full report as JSON"
+    )
+    loadgen_parser.add_argument(
+        "--note", metavar="TEXT", help="free-form note stored on the ledger entry"
+    )
+    loadgen_parser.add_argument(
+        "--no-record", action="store_true",
+        help="do not append this run to the perf-history ledger",
+    )
+    loadgen_parser.add_argument(
+        "--history", metavar="FILE", default=DEFAULT_HISTORY_PATH,
+        help=f"perf-history ledger (default {DEFAULT_HISTORY_PATH})",
+    )
+    loadgen_parser.set_defaults(func=cmd_loadgen)
 
     export_parser = sub.add_parser(
         "export", help="convert a span trace for Perfetto or speedscope"

@@ -1,0 +1,512 @@
+"""The asyncio compile daemon (``repro serve``).
+
+One long-lived process turns the compile pipeline into a service:
+
+- **Front end** — an asyncio unix-socket server speaking the
+  newline-delimited JSON protocol (:mod:`repro.service.protocol`).
+  Connections are cheap and persistent; requests on one connection are
+  answered in order, and many connections are served concurrently.
+- **Artifact cache** — every ``analyze``/``optimize``/``run`` answer is
+  addressed by ``(op, source hash, config hash)`` in a content-addressed
+  :class:`~repro.service.store.ArtifactStore`; exact repeats are
+  answered from the store without touching a worker.  Identical
+  **in-flight** requests are coalesced: N concurrent compiles of the
+  same program dispatch one worker task and share its reply.
+- **Worker pool** — CPU-bound work runs in a
+  :class:`~concurrent.futures.ProcessPoolExecutor` via
+  :func:`repro.service.worker.service_work`.  A crashed worker breaks
+  the pool; the daemon rebuilds it and **requeues the request once** —
+  a second failure becomes an error reply, never daemon death, and
+  innocent requests caught in the same pool break are requeued too.
+- **Robustness** — per-request timeouts (client-supplied or the
+  daemon default) bound every reply; timed-out work keeps running and
+  still lands in the store, so a retry usually hits cache.  Graceful
+  shutdown (the ``shutdown`` op, or SIGINT/SIGTERM under the CLI) stops
+  accepting work, drains in-flight requests, and only then exits.
+- **Tracing** — with ``trace_dir`` set, each daemon run creates its own
+  ``run-<stamp>-<pid>/`` directory and streams ``service.jsonl`` there:
+  request/cache events plus every worker's span shard merged in as its
+  own lane, so ``repro export chrome`` renders a multi-lane service
+  trace with no manual merging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from ..analysis import AnalysisConfig
+from ..obs import NULL_TRACER, tracer_to_file
+from ..session import SessionPool
+from .protocol import ProtocolError, Request, Response, decode_request
+from .store import ArtifactKey, ArtifactStore
+from .worker import config_from_dict, service_work
+
+#: Default local socket (override with ``--socket``).
+DEFAULT_SOCKET_PATH = "/tmp/repro-service.sock"
+
+#: Default per-request timeout (seconds); clients may lower it per call.
+DEFAULT_REQUEST_TIMEOUT = 120.0
+
+#: How long a graceful shutdown waits for in-flight requests.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A request's worker died twice (original + one requeue)."""
+
+
+def make_run_dir(base: str) -> str:
+    """A fresh ``run-<stamp>-<pid>[.N]/`` directory under ``base``.
+
+    Every daemon run owns one directory for its trace shards, so
+    concurrent or successive daemons never clobber each other's traces.
+    """
+    os.makedirs(base, exist_ok=True)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    candidate = os.path.join(base, f"run-{stamp}-{os.getpid()}")
+    suffix = 0
+    path = candidate
+    while True:
+        try:
+            os.mkdir(path)
+            return path
+        except FileExistsError:
+            suffix += 1
+            path = f"{candidate}.{suffix}"
+
+
+@dataclass(slots=True)
+class ServiceStats:
+    """Daemon-side request counters (the ``stats`` op, plus tests)."""
+
+    requests: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    coalesced: int = 0
+    crashes: int = 0
+    pool_rebuilds: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "coalesced": self.coalesced,
+            "crashes": self.crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+        }
+
+
+class ReproService:
+    """The compile-as-a-service daemon (see the module docstring)."""
+
+    def __init__(
+        self,
+        socket_path: str = DEFAULT_SOCKET_PATH,
+        *,
+        workers: int = 2,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        store_entries: int = 256,
+        store_bytes: int | None = None,
+        trace_dir: str | None = None,
+        analysis: AnalysisConfig | None = None,
+        allow_test_ops: bool = False,
+    ) -> None:
+        self.socket_path = socket_path
+        self.workers = max(1, workers)
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.allow_test_ops = allow_test_ops
+        self.run_dir: str | None = None
+        if trace_dir is not None:
+            self.run_dir = make_run_dir(trace_dir)
+            self.tracer = tracer_to_file(os.path.join(self.run_dir, "service.jsonl"))
+        else:
+            self.tracer = NULL_TRACER
+        self.store = ArtifactStore(
+            max_entries=store_entries, max_bytes=store_bytes, tracer=self.tracer
+        )
+        #: In-process sessions: the ``compile`` op and per-tenant lanes.
+        self.sessions = SessionPool(config=analysis, tracer=self.tracer)
+        self.stats = ServiceStats()
+        self._analysis = analysis
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[ArtifactKey, asyncio.Task] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._busy = 0
+        self._idle: asyncio.Event | None = None
+        self._stopping: asyncio.Event | None = None
+        self._started_at = time.monotonic()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopping = asyncio.Event()
+        self._started_at = time.monotonic()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.socket_path
+        )
+        self.tracer.event("service.start", socket=self.socket_path, workers=self.workers)
+
+    async def serve(self) -> None:
+        """Run until a graceful shutdown is requested, then drain."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self._drain_and_close()
+
+    def request_shutdown(self) -> None:
+        """Flip the stop flag (safe from any thread via its loop)."""
+        if self._loop is None or self._stopping is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        except RuntimeError:
+            pass  # loop already closed: nothing left to stop
+
+    async def _drain_and_close(self) -> None:
+        # 1. No new connections.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # 2. Drain: wait for every in-flight request to answer.
+        if self._busy:
+            try:
+                await asyncio.wait_for(self._idle.wait(), self.drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+        # 3. Unblock idle connections (readline sees EOF) and wait for
+        #    the handler tasks to unwind cleanly.
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*self._conn_tasks, return_exceptions=True), 5.0
+                )
+            except asyncio.TimeoutError:
+                pass
+        # 4. Release the pool, merge tenant trace lanes, close the trace.
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.sessions.close()
+        self.tracer.event(
+            "service.stop",
+            requests=self.stats.requests,
+            store=self.store.stats(),
+        )
+        self.tracer.close()
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connections.
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                self._busy += 1
+                self._idle.clear()
+                try:
+                    response = await self._handle_line(line)
+                    writer.write(response.encode())
+                    await writer.drain()
+                except (ConnectionError, BrokenPipeError):
+                    break
+                finally:
+                    self._busy -= 1
+                    if self._busy == 0:
+                        self._idle.set()
+        except asyncio.CancelledError:
+            pass  # loop teardown while idle in readline
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _handle_line(self, line: bytes) -> Response:
+        started = time.perf_counter()
+        try:
+            request = decode_request(line)
+        except ProtocolError as error:
+            self.stats.errors += 1
+            return Response(ok=False, error=str(error))
+        self.stats.requests += 1
+        self.tracer.count(f"service.op.{request.op}")
+        try:
+            response = await self._handle_request(request)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            self.stats.errors += 1
+            timeout = request.timeout or self.request_timeout
+            response = Response(
+                id=request.id, ok=False, error=f"timeout after {timeout:g}s"
+            )
+        except WorkerCrashed as error:
+            self.stats.errors += 1
+            response = Response(id=request.id, ok=False, error=str(error))
+        except Exception as error:  # compile errors, bad configs, ...
+            self.stats.errors += 1
+            response = Response(
+                id=request.id, ok=False, error=f"{type(error).__name__}: {error}"
+            )
+        response.elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.tracer.event(
+            "service.request",
+            op=request.op,
+            ok=response.ok,
+            cached=response.cached,
+            coalesced=response.coalesced,
+            ms=round(response.elapsed_ms, 3),
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # Request handling.
+
+    async def _handle_request(self, request: Request) -> Response:
+        op = request.op
+        if op == "ping":
+            return Response(id=request.id, result="pong")
+        if op == "stats":
+            return Response(id=request.id, result=self.describe())
+        if op == "shutdown":
+            # Reply first; the drain starts once this response is on the
+            # wire (the connection loop holds the busy count until then).
+            asyncio.get_running_loop().call_soon(self._stopping.set)
+            return Response(id=request.id, result="draining")
+        if op == "compile":
+            # Parse + lower is cheap enough to answer on the event loop,
+            # through the per-tenant session pool.
+            session = self.sessions.session(
+                request.source, tenant=request.tenant, path=request.path
+            )
+            program = session.compile()
+            return Response(
+                id=request.id,
+                result={
+                    "op": "compile",
+                    "classes": len(program.classes),
+                    "functions": len(program.functions),
+                    "callables": sum(1 for _ in program.callables()),
+                },
+            )
+        if op == "crash" and not self.allow_test_ops:
+            self.stats.errors += 1
+            return Response(
+                id=request.id, ok=False, error="op 'crash' requires --allow-test-ops"
+            )
+        return await self._dispatch_work(request)
+
+    async def _dispatch_work(self, request: Request) -> Response:
+        config = config_from_dict(request.config).resolved(self._analysis)
+        key = ArtifactKey.for_request(
+            request.op,
+            request.source,
+            config,
+            extra=request.build if request.op == "run" else "",
+        )
+        timeout = request.timeout or self.request_timeout
+        # Warm path: content-addressed artifact store.
+        artifact = self.store.get(key)
+        if artifact is not None:
+            return Response(id=request.id, result=artifact["reply"], cached=True)
+        # In-flight coalescing: identical concurrent requests share one
+        # worker dispatch (the request-batching layer in front of the pool).
+        producer = self._inflight.get(key)
+        coalesced = producer is not None
+        if producer is None:
+            task = {
+                "op": request.op,
+                "source": request.source,
+                "path": request.path,
+                "config": config.to_dict(),
+                "build": request.build,
+                "tenant": request.tenant,
+            }
+            producer = asyncio.ensure_future(self._produce(key, task))
+            # Consume the exception even if every waiter times out first.
+            producer.add_done_callback(
+                lambda t: t.exception() if not t.cancelled() else None
+            )
+            self._inflight[key] = producer
+        if coalesced:
+            self.stats.coalesced += 1
+            self.tracer.count("service.coalesced")
+        # shield(): a waiter's timeout must not cancel the shared work —
+        # it keeps running and lands in the store for the next asker.
+        reply = await asyncio.wait_for(asyncio.shield(producer), timeout)
+        return Response(id=request.id, result=reply, coalesced=coalesced)
+
+    async def _produce(self, key: ArtifactKey, task: dict) -> dict:
+        """Run one work item in the pool; store the artifact on success."""
+        try:
+            product = await self._execute(task)
+            if product.artifact is not None:
+                self.store.put_bytes(key, product.artifact)
+            if self.tracer.enabled:
+                self.tracer.merge(product.trace)
+            return product.reply
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _execute(self, task: dict):
+        """Dispatch to the pool; rebuild + requeue once on a crash."""
+        loop = asyncio.get_running_loop()
+        for attempt in (1, 2):
+            pool = self._ensure_pool()
+            try:
+                return await loop.run_in_executor(pool, service_work, task)
+            except BrokenProcessPool:
+                self.stats.crashes += 1
+                self.tracer.count("service.worker.crash")
+                self._discard_pool(pool)
+                if attempt == 2:
+                    raise WorkerCrashed(
+                        f"worker died twice running op {task['op']!r}; giving up"
+                    ) from None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop a broken pool (a fresh one is built on next dispatch)."""
+        if self._pool is pool:
+            self._pool = None
+            self.stats.pool_rebuilds += 1
+            self.tracer.count("service.pool.rebuild")
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    def describe(self) -> dict:
+        """The ``stats`` op payload."""
+        return {
+            "socket": self.socket_path,
+            "workers": self.workers,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "inflight": len(self._inflight),
+            "run_dir": self.run_dir,
+            **self.stats.to_dict(),
+            "store": self.store.stats(),
+            "sessions": self.sessions.stats(),
+        }
+
+
+def serve(
+    socket_path: str = DEFAULT_SOCKET_PATH,
+    *,
+    install_signal_handlers: bool = True,
+    ready: threading.Event | None = None,
+    **kwargs,
+) -> ReproService:
+    """Blocking entry point: run a daemon until shutdown; returns it.
+
+    ``ready`` (a :class:`threading.Event`) is set once the socket is
+    bound — the hook :class:`ServiceThread` and the CLI's foreground
+    banner both use.
+    """
+    service = ReproService(socket_path, **kwargs)
+
+    async def _main() -> None:
+        await service.start()
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, service._stopping.set)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    break  # non-main thread / unsupported platform
+        if ready is not None:
+            ready.set()
+        await service.serve()
+
+    asyncio.run(_main())
+    return service
+
+
+class ServiceThread:
+    """A daemon running on a background thread (tests, ``--self-host``).
+
+    Usage::
+
+        with ServiceThread(socket_path) as handle:
+            client = ServiceClient(handle.socket_path)
+            ...
+
+    ``stop()`` performs the same graceful drain as the ``shutdown`` op.
+    """
+
+    def __init__(self, socket_path: str, **kwargs) -> None:
+        self.socket_path = socket_path
+        self.service = ReproService(socket_path, **kwargs)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    def start(self, timeout: float = 10.0) -> "ServiceThread":
+        async def _main() -> None:
+            await self.service.start()
+            self._ready.set()
+            await self.service.serve()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(_main()), name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError(f"service did not bind {self.socket_path} in {timeout}s")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        self.service.request_shutdown()
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

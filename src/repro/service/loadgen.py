@@ -1,0 +1,371 @@
+"""The load generator (``repro loadgen``): latency SLOs made measurable.
+
+Replays the benchmark corpus against a live daemon at a configurable
+concurrency, then reports what a service owner actually watches:
+**throughput**, **p50/p95/p99 latency**, the **cold vs warm split**
+(cold = a real compile reached a worker; warm = answered from the
+content-addressed artifact store), and the daemon's own cache counters.
+Every run can be appended to the PERF_HISTORY ledger — the same
+append-only record `repro bench` writes — so latency percentiles get
+trend lines and `repro perf diff` comparisons like any other metric.
+
+The measurement model is deliberately simple and honest: ``concurrency``
+worker threads each hold one persistent connection and pull request
+indices off a shared queue (round-robin over the corpus), so the daemon
+sees a steady closed-loop load of N outstanding requests.  Latency is
+wall clock around one request/reply cycle, measured client-side —
+protocol, queueing, cache, and compute included.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..obs.history import environment, make_entry
+from ..session import CompileConfig
+from .client import ServiceClient, ServiceError
+
+#: Ledger suite name; its config hash never pools with `repro bench` runs.
+LOADGEN_SUITE = "service-loadgen"
+
+
+def default_corpus() -> dict[str, str]:
+    """The Figure-17 benchmark corpus (name -> source)."""
+    from ..bench.harness import PERFORMANCE_PROGRAMS
+
+    return dict(PERFORMANCE_PROGRAMS)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample list."""
+    if not samples:
+        raise ValueError("percentile of empty sample list")
+    ordered = sorted(samples)
+    rank = max(1, min(len(ordered), round(q * len(ordered) + 0.5)))
+    return ordered[rank - 1]
+
+
+@dataclass(slots=True)
+class LatencySummary:
+    """Percentiles of one latency population, in seconds."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary | None":
+        if not samples:
+            return None
+        return cls(
+            count=len(samples),
+            p50=percentile(samples, 0.50),
+            p95=percentile(samples, 0.95),
+            p99=percentile(samples, 0.99),
+            mean=sum(samples) / len(samples),
+            max=max(samples),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": round(self.p50 * 1e3, 3),
+            "p95_ms": round(self.p95 * 1e3, 3),
+            "p99_ms": round(self.p99 * 1e3, 3),
+            "mean_ms": round(self.mean * 1e3, 3),
+            "max_ms": round(self.max * 1e3, 3),
+        }
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:12s} p50 {self.p50 * 1e3:9.2f}ms   p95 {self.p95 * 1e3:9.2f}ms   "
+            f"p99 {self.p99 * 1e3:9.2f}ms   max {self.max * 1e3:9.2f}ms   (n={self.count})"
+        )
+
+
+@dataclass(slots=True)
+class _Sample:
+    """One request's client-side measurement."""
+
+    benchmark: str
+    seconds: float
+    ok: bool
+    cached: bool
+    coalesced: bool
+    error: str | None = None
+
+
+@dataclass(slots=True)
+class LoadgenReport:
+    """Everything one loadgen run measured."""
+
+    socket_path: str
+    op: str
+    build: str
+    requests: int
+    concurrency: int
+    corpus: list[str]
+    duration_s: float
+    errors: int
+    error_samples: list[str]
+    latency: LatencySummary | None
+    cold: LatencySummary | None
+    warm: LatencySummary | None
+    cached_replies: int
+    coalesced_replies: int
+    server: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def warm_speedup(self) -> float | None:
+        """Cold p50 / warm p50 — the artifact cache's headline number."""
+        if self.cold is None or self.warm is None or self.warm.p50 <= 0:
+            return None
+        return self.cold.p50 / self.warm.p50
+
+    def to_dict(self) -> dict:
+        speedup = self.warm_speedup()
+        return {
+            "socket": self.socket_path,
+            "op": self.op,
+            "build": self.build,
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "corpus": self.corpus,
+            "duration_s": round(self.duration_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "errors": self.errors,
+            "error_samples": self.error_samples[:5],
+            "latency": self.latency.to_dict() if self.latency else None,
+            "cold": self.cold.to_dict() if self.cold else None,
+            "warm": self.warm.to_dict() if self.warm else None,
+            "cached_replies": self.cached_replies,
+            "coalesced_replies": self.coalesced_replies,
+            "warm_speedup_p50": round(speedup, 2) if speedup is not None else None,
+            "server": self.server,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.requests} requests x concurrency {self.concurrency} "
+            f"-> {self.socket_path} (op={self.op}, build={self.build})",
+            f"corpus: {', '.join(self.corpus)}",
+            f"errors: {self.errors}    duration: {self.duration_s:.2f}s    "
+            f"throughput: {self.throughput_rps:.1f} req/s",
+        ]
+        if self.latency:
+            lines.append(self.latency.row("latency"))
+        if self.cold:
+            lines.append(self.cold.row("cold"))
+        if self.warm:
+            lines.append(self.warm.row("warm"))
+        lines.append(
+            f"cache: {self.cached_replies} warm replies "
+            f"({self.cached_replies / max(1, self.requests):.1%}), "
+            f"{self.coalesced_replies} coalesced"
+        )
+        speedup = self.warm_speedup()
+        if speedup is not None:
+            lines.append(f"warm p50 speedup over cold p50: {speedup:.1f}x")
+        store = self.server.get("store") if isinstance(self.server, dict) else None
+        if store:
+            lines.append(
+                f"server store: {store.get('entries')} entries, "
+                f"{store.get('hits')} hits / {store.get('misses')} misses "
+                f"(hit rate {store.get('hit_rate', 0.0):.1%}), "
+                f"{store.get('evictions')} evictions"
+            )
+        if self.errors:
+            for sample in self.error_samples[:5]:
+                lines.append(f"  error: {sample}")
+        return "\n".join(lines)
+
+
+def run_loadgen(
+    socket_path: str,
+    requests: int = 500,
+    concurrency: int = 8,
+    op: str = "optimize",
+    build: str = "inline",
+    corpus: dict[str, str] | None = None,
+    config: CompileConfig | None = None,
+    timeout: float | None = None,
+    tenant: str = "loadgen",
+) -> LoadgenReport:
+    """Replay ``corpus`` against the daemon; returns the measured report.
+
+    Requests are assigned round-robin over the corpus, so with R
+    requests and a C-program corpus each program is compiled cold once
+    and then served warm ~R/C - 1 times — which is what makes the
+    cold/warm latency split meaningful.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    corpus = corpus if corpus is not None else default_corpus()
+    if not corpus:
+        raise ValueError("loadgen corpus is empty")
+    names = list(corpus)
+    config_dict = (config or CompileConfig()).to_dict()
+    work: list[int] = list(range(requests))
+    cursor = {"next": 0}
+    lock = threading.Lock()
+    samples: list[_Sample] = []
+    start_gate = threading.Event()
+
+    def _worker() -> None:
+        try:
+            client = ServiceClient(socket_path, tenant=tenant)
+        except OSError as error:
+            with lock:
+                samples.append(
+                    _Sample("<connect>", 0.0, False, False, False, str(error))
+                )
+            return
+        start_gate.wait()
+        try:
+            while True:
+                with lock:
+                    if cursor["next"] >= len(work):
+                        return
+                    index = cursor["next"]
+                    cursor["next"] += 1
+                name = names[index % len(names)]
+                started = time.perf_counter()
+                try:
+                    response = client.request(
+                        op,
+                        source=corpus[name],
+                        path=f"{name}.icc",
+                        config=config_dict,
+                        build=build,
+                        timeout=timeout,
+                    )
+                    sample = _Sample(
+                        benchmark=name,
+                        seconds=time.perf_counter() - started,
+                        ok=response.ok,
+                        cached=response.cached,
+                        coalesced=response.coalesced,
+                        error=None if response.ok else response.error,
+                    )
+                except (ServiceError, OSError) as error:
+                    sample = _Sample(
+                        name, time.perf_counter() - started, False, False, False, str(error)
+                    )
+                with lock:
+                    samples.append(sample)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    server_stats: dict = {}
+    try:
+        with ServiceClient(socket_path, tenant=tenant) as client:
+            server_stats = client.stats()
+    except (ServiceError, OSError):
+        pass
+
+    ok = [s for s in samples if s.ok]
+    failed = [s for s in samples if not s.ok]
+    cold = [s.seconds for s in ok if not s.cached and not s.coalesced]
+    warm = [s.seconds for s in ok if s.cached]
+    return LoadgenReport(
+        socket_path=socket_path,
+        op=op,
+        build=build,
+        requests=requests,
+        concurrency=concurrency,
+        corpus=names,
+        duration_s=duration,
+        errors=len(failed),
+        error_samples=[f"{s.benchmark}: {s.error}" for s in failed],
+        latency=LatencySummary.from_samples([s.seconds for s in ok]),
+        cold=LatencySummary.from_samples(cold),
+        warm=LatencySummary.from_samples(warm),
+        cached_replies=sum(1 for s in ok if s.cached),
+        coalesced_replies=sum(1 for s in ok if s.coalesced),
+        server=server_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# The perf-history ledger bridge.
+
+
+def report_entry(report: LoadgenReport, note: str | None = None) -> dict:
+    """One PERF_HISTORY ledger entry for a loadgen run.
+
+    The measurement config (suite, op, build, request count, concurrency,
+    corpus) is content-hashed exactly like a bench entry, so loadgen
+    runs pool only with loadgen runs of the same shape; ``concurrency``
+    doubles as the entry's ``jobs`` environment field.  Latency
+    percentiles land as (seconds-valued) phase samples, which gives them
+    `repro perf trend latency_p50` sparklines for free.
+    """
+    phases: dict[str, list[float]] = {}
+    if report.latency:
+        phases["latency_p50"] = [report.latency.p50]
+        phases["latency_p95"] = [report.latency.p95]
+        phases["latency_p99"] = [report.latency.p99]
+    if report.cold:
+        phases["latency_cold_p50"] = [report.cold.p50]
+    if report.warm:
+        phases["latency_warm_p50"] = [report.warm.p50]
+    benchmarks = {
+        "service": {
+            report.op: {
+                "cycles": [],
+                "phases": phases,
+                "optimize_seconds": [],
+                "run_seconds": [],
+                "throughput_rps": round(report.throughput_rps, 2),
+                "errors": report.errors,
+                "requests": report.requests,
+                "cached_replies": report.cached_replies,
+            }
+        }
+    }
+    config = {
+        "suite": LOADGEN_SUITE,
+        "op": report.op,
+        "build": report.build,
+        "requests": report.requests,
+        "concurrency": report.concurrency,
+        "corpus": sorted(report.corpus),
+    }
+    return make_entry(
+        benchmarks,
+        config,
+        environment(jobs=report.concurrency),
+        repeat=1,
+        note=note,
+    )
+
+
+def write_report_json(path: str, report: LoadgenReport) -> str:
+    """Dump the full report as JSON (the CI artifact)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,194 @@
+"""The CPU-bound half of the compile service.
+
+:func:`service_work` is the process-pool entry point: it receives one
+picklable task dict, drives a :class:`repro.Session` through the
+requested phase, and ships back a :class:`WorkProduct` — the
+JSON-serializable reply payload, the pickled artifact blob for the
+daemon's content-addressed store, and the worker's trace shard.
+
+Two amortization layers stack here:
+
+- The **daemon's artifact store** answers exact ``(op, source, config)``
+  repeats without ever reaching a worker.
+- Each worker keeps a module-level warm :class:`repro.SessionPool`, so
+  near-repeats that *do* reach a worker (same source, different config;
+  or an ``analyze`` after an ``optimize``) reuse the parsed IR and the
+  analysis fixpoint — the long-lived-optimizer amortization the adaptive
+  JIT literature assumes, here per worker process.
+
+Determinism contract: compiles and the simulated VM are deterministic,
+so the reply payload of a given ``(op, source, config, build)`` is a
+pure function of its key — which is why the daemon may cache replies
+and why a warm hit is bit-identical to the cold compile.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+
+from ..analysis import AnalysisConfig
+from ..obs import MemorySink, Tracer, TraceShard
+from ..session import CompileConfig, SessionPool
+
+
+def config_from_dict(payload: dict | None) -> CompileConfig:
+    """Rebuild a :class:`CompileConfig` from its ``to_dict()`` form.
+
+    Unknown keys are ignored (additive protocol schema); a malformed
+    analysis sub-object raises ``TypeError``/``ValueError`` for the
+    daemon to turn into an error reply.
+    """
+    if not payload:
+        return CompileConfig()
+    fields = {
+        name: payload[name]
+        for name in (
+            "inline",
+            "devirtualize",
+            "manual_only",
+            "inline_methods_pass",
+            "cache_loads_pass",
+            "dce_pass",
+            "max_rounds",
+        )
+        if name in payload
+    }
+    analysis = payload.get("analysis")
+    if analysis is not None:
+        known = {f.name for f in AnalysisConfig.__dataclass_fields__.values()}
+        fields["analysis"] = AnalysisConfig(
+            **{k: v for k, v in analysis.items() if k in known}
+        )
+    return CompileConfig(**fields)
+
+
+@dataclass(slots=True)
+class WorkProduct:
+    """What one worker ships back for one request."""
+
+    reply: dict
+    #: Pickled artifact blob for the store (``None`` for uncacheable ops).
+    artifact: bytes | None
+    trace: TraceShard
+    elapsed_s: float
+
+
+#: Per-worker-process warm sessions (compiled IR + analysis fixpoints).
+_SESSIONS: SessionPool | None = None
+
+
+def _sessions() -> SessionPool:
+    global _SESSIONS
+    if _SESSIONS is None:
+        _SESSIONS = SessionPool(max_sessions=16)
+    return _SESSIONS
+
+
+def analysis_summary(report) -> dict:
+    """The analysis digest stored with every artifact."""
+    manager = report.analysis.manager
+    return {
+        "method_contours": report.analysis.method_contour_count(),
+        "object_contours": report.analysis.object_contour_count(),
+        "widened_callables": len(manager.widened_callables),
+        "widened_sites": len(manager.widened_sites),
+        "accepted": [c.describe() for c in report.plan.accepted()],
+        "rejected": len(report.plan.rejected()),
+        "replan_rounds": report.replan_rounds,
+        "nested_rounds": report.nested_rounds,
+    }
+
+
+def service_work(task: dict) -> WorkProduct:
+    """Process-pool entry: one ``analyze``/``optimize``/``run`` request.
+
+    ``task`` keys: ``op``, ``source``, ``path``, ``config`` (dict form),
+    ``build`` (run op), ``tenant``, ``allow_test_ops``.
+    """
+    op = task["op"]
+    if op == "crash":
+        # Robustness-test op (gated daemon-side): die like a segfaulting
+        # worker would — no exception, no cleanup, just a dead process.
+        os._exit(1)
+    started = time.perf_counter()
+    tracer = Tracer(MemorySink())
+    config = config_from_dict(task.get("config"))
+    session = _sessions().session(
+        task["source"], tenant=task.get("tenant", "default"), path=task.get("path")
+    )
+    artifact: bytes | None = None
+    with tracer.span("service.work", op=op, pid=os.getpid()):
+        if op == "analyze":
+            report = session.optimize(config, tracer=tracer)
+            reply = {"op": op, **analysis_summary(report)}
+            artifact = pickle.dumps(
+                {"program": report.program, "summary": analysis_summary(report), "reply": reply}
+            )
+        elif op == "optimize":
+            report = session.optimize(config, tracer=tracer)
+            summary = analysis_summary(report)
+            stats = report.clone_stats
+            reply = {
+                "op": op,
+                "accepted": summary["accepted"],
+                "rejected": summary["rejected"],
+                "method_partitions": stats.method_partitions,
+                "class_variants": stats.class_variants,
+                "view_classes": stats.view_classes,
+                "replan_rounds": report.replan_rounds,
+                "analysis": {
+                    k: summary[k]
+                    for k in ("method_contours", "object_contours", "widened_callables")
+                },
+            }
+            artifact = pickle.dumps(
+                {"program": report.program, "summary": summary, "reply": reply}
+            )
+        elif op == "run":
+            build = task.get("build", "inline")
+            if build == "plain":
+                program = session.compile()
+            else:
+                program = session.optimize(
+                    _build_config(build, config), tracer=tracer
+                ).program
+            result = session_run(session, program, tracer)
+            reply = {
+                "op": op,
+                "build": build,
+                "output": list(result.output),
+                "cycles": result.stats.cycles(),
+            }
+            artifact = pickle.dumps({"program": program, "summary": None, "reply": reply})
+        else:
+            raise ValueError(f"unsupported worker op {op!r}")
+    return WorkProduct(
+        reply=reply,
+        artifact=artifact,
+        trace=tracer.shard(),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _build_config(build: str, config: CompileConfig) -> CompileConfig:
+    """The run op's build facet applied to the request config."""
+    import dataclasses
+
+    base = {
+        "noinline": {"inline": False},
+        "inline": {"inline": True},
+        "manual": {"manual_only": True},
+    }.get(build)
+    if base is None:
+        raise ValueError(f"unknown build {build!r}")
+    return dataclasses.replace(config, **base)
+
+
+def session_run(session, program, tracer):
+    """Execute ``program`` on the VM under the worker tracer."""
+    from ..runtime import run_program as _run_program
+
+    return _run_program(program, tracer=tracer)

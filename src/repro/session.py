@@ -5,10 +5,10 @@ text, the analysis configuration, and the tracer, threads them through
 every phase exactly once, and caches intermediate artifacts — the
 compiled IR, analysis results (via a shared
 :class:`~repro.analysis.AnalysisCache`), and one
-:class:`~repro.inlining.pipeline.OptimizeReport` per distinct set of
-optimization options::
+:class:`~repro.inlining.pipeline.OptimizeReport` per distinct
+:class:`CompileConfig`::
 
-    from repro import Session
+    from repro import CompileConfig, Session
 
     session = Session(SOURCE)
     program = session.compile()          # parse + lower once
@@ -16,33 +16,140 @@ optimization options::
     report = session.optimize()          # object inlining ON (cached)
     run = session.run("inline")          # execute the inlined build
 
-    session.optimize(inline=False)       # devirtualize-only build
+    session.optimize(CompileConfig(inline=False))   # devirtualize-only
     session.run()                        # run the unoptimized program
 
 Repeated calls are free: ``compile`` parses once, ``optimize`` memoizes
-per option set, and ``analyze``/``optimize`` share analysis results for
-identical (program, config) pairs, so ``session.analyze()`` followed by
-``session.optimize()`` runs the (expensive) fixpoint once.
+per config content hash, and ``analyze``/``optimize`` share analysis
+results for identical (program, config) pairs, so ``session.analyze()``
+followed by ``session.optimize()`` runs the (expensive) fixpoint once.
+
+:class:`CompileConfig` is the **canonical, immutable description of one
+build**: the pipeline switches plus the analysis knobs, with one
+canonical JSON serialization (:meth:`CompileConfig.to_dict`) and a
+content hash (:meth:`CompileConfig.content_key`) computed by the same
+:func:`repro.obs.history.config_key` the perf-history ledger hashes its
+measurement configs with.  The service's artifact store
+(:mod:`repro.service.store`) addresses compiled artifacts by
+``(source_key, CompileConfig.content_key())`` — one hashing scheme
+everywhere.
+
+:class:`SessionPool` manages one session per (tenant, source) with LRU
+bounds and a per-tenant child tracer lane — the long-lived form of the
+API the compile service daemon (:mod:`repro.service`) is built on.
 
 The classic top-level functions — :func:`compile_source`,
-:func:`analyze`, :func:`optimize`, :func:`run_program` — remain as thin
-wrappers over a one-shot session.
+:func:`analyze`, :func:`optimize`, :func:`run_program` — remain as
+documented shims over a one-shot session, and emit a
+``DeprecationWarning``: new code should use :class:`Session` /
+:class:`SessionPool` (or the underlying ``repro.ir`` / ``repro.runtime``
+primitives when no caching is wanted).
 """
 
 from __future__ import annotations
+
+import dataclasses
+import hashlib
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
 
 from .analysis import AnalysisCache, AnalysisConfig, AnalysisResult
 from .analysis import analyze as _analyze
 from .inlining.pipeline import OptimizeReport
 from .inlining.pipeline import optimize as _optimize
 from .ir import compile_source as _compile_source
+from .ir import format_program
 from .ir.model import IRProgram
 from .obs import NULL_TRACER
+from .obs.history import config_key as _config_key
 from .runtime import CacheConfig, RunResult
 from .runtime import run_program as _run_program
 
-#: ``Session.run``/``program_for`` build names -> ``optimize`` options.
-#: ``"plain"`` is the unoptimized compiled program.
+
+def source_key(source: str) -> str:
+    """Content hash of a source program (stable across processes).
+
+    The other half of the artifact-store address: an artifact is
+    identified by ``(source_key(source), config.content_key())``.
+    """
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class CompileConfig:
+    """One immutable, content-hashable build configuration.
+
+    Pipeline switches mirror :func:`repro.inlining.pipeline.optimize`;
+    ``analysis`` carries the :class:`~repro.analysis.AnalysisConfig`
+    knobs (``None`` means "the session's config, or the defaults").
+
+    Instances are frozen so one object can safely key session memo
+    tables, the service artifact store, and the perf-history ledger —
+    all three hash :meth:`to_dict` through
+    :func:`repro.obs.history.config_key`, so there is exactly one
+    canonical serialization of "what was compiled".
+    """
+
+    inline: bool = True
+    devirtualize: bool = True
+    manual_only: bool = False
+    inline_methods_pass: bool = True
+    cache_loads_pass: bool = True
+    dce_pass: bool = True
+    max_rounds: int = 1
+    analysis: AnalysisConfig | None = None
+
+    @classmethod
+    def for_build(cls, build: str, analysis: AnalysisConfig | None = None) -> "CompileConfig":
+        """The named build configurations (``BUILD_CONFIGS``) as configs.
+
+        ``"plain"`` has no pipeline at all and therefore no config;
+        asking for it is an error — use :meth:`Session.compile`.
+        """
+        config = BUILD_CONFIGS[build]
+        if config is None:
+            raise ValueError(f"build {build!r} is the unoptimized program; it has no CompileConfig")
+        if analysis is not None:
+            config = dataclasses.replace(config, analysis=analysis)
+        return config
+
+    def resolved(self, analysis: AnalysisConfig | None = None) -> "CompileConfig":
+        """This config with the analysis knobs made explicit."""
+        if self.analysis is not None:
+            return self
+        return dataclasses.replace(self, analysis=analysis or AnalysisConfig())
+
+    def pipeline_options(self) -> dict:
+        """The keyword arguments for the underlying pipeline call."""
+        options = dataclasses.asdict(self)
+        options.pop("analysis")
+        return options
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-serializable form (hashed as-is)."""
+        payload = dataclasses.asdict(self)
+        payload["analysis"] = (
+            dataclasses.asdict(self.analysis) if self.analysis is not None else None
+        )
+        return payload
+
+    def content_key(self) -> str:
+        """Content hash; same scheme as the perf-history ledger."""
+        return _config_key(self.to_dict())
+
+
+#: ``Session.run``/``program_for`` build names -> :class:`CompileConfig`.
+#: ``"plain"`` is the unoptimized compiled program (no config).
+BUILD_CONFIGS: dict[str, CompileConfig | None] = {
+    "plain": None,
+    "noinline": CompileConfig(inline=False),
+    "inline": CompileConfig(inline=True),
+    "manual": CompileConfig(manual_only=True),
+}
+
+#: Legacy name -> kwargs mapping, kept for callers of the old
+#: ``Session.optimize(**options)`` convenience form.
 BUILD_OPTIONS: dict[str, dict[str, bool] | None] = {
     "plain": None,
     "noinline": {"inline": False},
@@ -79,7 +186,21 @@ class Session:
         #: and the pipeline's nested rounds all draw from this cache.
         self.analysis_cache = AnalysisCache()
         self._analysis: AnalysisResult | None = None
-        self._reports: dict[tuple, OptimizeReport] = {}
+        self._reports: dict[str, OptimizeReport] = {}
+
+    # ------------------------------------------------------------------
+    # Identity.
+
+    def source_key(self) -> str:
+        """Content hash of this session's program.
+
+        Source-backed sessions hash the source text (stable across
+        processes); program-backed sessions hash the printed IR, which
+        is stable for one compile but may embed process-local uids.
+        """
+        if self._source is not None:
+            return source_key(self._source)
+        return source_key(format_program(self.compile()))
 
     # ------------------------------------------------------------------
     # Pipeline phases.
@@ -94,9 +215,10 @@ class Session:
         """Flow-analyze the compiled program (cached).
 
         ``tracer`` overrides the session tracer for this call — used by
-        concurrent drivers (the bench harness) that give every work unit
-        its own tracer and merge them at join.  A memoized result is
-        returned as-is: no phase re-runs, so nothing new is traced.
+        concurrent drivers (the bench harness, the service worker) that
+        give every work unit its own tracer and merge them at join.  A
+        memoized result is returned as-is: no phase re-runs, so nothing
+        new is traced.
         """
         if self._analysis is None:
             program = self.compile()
@@ -110,24 +232,38 @@ class Session:
             self._analysis = result
         return self._analysis
 
-    def optimize(self, *, tracer=None, **options) -> OptimizeReport:
-        """Run the inlining pipeline; one cached report per option set.
+    def optimize(
+        self, config: CompileConfig | None = None, *, tracer=None, **options
+    ) -> OptimizeReport:
+        """Run the inlining pipeline; one cached report per config.
 
-        ``options`` are :func:`repro.inlining.pipeline.optimize` keywords
-        (``inline=``, ``manual_only=``, ``max_rounds=``, ...); config
-        comes from the session, as does the tracer unless overridden
-        per-call (see :meth:`analyze` — memoized reports are returned
+        The build is described by an explicit :class:`CompileConfig`
+        (preferred — the same object the artifact store and perf ledger
+        hash).  The legacy keyword form (``inline=``, ``manual_only=``,
+        ``max_rounds=``, ...) is still accepted and is normalized into a
+        ``CompileConfig``, so both forms share one memo table keyed by
+        :meth:`CompileConfig.content_key`.  The analysis knobs come from
+        ``config.analysis``, falling back to the session's
+        ``AnalysisConfig``.  ``tracer`` overrides the session tracer for
+        this call (see :meth:`analyze` — memoized reports are returned
         without re-tracing).
         """
-        key = tuple(sorted(options.items()))
+        if config is not None and options:
+            raise TypeError(
+                "pass either a CompileConfig or legacy keyword options, not both"
+            )
+        if config is None:
+            config = CompileConfig(**options)
+        resolved = config.resolved(self.config)
+        key = resolved.content_key()
         report = self._reports.get(key)
         if report is None:
             report = _optimize(
                 self.compile(),
-                config=self.config,
+                config=resolved.analysis,
                 tracer=self.tracer if tracer is None else tracer,
                 analysis_cache=self.analysis_cache,
-                **options,
+                **resolved.pipeline_options(),
             )
             self._reports[key] = report
         return report
@@ -139,10 +275,10 @@ class Session:
         (devirtualization only), ``"inline"`` (object inlining), or
         ``"manual"`` (manually annotated inlining only).
         """
-        options = BUILD_OPTIONS[build]
-        if options is None:
+        config = BUILD_CONFIGS[build]
+        if config is None:
             return self.compile()
-        return self.optimize(**options).program
+        return self.optimize(config).program
 
     def run(
         self,
@@ -163,12 +299,120 @@ class Session:
         )
 
 
+class SessionPool:
+    """A bounded pool of sessions keyed by (tenant, source).
+
+    The long-lived face of the API: a daemon (or any concurrent driver)
+    asks the pool for *the* session of a source program and gets the
+    same warm object back on every repeat — compiled IR, analysis
+    fixpoint, and per-config reports all already in place.
+
+    - **Per-tenant tracing** — each tenant gets its own
+      :meth:`Tracer.child` lane, created on first use; session-level
+      events of different tenants never interleave.  :meth:`close`
+      merges every lane back into the parent tracer.
+    - **LRU bounds** — at most ``max_sessions`` live sessions; the least
+      recently used is evicted when a new one would exceed the bound.
+      ``hits``/``misses``/``evictions`` count pool traffic.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: AnalysisConfig | None = None,
+        tracer=NULL_TRACER,
+        max_sessions: int = 64,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.config = config
+        self.tracer = tracer
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict[tuple[str, str], Session] = OrderedDict()
+        self._tenant_tracers: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def tracer_for(self, tenant: str):
+        """The tenant's tracer lane (a :meth:`Tracer.child`, cached)."""
+        lane = self._tenant_tracers.get(tenant)
+        if lane is None:
+            lane = self.tracer.child()
+            self._tenant_tracers[tenant] = lane
+        return lane
+
+    def session(
+        self, source: str, *, tenant: str = "default", path: str | None = None
+    ) -> Session:
+        """The pooled session of ``source`` for ``tenant`` (LRU)."""
+        key = (tenant, source_key(source))
+        session = self._sessions.get(key)
+        if session is not None:
+            self.hits += 1
+            self._sessions.move_to_end(key)
+            return session
+        self.misses += 1
+        session = Session(
+            source,
+            path=path or f"<{tenant}:{key[1]}>",
+            config=self.config,
+            tracer=self.tracer_for(tenant),
+        )
+        self._sessions[key] = session
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evictions += 1
+        return session
+
+    def stats(self) -> dict:
+        """Pool counters (JSON-serializable, for the service stats op)."""
+        return {
+            "sessions": len(self._sessions),
+            "tenants": len(self._tenant_tracers),
+            "max_sessions": self.max_sessions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def close(self) -> None:
+        """Merge every tenant lane into the parent tracer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.tracer.enabled:
+            for lane in self._tenant_tracers.values():
+                self.tracer.merge(lane)
+        self._tenant_tracers.clear()
+        self._sessions.clear()
+
+
 # ----------------------------------------------------------------------
-# Classic top-level API, as thin wrappers over a one-shot Session.
+# Classic top-level API: documented, deprecated shims over a one-shot
+# Session.  Internal code uses Session/SessionPool (or the primitives in
+# repro.ir / repro.inlining.pipeline / repro.runtime directly).
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def compile_source(source: str, path: str = "<string>") -> IRProgram:
-    """Compile mini-ICC++ source text to an :class:`IRProgram`."""
+    """Deprecated: compile mini-ICC++ source text to an :class:`IRProgram`.
+
+    Use ``Session(source).compile()`` (or :func:`repro.ir.compile_source`
+    when no session caching is wanted).
+    """
+    _deprecated("compile_source", "Session(source).compile()")
     return Session(source, path=path).compile()
 
 
@@ -177,7 +421,12 @@ def analyze(
     config: AnalysisConfig | None = None,
     tracer=NULL_TRACER,
 ) -> AnalysisResult:
-    """Flow-analyze ``program`` (see :func:`repro.analysis.analyze`)."""
+    """Deprecated: flow-analyze ``program``.
+
+    Use ``Session(program=...).analyze()`` (or
+    :func:`repro.analysis.analyze`).
+    """
+    _deprecated("analyze", "Session(program=program).analyze()")
     return Session(program=program, config=config, tracer=tracer).analyze()
 
 
@@ -194,19 +443,25 @@ def optimize(
     tracer=NULL_TRACER,
     analysis_cache: AnalysisCache | None = None,
 ) -> OptimizeReport:
-    """Run the inlining pipeline on ``program`` (see
-    :func:`repro.inlining.pipeline.optimize` for the options)."""
+    """Deprecated: run the inlining pipeline on ``program``.
+
+    Use ``Session(program=...).optimize(CompileConfig(...))`` (or
+    :func:`repro.inlining.pipeline.optimize`).
+    """
+    _deprecated("optimize", "Session(program=program).optimize(CompileConfig(...))")
     session = Session(program=program, config=config, tracer=tracer)
     if analysis_cache is not None:
         session.analysis_cache = analysis_cache
     return session.optimize(
-        inline=inline,
-        devirtualize=devirtualize,
-        manual_only=manual_only,
-        inline_methods_pass=inline_methods_pass,
-        cache_loads_pass=cache_loads_pass,
-        dce_pass=dce_pass,
-        max_rounds=max_rounds,
+        CompileConfig(
+            inline=inline,
+            devirtualize=devirtualize,
+            manual_only=manual_only,
+            inline_methods_pass=inline_methods_pass,
+            cache_loads_pass=cache_loads_pass,
+            dce_pass=dce_pass,
+            max_rounds=max_rounds,
+        )
     )
 
 
@@ -216,8 +471,12 @@ def run_program(
     tracer=NULL_TRACER,
     **run_options,
 ) -> RunResult:
-    """Execute ``program`` on the instrumented VM (see
-    :func:`repro.runtime.run_program`)."""
+    """Deprecated: execute ``program`` on the instrumented VM.
+
+    Use ``Session(program=...).run()`` (or
+    :func:`repro.runtime.run_program`).
+    """
+    _deprecated("run_program", "Session(program=program).run()")
     return Session(program=program, tracer=tracer).run(
         cache_config=cache_config, **run_options
     )

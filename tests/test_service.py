@@ -1,0 +1,309 @@
+"""The compile daemon end-to-end: protocol, caching, robustness, traces.
+
+Every test here runs a real daemon (:class:`ServiceThread`) on a unix
+socket under ``tmp_path`` and talks to it with real clients — the same
+stack ``repro serve`` / ``repro loadgen`` use.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    ProtocolError,
+    Request,
+    Response,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    decode_request,
+    decode_response,
+)
+from repro.session import CompileConfig
+
+SOURCE = """
+class P { var v; def init(v) { this.v = v; } }
+class C { var f; def init(p) { this.f = p; } }
+def main() { var c = new C(new P(5)); print(c.f.v); }
+"""
+
+OTHER_SOURCE = """
+class Box { var item; def init(i) { this.item = i; } }
+def main() { var b = new Box(11); print(b.item); }
+"""
+
+
+@pytest.fixture()
+def sock(tmp_path):
+    return str(tmp_path / "service.sock")
+
+
+@pytest.fixture()
+def service(sock):
+    with ServiceThread(sock, workers=2) as handle:
+        yield handle
+
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        request = Request(op="optimize", id=3, source=SOURCE, timeout=5.0)
+        decoded = decode_request(request.encode())
+        assert (decoded.op, decoded.id, decoded.timeout) == ("optimize", 3, 5.0)
+        assert decoded.source == SOURCE
+
+    def test_response_encoding_is_canonical(self):
+        # sort_keys + fixed separators: the bit-identical-reply contract.
+        a = Response(id=1, result={"b": 2, "a": 1}).encode()
+        b = Response(id=1, result={"a": 1, "b": 2}).encode()
+        assert a == b
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(b'{"op": "explode"}\n')
+
+    def test_work_ops_require_source(self):
+        with pytest.raises(ProtocolError, match="requires a string"):
+            decode_request(b'{"op": "optimize"}\n')
+
+    def test_bad_json_and_bad_timeout_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"not json\n")
+        with pytest.raises(ProtocolError, match="timeout"):
+            decode_request(b'{"op": "ping", "timeout": -1}\n')
+
+    def test_response_roundtrip(self):
+        encoded = Response(id=7, result={"x": 1}, cached=True).encode()
+        decoded = decode_response(encoded)
+        assert decoded.ok and decoded.cached and decoded.result == {"x": 1}
+
+
+class TestBasicOps:
+    def test_ping_and_stats(self, service, sock):
+        with ServiceClient(sock) as client:
+            assert client.ping()
+            stats = client.stats()
+        assert stats["workers"] == 2
+        assert stats["requests"] >= 1
+        assert "store" in stats and "sessions" in stats
+
+    def test_compile_answers_in_process(self, service, sock):
+        with ServiceClient(sock) as client:
+            response = client.compile(SOURCE, path="p.icc")
+        assert response.result["classes"] == 2
+        assert response.result["callables"] >= 3
+
+    def test_optimize_and_run(self, service, sock):
+        with ServiceClient(sock) as client:
+            opt = client.optimize(SOURCE)
+            run = client.run(SOURCE, build="inline")
+        assert opt.result["op"] == "optimize"
+        assert run.result["output"] == ["5"]
+        assert run.result["cycles"] > 0
+
+    def test_run_matches_plain_semantics(self, service, sock):
+        with ServiceClient(sock) as client:
+            plain = client.run(SOURCE, build="plain")
+            inline = client.run(SOURCE, build="inline")
+        assert plain.result["output"] == inline.result["output"] == ["5"]
+
+    def test_error_reply_not_connection_death(self, service, sock):
+        with ServiceClient(sock) as client:
+            response = client.request("optimize", source="def main( {{{ broken")
+            assert not response.ok and response.error
+            assert client.ping()  # same connection still serves
+
+
+class TestArtifactCache:
+    def test_warm_reply_bit_identical_to_cold(self, service, sock):
+        """The differential gate: a cache hit replays the exact payload."""
+        config = CompileConfig().to_dict()
+        with ServiceClient(sock) as client:
+            cold = client.request("optimize", source=SOURCE, config=config)
+            warm = client.request("optimize", source=SOURCE, config=config)
+        assert cold.ok and not cold.cached
+        assert warm.ok and warm.cached
+        canonical = lambda r: json.dumps(
+            r.result, sort_keys=True, separators=(",", ":")
+        ).encode()
+        assert canonical(cold) == canonical(warm)
+
+    def test_cache_key_includes_config(self, service, sock):
+        with ServiceClient(sock) as client:
+            client.optimize(SOURCE, config=CompileConfig())
+            different = client.optimize(SOURCE, config=CompileConfig(inline=False))
+        assert not different.cached  # different config -> different address
+
+    def test_cache_shared_across_connections_and_tenants(self, service, sock):
+        with ServiceClient(sock, tenant="alice") as client:
+            client.optimize(OTHER_SOURCE)
+        with ServiceClient(sock, tenant="bob") as client:
+            warm = client.optimize(OTHER_SOURCE)
+        assert warm.cached
+
+    def test_concurrent_identical_requests_compile_once(self, service, sock):
+        """N identical in-flight requests coalesce into one worker dispatch."""
+        replies = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def _ask():
+            with ServiceClient(sock) as client:
+                barrier.wait()
+                response = client.request("optimize", source=OTHER_SOURCE)
+            with lock:
+                replies.append(response)
+
+        threads = [threading.Thread(target=_ask) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(r.ok for r in replies)
+        cold = [r for r in replies if not r.cached and not r.coalesced]
+        assert len(cold) == 1  # exactly one dispatch did the work
+        payloads = {json.dumps(r.result, sort_keys=True) for r in replies}
+        assert len(payloads) == 1  # everyone got the same answer
+
+
+class TestRobustness:
+    def test_request_timeout_replies_and_daemon_survives(self, service, sock):
+        with ServiceClient(sock) as client:
+            response = client.request(
+                "optimize", source=OTHER_SOURCE, timeout=0.001
+            )
+            assert not response.ok
+            assert "timeout" in response.error
+            assert client.ping()
+            # The timed-out work kept running and landed in the store:
+            # the retry answers without recompiling from scratch.
+            retry = client.request("optimize", source=OTHER_SOURCE)
+            assert retry.ok
+
+    def test_worker_crash_recovers(self, sock):
+        with ServiceThread(sock, workers=1, allow_test_ops=True) as handle:
+            with ServiceClient(sock) as client:
+                response = client.request("crash", source=SOURCE)
+                assert not response.ok
+                assert "died twice" in response.error
+                # The daemon rebuilt the pool and keeps serving.
+                assert client.ping()
+                assert client.optimize(SOURCE).ok
+                stats = client.stats()
+            assert stats["crashes"] >= 2  # original + the one requeue
+            assert stats["pool_rebuilds"] >= 2
+        assert handle.service.stats.crashes >= 2
+
+    def test_crash_op_is_gated(self, service, sock):
+        with ServiceClient(sock) as client:
+            response = client.request("crash", source=SOURCE)
+        assert not response.ok
+        assert "allow-test-ops" in response.error
+
+    def test_graceful_shutdown_drains_and_unlinks(self, sock):
+        handle = ServiceThread(sock, workers=1).start()
+        try:
+            with ServiceClient(sock) as client:
+                client.optimize(SOURCE)
+                assert client.shutdown().result == "draining"
+        finally:
+            handle.stop()
+        assert not os.path.exists(sock)
+        with pytest.raises((ServiceError, OSError)):
+            ServiceClient(sock).ping()
+
+
+class TestServiceTracing:
+    def test_run_dir_trace_renders_multi_lane_chrome(self, tmp_path, sock):
+        trace_base = tmp_path / "traces"
+        with ServiceThread(sock, workers=2, trace_dir=str(trace_base)) as handle:
+            run_dir = handle.service.run_dir
+            with ServiceClient(sock) as client:
+                client.optimize(SOURCE)
+                client.optimize(OTHER_SOURCE)
+        trace_path = os.path.join(run_dir, "service.jsonl")
+        assert os.path.exists(trace_path)
+
+        # `repro export chrome` on the daemon's shard: no manual merging.
+        out = str(tmp_path / "service.chrome.json")
+        assert main(["export", "chrome", trace_path, "-o", out]) == 0
+        payload = json.loads(open(out).read())
+        events = payload["traceEvents"]
+        work_spans = [
+            e for e in events if e.get("ph") == "X" and e["name"] == "service.work"
+        ]
+        assert len(work_spans) >= 2
+        # Each worker shard is its own lane (tid) in the rendered trace.
+        assert len({e["tid"] for e in work_spans}) >= 2
+        lanes = [e for e in events if e.get("ph") == "M" and e["name"] == "thread_name"]
+        assert len(lanes) >= 2
+        # The daemon's own request/cache events ride along as instants.
+        assert any(e.get("ph") == "i" for e in events)
+
+    def test_successive_runs_get_distinct_dirs(self, tmp_path):
+        from repro.service import make_run_dir
+
+        base = str(tmp_path / "traces")
+        first = make_run_dir(base)
+        second = make_run_dir(base)
+        assert first != second
+        assert os.path.isdir(first) and os.path.isdir(second)
+
+
+class TestLoadgen:
+    def test_self_hosted_loadgen_meets_slo_shape(self, tmp_path, sock):
+        from repro.service import run_loadgen
+
+        corpus = {"tiny": SOURCE, "other": OTHER_SOURCE}
+        with ServiceThread(sock, workers=2):
+            report = run_loadgen(
+                sock, requests=24, concurrency=4, corpus=corpus
+            )
+        assert report.errors == 0
+        assert report.latency is not None and report.latency.count == 24
+        assert report.cached_replies > 0
+        assert report.throughput_rps > 0
+        speedup = report.warm_speedup()
+        assert speedup is not None and speedup > 1.0
+        assert report.server["store"]["hits"] > 0
+
+    def test_report_feeds_perf_history(self, tmp_path, sock):
+        from repro.obs.history import append_entry, load_history
+        from repro.service import report_entry, run_loadgen
+
+        with ServiceThread(sock, workers=1):
+            report = run_loadgen(
+                sock, requests=6, concurrency=2, corpus={"tiny": SOURCE}
+            )
+        entry = report_entry(report, note="unit test")
+        assert entry["config"]["suite"] == "service-loadgen"
+        phases = entry["benchmarks"]["service"]["optimize"]["phases"]
+        assert "latency_p50" in phases and "latency_warm_p50" in phases
+        ledger = str(tmp_path / "PERF_HISTORY.jsonl")
+        append_entry(ledger, entry)
+        loaded = load_history(ledger)
+        assert len(loaded) == 1
+        assert loaded[0]["config_key"] == entry["config_key"]
+
+    def test_loadgen_cli_self_host(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # the ledger lands in cwd
+        out_json = str(tmp_path / "report.json")
+        code = main(
+            [
+                "loadgen",
+                "--self-host",
+                "--requests", "12",
+                "--concurrency", "3",
+                "--json", out_json,
+                "--no-record",
+            ]
+        )
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "errors: 0" in rendered
+        assert "p50" in rendered and "p99" in rendered
+        payload = json.loads(open(out_json).read())
+        assert payload["errors"] == 0
+        assert payload["latency"]["count"] == 12

@@ -6,8 +6,10 @@ from types import SimpleNamespace
 import pytest
 
 import repro
-from repro import Session, analyze, compile_source, optimize, run_program
+from repro import CompileConfig, Session, SessionPool
 from repro.analysis import AnalysisConfig
+from repro.ir import compile_source
+from repro.runtime import run_program
 from repro.bench.baseline import (
     MIN_SECONDS,
     NOISE_FLOOR_SECONDS,
@@ -65,11 +67,13 @@ class TestSession:
         with pytest.raises(KeyError):
             session.program_for("bogus")
 
-    def test_run_matches_classic_api(self):
+    def test_run_matches_primitive_api(self):
+        from repro.inlining.pipeline import optimize as optimize_ir
+
         session = Session(SOURCE)
         program = compile_source(SOURCE)
         assert session.run("plain").output == run_program(program).output
-        classic = run_program(optimize(program, inline=True).program)
+        classic = run_program(optimize_ir(program, inline=True).program)
         assert session.run("inline").output == classic.output
 
     def test_config_threads_through(self):
@@ -92,19 +96,117 @@ class TestSession:
         assert run.output and tracer.span_totals["run"][0] == 1
 
 
+class TestCompileConfig:
+    def test_frozen_and_hashable(self):
+        config = CompileConfig()
+        with pytest.raises(AttributeError):
+            config.inline = False
+        assert hash(config) == hash(CompileConfig())
+
+    def test_content_key_is_canonical(self):
+        assert CompileConfig().content_key() == CompileConfig().content_key()
+        assert (
+            CompileConfig(inline=False).content_key()
+            != CompileConfig().content_key()
+        )
+        # Explicit analysis defaults hash like resolved implicit ones.
+        assert (
+            CompileConfig().resolved().content_key()
+            == CompileConfig(analysis=AnalysisConfig()).content_key()
+        )
+
+    def test_content_key_matches_ledger_hashing(self):
+        from repro.obs.history import config_key
+
+        config = CompileConfig(max_rounds=2)
+        assert config.content_key() == config_key(config.to_dict())
+
+    def test_for_build(self):
+        assert CompileConfig.for_build("noinline").inline is False
+        assert CompileConfig.for_build("manual").manual_only is True
+        custom = AnalysisConfig(max_local_passes=3)
+        assert CompileConfig.for_build("inline", custom).analysis is custom
+        with pytest.raises(ValueError):
+            CompileConfig.for_build("plain")
+
+    def test_explicit_config_and_kwargs_share_the_memo(self):
+        session = Session(SOURCE)
+        via_config = session.optimize(CompileConfig(inline=True))
+        via_kwargs = session.optimize(inline=True)
+        assert via_config is via_kwargs
+        with pytest.raises(TypeError):
+            session.optimize(CompileConfig(), inline=True)
+
+    def test_session_analysis_config_resolves_into_key(self):
+        custom = AnalysisConfig(max_local_passes=29)
+        session = Session(SOURCE, config=custom)
+        report = session.optimize(CompileConfig())
+        assert report.analysis.config is custom
+
+
+class TestSessionPool:
+    def test_repeat_source_reuses_the_session(self):
+        pool = SessionPool()
+        first = pool.session(SOURCE)
+        assert pool.session(SOURCE) is first
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_tenants_are_isolated(self):
+        pool = SessionPool()
+        assert pool.session(SOURCE, tenant="a") is not pool.session(SOURCE, tenant="b")
+
+    def test_lru_bound_evicts(self):
+        pool = SessionPool(max_sessions=2)
+        a = pool.session("def main() { print(1); }")
+        pool.session("def main() { print(2); }")
+        pool.session("def main() { print(3); }")
+        assert len(pool) == 2
+        assert pool.evictions == 1
+        assert pool.session("def main() { print(1); }") is not a  # evicted
+
+    def test_tenant_tracer_lanes_merge_on_close(self):
+        from repro.obs import MemorySink, Tracer
+
+        tracer = Tracer(MemorySink())
+        pool = SessionPool(tracer=tracer)
+        pool.session(SOURCE, tenant="ci").optimize()
+        pool.session(SOURCE, tenant="dev").optimize()
+        assert pool.stats()["tenants"] == 2
+        pool.close()
+        assert tracer.span_totals.get("analyze", (0,))[0] >= 2
+
+    def test_stats_shape(self):
+        stats = SessionPool().stats()
+        assert set(stats) == {
+            "sessions", "tenants", "max_sessions", "hits", "misses", "evictions",
+        }
+
+
 class TestClassicWrappers:
     def test_top_level_exports(self):
-        for name in ("Session", "AnalysisCache", "compile_source", "analyze",
-                     "optimize", "run_program"):
+        for name in ("Session", "SessionPool", "CompileConfig", "AnalysisCache",
+                     "source_key", "compile_source", "analyze", "optimize",
+                     "run_program"):
             assert name in repro.__all__
             assert hasattr(repro, name)
 
-    def test_wrapper_pipeline(self):
-        program = compile_source(SOURCE, "wrap.icc")
-        result = analyze(program)
-        report = optimize(program, inline=True)
+    def test_wrappers_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="compile_source"):
+            program = repro.compile_source(SOURCE, "wrap.icc")
+        with pytest.warns(DeprecationWarning, match="analyze"):
+            result = repro.analyze(program)
+        with pytest.warns(DeprecationWarning, match="optimize"):
+            report = repro.optimize(program, inline=True)
         assert result.facts and report.plan.candidates
-        assert run_program(report.program).output == ["5"]
+        with pytest.warns(DeprecationWarning, match="run_program"):
+            assert repro.run_program(report.program).output == ["5"]
+
+    def test_wrappers_still_match_session_results(self):
+        with pytest.warns(DeprecationWarning):
+            classic = repro.run_program(
+                repro.optimize(repro.compile_source(SOURCE), inline=True).program
+            )
+        assert classic.output == Session(SOURCE).run("inline").output
 
 
 def _stub_runs(analyze_s=0.100, transform_s=0.050, builds=("inline",)):

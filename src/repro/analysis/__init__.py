@@ -13,6 +13,15 @@ from .contours import (
     SENSITIVITY_INLINING,
 )
 from .engine import AnalysisBudgetExceeded, FlowAnalysis, analyze
+from .escape import (
+    ARG_ESCAPE,
+    EscapeCache,
+    EscapeResult,
+    EscapeSite,
+    GLOBAL_ESCAPE,
+    NO_ESCAPE,
+    analyze_escapes,
+)
 from .results import AnalysisResult, IdentitySite, StoreSite
 from .reuse import AnalysisCache
 from .tags import ELEM_FIELD, MAX_TAG_DEPTH, NOFIELD, Slot, Tag, format_tag, head, make_tag
@@ -33,11 +42,18 @@ from .values import (
 __all__ = [
     "AbstractVal",
     "analyze",
+    "analyze_escapes",
     "AnalysisBudgetExceeded",
     "AnalysisCache",
     "AnalysisConfig",
     "AnalysisResult",
+    "ARG_ESCAPE",
     "ARRAY_CLASS",
+    "EscapeCache",
+    "EscapeResult",
+    "EscapeSite",
+    "GLOBAL_ESCAPE",
+    "NO_ESCAPE",
     "BOTTOM",
     "ContourManager",
     "ELEM_FIELD",

@@ -1,0 +1,455 @@
+"""Connection-graph escape analysis.
+
+Classifies every allocation site (``New`` / ``NewArray``) of a program as
+*global-escape*, *arg-escape*, or *no-escape*, so the optimizer can
+scalar-replace or frame-allocate objects the paper's object inlining
+cannot touch (children that are never stored anywhere at all).
+
+The shape follows the CoreCLR ``ObjectAllocator`` phase and Choi et
+al.'s connection graphs, specialised to this IR:
+
+- Per callable, a flow-insensitive **connection graph**: ``Move`` (and
+  value-returning builtins, whose results may alias an argument — think
+  ``min``/``max``) contribute *flow edges* ``src → dest``; stores into
+  object fields, array elements, or globals are *escape sinks* on the
+  stored value; ``return`` marks a register *returned* (a separate bit,
+  not an escape sink — a factory's result only escapes into its caller's
+  graph, where it keeps being tracked).
+- **Interprocedural formal summaries**: for each callable, each formal's
+  converged escape state plus a *returned* bit, computed by a monotone
+  fixpoint over the call graph (the lattice ``no < arg < global`` is
+  finite, so it terminates).  A call to a known callee escalates each
+  actual to the callee formal's state; a callee that returns a formal
+  adds a flow edge from the actual to the call's destination.  The
+  implicit constructor run by ``New`` is modelled as a call to the
+  resolved ``init`` with the fresh object as formal 0 — storing *into*
+  ``this`` does not escape ``this``, so ordinary initialisation keeps a
+  site no-escape while globalising the stored values.
+- Dynamically dispatched sends whose method name has a single definition
+  in the program are resolved to it (any receiver must reach that
+  definition); otherwise receiver and arguments conservatively
+  global-escape.
+- **Loop residency**: a Tarjan SCC pass over each callable's block graph
+  marks allocation sites inside CFG cycles.  A loop-resident site must
+  not become a frame slot (the frame region is only reclaimed when the
+  activation pops, so a loop would grow it unboundedly); scalar
+  replacement is still fine (registers are reused per iteration).
+
+Incrementality mirrors the versioned-cell idea of the flow engine at
+callable granularity: the per-callable graph is a pure function of the
+instruction stream, so :class:`EscapeCache` keys it by the tuple of
+instruction uids.  Rewrites splice fresh uids, so after the optimizer
+explodes constructors and re-runs the inliner only the touched callables
+recompute their local graphs — the interprocedural fixpoint (cheap, it
+only joins summaries) reruns over cached graphs, keeping re-analysis
+O(changed).  ``escape.local_hits`` / ``escape.local_misses`` counters
+quantify the reuse in traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import model as ir
+
+# The escape lattice: NO_ESCAPE < ARG_ESCAPE < GLOBAL_ESCAPE.
+NO_ESCAPE = 0
+ARG_ESCAPE = 1
+GLOBAL_ESCAPE = 2
+
+STATE_NAMES = {
+    NO_ESCAPE: "no-escape",
+    ARG_ESCAPE: "arg-escape",
+    GLOBAL_ESCAPE: "global-escape",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FormalSummary:
+    """Interprocedural fact about one formal of a callable."""
+
+    state: int = NO_ESCAPE
+    returned: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EscapeSite:
+    """Classification of one allocation site."""
+
+    uid: int
+    callable_name: str
+    class_name: str | None  # None for plain arrays
+    is_array: bool
+    dest: int
+    position: tuple[int, int]  # (block index, instruction index)
+    in_loop: bool
+    state: int
+    reason: str
+
+    @property
+    def state_name(self) -> str:
+        return STATE_NAMES[self.state]
+
+
+@dataclass(frozen=True, slots=True)
+class _CallUse:
+    """One call site with a statically known callee."""
+
+    callee: str  # qualified callable name
+    actuals: tuple[int, ...]  # receiver first for methods
+    dest: int | None  # None when the result is discarded (implicit init)
+
+
+@dataclass(frozen=True, slots=True)
+class _AllocInfo:
+    uid: int
+    dest: int
+    class_name: str | None
+    is_array: bool
+    position: tuple[int, int]
+
+
+@dataclass(slots=True)
+class _LocalFacts:
+    """The intraprocedural connection graph of one callable.
+
+    A pure function of the instruction stream (callee references are kept
+    by *name* and re-joined against current summaries every fixpoint), so
+    it is cacheable by uid fingerprint.
+    """
+
+    fingerprint: tuple[int, ...]
+    num_formals: int
+    flow: dict[int, tuple[int, ...]]  # reg -> regs its value flows into
+    sinks: dict[int, tuple[int, str]]  # reg -> (state, reason)
+    calls: tuple[_CallUse, ...]
+    returned: frozenset[int]
+    allocs: tuple[_AllocInfo, ...]
+    loop_blocks: frozenset[int]
+
+
+@dataclass(slots=True)
+class EscapeResult:
+    """Program-wide classification."""
+
+    sites: list[EscapeSite] = field(default_factory=list)
+    by_uid: dict[int, EscapeSite] = field(default_factory=dict)
+    summaries: dict[str, tuple[FormalSummary, ...]] = field(default_factory=dict)
+    local_hits: int = 0
+    local_misses: int = 0
+
+    def no_escape_sites(self) -> list[EscapeSite]:
+        return [s for s in self.sites if s.state == NO_ESCAPE]
+
+
+class EscapeCache:
+    """Per-callable connection graphs keyed by instruction-uid fingerprint.
+
+    Sound for any sequence of programs in which a callable whose uid
+    tuple is unchanged also has unchanged instructions — true here
+    because instructions are immutable and every rewrite splices fresh
+    uids.
+    """
+
+    def __init__(self) -> None:
+        self._facts: dict[str, _LocalFacts] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, fingerprint: tuple[int, ...]) -> _LocalFacts | None:
+        facts = self._facts.get(name)
+        if facts is not None and facts.fingerprint == fingerprint:
+            self.hits += 1
+            return facts
+        self.misses += 1
+        return None
+
+    def put(self, name: str, facts: _LocalFacts) -> None:
+        self._facts[name] = facts
+
+
+# ----------------------------------------------------------------------
+# Local graph construction.
+
+
+def _loop_blocks(callable_: ir.IRCallable) -> frozenset[int]:
+    """Blocks inside a CFG cycle: nontrivial Tarjan SCCs plus self-loops."""
+    succs = [block.successors() for block in callable_.blocks]
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = 0
+    in_cycle: set[int] = set()
+
+    for root in range(len(succs)):
+        if root in index_of:
+            continue
+        # Iterative Tarjan: (node, iterator state) frames.
+        work: list[list[int]] = [[root, 0]]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succs[node]
+            while work[-1][1] < len(children):
+                child = children[work[-1][1]]
+                work[-1][1] += 1
+                if child not in index_of:
+                    work.append([child, 0])
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in succs[node]:
+                    in_cycle.update(component)
+    return frozenset(in_cycle)
+
+
+def _unique_method(program: ir.IRProgram, method_name: str) -> str | None:
+    """The qualified name of ``method_name`` if the program has exactly one
+    definition of it (then any dispatch must land there)."""
+    found: str | None = None
+    for cls in program.classes.values():
+        method = cls.methods.get(method_name)
+        if method is not None:
+            if found is not None:
+                return None
+            found = method.name
+    return found
+
+
+def _collect_local(program: ir.IRProgram, callable_: ir.IRCallable) -> _LocalFacts:
+    flow: dict[int, set[int]] = {}
+    sinks: dict[int, tuple[int, str]] = {}
+    calls: list[_CallUse] = []
+    returned: set[int] = set()
+    allocs: list[_AllocInfo] = []
+    uids: list[int] = []
+
+    def edge(src: int, dest: int) -> None:
+        if src != dest:
+            flow.setdefault(src, set()).add(dest)
+
+    def sink(reg: int, state: int, reason: str) -> None:
+        current = sinks.get(reg)
+        if current is None or state > current[0]:
+            sinks[reg] = (state, reason)
+
+    for block_index, instr_index, instr in callable_.instructions_with_position():
+        uids.append(instr.uid)
+        kind = type(instr)
+        if kind is ir.Move:
+            edge(instr.src, instr.dest)
+        elif kind is ir.New:
+            allocs.append(
+                _AllocInfo(instr.uid, instr.dest, instr.class_name, False,
+                           (block_index, instr_index))
+            )
+            if not instr.skip_init:
+                resolved = program.resolve_method(instr.class_name, "init")
+                if resolved is not None:
+                    calls.append(
+                        _CallUse(resolved[1].name, (instr.dest, *instr.args), None)
+                    )
+        elif kind is ir.NewArray:
+            allocs.append(
+                _AllocInfo(instr.uid, instr.dest, instr.inline_layout, True,
+                           (block_index, instr_index))
+            )
+        elif kind is ir.SetField:
+            sink(instr.src, GLOBAL_ESCAPE, f"stored into field .{instr.field_name}")
+        elif kind is ir.SetFieldIndexed:
+            sink(instr.src, GLOBAL_ESCAPE, f"stored into inline array .{instr.base_field}")
+        elif kind is ir.SetIndex:
+            sink(instr.src, GLOBAL_ESCAPE, "stored into array element")
+        elif kind is ir.SetGlobal:
+            sink(instr.src, GLOBAL_ESCAPE, f"stored into global {instr.name}")
+        elif kind is ir.Return:
+            if instr.src is not None:
+                returned.add(instr.src)
+        elif kind is ir.CallStatic:
+            calls.append(_CallUse(f"{instr.class_name}::{instr.method_name}",
+                                  (instr.recv, *instr.args), instr.dest))
+        elif kind is ir.CallFunction:
+            calls.append(_CallUse(instr.func_name, instr.args, instr.dest))
+        elif kind is ir.CallMethod:
+            target = _unique_method(program, instr.method_name)
+            if target is not None:
+                calls.append(
+                    _CallUse(target, (instr.recv, *instr.args), instr.dest)
+                )
+            else:
+                reason = f"dynamic send .{instr.method_name}() with several targets"
+                sink(instr.recv, GLOBAL_ESCAPE, reason)
+                for arg in instr.args:
+                    sink(arg, GLOBAL_ESCAPE, reason)
+        elif kind is ir.CallBuiltin:
+            # Builtins never retain references, but value-selecting ones
+            # (min/max) may return an argument: model args as flowing into
+            # the result so a later store of the result escapes them too.
+            if instr.dest is not None:
+                for arg in instr.args:
+                    edge(arg, instr.dest)
+        elif kind is ir.MakeView:
+            # A view is a fat pointer aliasing the array.
+            edge(instr.array, instr.dest)
+        # Const / UnOp / BinOp / field+index reads / ArrayLen / globals
+        # reads / Jump / Branch neither leak nor alias a reference.
+
+    return _LocalFacts(
+        fingerprint=tuple(uids),
+        num_formals=callable_.num_formals,
+        flow={src: tuple(dests) for src, dests in flow.items()},
+        sinks=sinks,
+        calls=tuple(calls),
+        returned=frozenset(returned),
+        allocs=tuple(allocs),
+        loop_blocks=_loop_blocks(callable_),
+    )
+
+
+# ----------------------------------------------------------------------
+# Interprocedural fixpoint.
+
+
+def _eval_callable(
+    facts: _LocalFacts,
+    summaries: dict[str, tuple[FormalSummary, ...]],
+) -> tuple[dict[int, int], dict[int, str], set[int]]:
+    """Solve one callable's graph against current callee summaries.
+
+    Returns (register escape states, escalation reasons, returned regs).
+    """
+    state: dict[int, int] = {}
+    reason: dict[int, str] = {}
+    flow: dict[int, set[int]] = {src: set(dests) for src, dests in facts.flow.items()}
+    returned: set[int] = set(facts.returned)
+
+    def raise_to(reg: int, value: int, why: str) -> None:
+        if value > state.get(reg, NO_ESCAPE):
+            state[reg] = value
+            reason[reg] = why
+
+    for reg, (value, why) in facts.sinks.items():
+        raise_to(reg, value, why)
+
+    for call in facts.calls:
+        callee = summaries.get(call.callee)
+        if callee is None:
+            # Callee outside the program (should not happen for validated
+            # IR) — be conservative.
+            for actual in call.actuals:
+                raise_to(actual, GLOBAL_ESCAPE, f"call to unknown {call.callee}")
+            continue
+        for position, actual in enumerate(call.actuals):
+            if position >= len(callee):
+                break
+            summary = callee[position]
+            if summary.state > NO_ESCAPE:
+                raise_to(actual, summary.state, f"escapes in callee {call.callee}")
+            if summary.returned and call.dest is not None and call.dest != actual:
+                flow.setdefault(actual, set()).add(call.dest)
+
+    # Escape states propagate backward along flow edges (if the value in
+    # ``dest`` escapes and ``src`` flows into ``dest``, the object in
+    # ``src`` escapes); the returned bit propagates the same way.
+    changed = True
+    while changed:
+        changed = False
+        for src, dests in flow.items():
+            src_state = state.get(src, NO_ESCAPE)
+            for dest in dests:
+                dest_state = state.get(dest, NO_ESCAPE)
+                if dest_state > src_state:
+                    state[src] = src_state = dest_state
+                    reason[src] = reason.get(dest, "aliased to escaping value")
+                    changed = True
+                if dest in returned and src not in returned:
+                    returned.add(src)
+                    changed = True
+    return state, reason, returned
+
+
+def analyze_escapes(
+    program: ir.IRProgram, cache: EscapeCache | None = None
+) -> EscapeResult:
+    """Run the escape analysis over a whole program."""
+    if cache is None:
+        cache = EscapeCache()
+    hits_before, misses_before = cache.hits, cache.misses
+
+    local: dict[str, _LocalFacts] = {}
+    for callable_ in program.callables():
+        fingerprint = tuple(instr.uid for instr in callable_.instructions())
+        facts = cache.get(callable_.name, fingerprint)
+        if facts is None:
+            facts = _collect_local(program, callable_)
+            cache.put(callable_.name, facts)
+        local[callable_.name] = facts
+
+    summaries: dict[str, tuple[FormalSummary, ...]] = {
+        name: tuple(FormalSummary() for _ in range(facts.num_formals))
+        for name, facts in local.items()
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in local.items():
+            state, _, returned = _eval_callable(facts, summaries)
+            updated = tuple(
+                FormalSummary(state.get(formal, NO_ESCAPE), formal in returned)
+                for formal in range(facts.num_formals)
+            )
+            if updated != summaries[name]:
+                summaries[name] = updated
+                changed = True
+
+    result = EscapeResult(
+        summaries=summaries,
+        local_hits=cache.hits - hits_before,
+        local_misses=cache.misses - misses_before,
+    )
+    for name, facts in local.items():
+        if not facts.allocs:
+            continue
+        state, reason, returned = _eval_callable(facts, summaries)
+        for alloc in facts.allocs:
+            site_state = state.get(alloc.dest, NO_ESCAPE)
+            why = reason.get(alloc.dest, "never leaves the allocating method")
+            if site_state == NO_ESCAPE and alloc.dest in returned:
+                site_state = ARG_ESCAPE
+                why = "returned to caller"
+            site = EscapeSite(
+                uid=alloc.uid,
+                callable_name=name,
+                class_name=alloc.class_name,
+                is_array=alloc.is_array,
+                dest=alloc.dest,
+                position=alloc.position,
+                in_loop=alloc.position[0] in facts.loop_blocks,
+                state=site_state,
+                reason=why,
+            )
+            result.sites.append(site)
+            result.by_uid[alloc.uid] = site
+    return result

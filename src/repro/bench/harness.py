@@ -40,6 +40,10 @@ from .programs import oopack, polyover, richards, silo
 
 BUILDS = ("noinline", "inline", "manual")
 
+#: The Figure-17 suite additionally runs the escape-ablation build so the
+#: report can show what escape analysis removes beyond object inlining.
+PERFORMANCE_BUILDS = ("noinline", "inline", "noescape", "manual")
+
 #: name -> (source text, info).  ``polyover`` is the combined program used
 #: for Figures 14-16; the array/list splits are separate Figure 17 entries.
 BENCHMARKS: dict[str, tuple[str, BenchmarkInfo]] = {
@@ -71,6 +75,7 @@ PHASE_NAMES = (
     "plan",
     "transform",
     "opt.inline_methods",
+    "opt.escape",
     "opt.loadcse",
     "opt.dce",
 )
@@ -357,10 +362,10 @@ def run_performance_suite(jobs: int = 1, **kwargs) -> dict[str, BenchmarkRun]:
         for name, source in PERFORMANCE_PROGRAMS.items()
     }
     if jobs > 1:
-        return _run_matrix(specs, BUILDS, jobs, **kwargs)
+        return _run_matrix(specs, PERFORMANCE_BUILDS, jobs, **kwargs)
     results: dict[str, BenchmarkRun] = {}
     for name, (source, info) in specs.items():
-        results[name] = run_benchmark(name, source, info, BUILDS, **kwargs)
+        results[name] = run_benchmark(name, source, info, PERFORMANCE_BUILDS, **kwargs)
     return results
 
 

@@ -38,7 +38,7 @@ def _stats_section(runs: dict[str, BenchmarkRun]) -> str:
     ]
     rows: list[list[object]] = []
     for name, run in runs.items():
-        for build in ("noinline", "inline", "manual"):
+        for build in run.builds:
             stats = run.builds[build].run.stats
             rows.append(
                 [
@@ -105,6 +105,46 @@ def _locality_section(runs: dict[str, BenchmarkRun], top: int = 5) -> str:
             rows.append([name, f"`{label}`", b, a, a - b])
     if not rows:
         return "(no locality data — harness ran without `locality=True`)"
+    return _markdown_table(header, rows)
+
+
+def _escape_section(runs: dict[str, BenchmarkRun]) -> str:
+    """Escape delta: what the escape stage removes beyond object inlining.
+
+    Compares the full ``inline`` build against the ``noescape`` ablation
+    (identical pipeline with the escape stage disabled): allocations and
+    cache misses eliminated, plus how many sites were scalar-replaced or
+    moved to the frame region.
+    """
+    header = [
+        "benchmark", "scalar sites", "frame sites",
+        "allocs w/o escape", "allocs w/", "alloc delta",
+        "misses w/o escape", "misses w/", "miss delta",
+    ]
+    rows: list[list[object]] = []
+    for name, run in runs.items():
+        if "noescape" not in run.builds:
+            continue
+        inline = run.builds["inline"]
+        ablated = run.builds["noescape"]
+        escape = inline.report.escape_stats
+        with_stats = inline.run.stats
+        without_stats = ablated.run.stats
+        rows.append(
+            [
+                name,
+                escape.scalar_replaced if escape else 0,
+                escape.stack_allocated if escape else 0,
+                without_stats.allocations,
+                with_stats.allocations,
+                with_stats.allocations - without_stats.allocations,
+                without_stats.cache.misses,
+                with_stats.cache.misses,
+                with_stats.cache.misses - without_stats.cache.misses,
+            ]
+        )
+    if not rows:
+        return "(no escape data — harness ran without the `noescape` build)"
     return _markdown_table(header, rows)
 
 
@@ -177,6 +217,17 @@ def generate_report(tracer=NULL_TRACER, jobs: int = 1, locality: bool = True) ->
         sections.append("")
         sections.append(_locality_section(performance))
         sections.append("")
+    sections.append("## Escape delta (Figure 17 programs)")
+    sections.append("")
+    sections.append(
+        "Allocations and cache misses the escape stage removes on top of "
+        "object inlining (`inline` build vs the `noescape` ablation); "
+        "negative deltas are eliminations.  Scalar sites dissolve into "
+        "registers; frame sites move to the per-activation frame region."
+    )
+    sections.append("")
+    sections.append(_escape_section(performance))
+    sections.append("")
     sections.append("## Inlining decisions per benchmark")
     sections.append("")
     sections.append(_decisions_section(runs))

@@ -109,6 +109,8 @@ def _build_name(args: argparse.Namespace) -> str:
         return "noinline"
     if args.manual:
         return "manual"
+    if getattr(args, "no_escape", False):
+        return "noescape"
     if args.inline:
         return "inline"
     return "plain"
@@ -136,6 +138,11 @@ def _add_build_flags(parser: argparse.ArgumentParser) -> None:
         "--manual",
         action="store_true",
         help="inline only manually annotated locations (G++ proxy)",
+    )
+    group.add_argument(
+        "--no-escape",
+        action="store_true",
+        help="object inlining with the escape-analysis stage disabled (ablation)",
     )
 
 
@@ -208,6 +215,22 @@ def _analysis_payload(args: argparse.Namespace, report) -> dict:
         },
         "replan_rounds": report.replan_rounds,
         "nested_rounds": report.nested_rounds,
+        "escape": _escape_payload(report),
+    }
+
+
+def _escape_payload(report) -> dict | None:
+    """The escape stage's outcome for ``repro analyze --json``."""
+    stats = report.escape_stats
+    if stats is None:
+        return None
+    return {
+        "sites": stats.sites,
+        "scalar_replaced": stats.scalar_replaced,
+        "stack_allocated": stats.stack_allocated,
+        "exploded_inits": stats.exploded_inits,
+        "rejected": dict(stats.rejected),
+        "decisions": list(stats.decisions),
     }
 
 
@@ -247,6 +270,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"clones: {stats.method_partitions} method partitions, "
         f"{stats.class_variants} class variants, {stats.view_classes} view classes"
     )
+    escape = report.escape_stats
+    if escape is not None and escape.sites:
+        print(
+            f"escape: {escape.sites} sites, {escape.scalar_replaced} scalar-replaced, "
+            f"{escape.stack_allocated} frame-allocated"
+        )
+        for decision in escape.decisions:
+            if decision["accepted"]:
+                status = f"ACCEPT ({decision['mode']})"
+            else:
+                status = f"reject[{decision['stage']}]: {decision['reason']}"
+            print(f"  {decision['candidate']:30s} {status}")
     return 0
 
 

@@ -32,6 +32,7 @@ from ..analysis import (
 )
 from ..cloning.emit import CloneStats, TransformOutcome, transform_program
 from ..opt.dce import DCEStats, eliminate_dead_code
+from ..opt.escape import EscapeStats, apply_escape_optimization
 from ..opt.inliner import InlinerStats, inline_methods
 from ..opt.loadcse import LoadCSEStats, eliminate_redundant_loads
 from ..ir import model as ir
@@ -52,6 +53,7 @@ class OptimizeReport:
     clone_stats: CloneStats
     replan_rounds: int
     inliner_stats: InlinerStats | None = None
+    escape_stats: EscapeStats | None = None
     cse_stats: LoadCSEStats | None = None
     dce_stats: DCEStats | None = None
     #: Total optimization rounds run (``max_rounds`` > 1 enables nested
@@ -211,6 +213,7 @@ def optimize(
     devirtualize: bool = True,
     manual_only: bool = False,
     inline_methods_pass: bool = True,
+    escape_pass: bool = True,
     cache_loads_pass: bool = True,
     dce_pass: bool = True,
     max_rounds: int = 1,
@@ -224,6 +227,12 @@ def optimize(
     scalar optimizations applied in *every* build (the Concert compiler
     ran them regardless of object inlining); they exist as switches for
     the ablation benchmarks.
+
+    ``escape_pass`` runs the connection-graph escape analysis after
+    method inlining and scalar-replaces or frame-allocates the no-escape
+    sites — the allocation-removal axis object inlining cannot reach
+    (objects that are never stored anywhere).  Its decisions land in the
+    same audit stream as the inlining candidates (kind ``escape``).
 
     ``max_rounds > 1`` enables **nested object inlining** (the paper's
     future-work direction): the pipeline prefers innermost candidates,
@@ -291,6 +300,7 @@ def optimize(
             # the source program); later rounds only contribute their programs.
 
         inliner_stats = None
+        escape_stats = None
         cse_stats = None
         dce_stats = None
         if analysis_cache is not None:
@@ -302,6 +312,20 @@ def optimize(
             with tracer.span("opt.inline_methods"):
                 inliner_stats = inline_methods(outcome.program)
             validate_program(outcome.program)
+        if escape_pass:
+            with tracer.span("opt.escape"):
+                escape_stats = apply_escape_optimization(
+                    outcome.program, splice_inits=inline_methods_pass
+                )
+            validate_program(outcome.program)
+            if tracer.enabled:
+                for record in escape_stats.decisions:
+                    tracer.event("decision", **record)
+                tracer.count("escape.sites", escape_stats.sites)
+                tracer.count("escape.scalar_replaced", escape_stats.scalar_replaced)
+                tracer.count("escape.stack_allocated", escape_stats.stack_allocated)
+                tracer.count("escape.local_hits", escape_stats.local_hits)
+                tracer.count("escape.local_misses", escape_stats.local_misses)
         if cache_loads_pass:
             with tracer.span("opt.loadcse"):
                 cse_stats = eliminate_redundant_loads(outcome.program)
@@ -317,6 +341,7 @@ def optimize(
         clone_stats=outcome.stats,
         replan_rounds=replans,
         inliner_stats=inliner_stats,
+        escape_stats=escape_stats,
         cse_stats=cse_stats,
         dce_stats=dce_stats,
         nested_rounds=nested_rounds,

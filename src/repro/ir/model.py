@@ -157,6 +157,12 @@ class New(Instr):
     #: Set when the transformation emits an explicit CallStatic to a cloned
     #: constructor right after the allocation.
     skip_init: bool = False
+    #: Set by the escape-analysis stage when the object provably never
+    #: escapes its allocating activation: the VM allocates it in the frame
+    #: region and reclaims it when the frame pops.  Unlike ``on_stack``
+    #: (whose objects may be copied by value into containers and outlive
+    #: the frame), a ``frame_local`` object is dead at return.
+    frame_local: bool = False
 
     def sources(self) -> tuple[int, ...]:
         return self.args

@@ -18,8 +18,9 @@ def format_instr(instr: ir.Instr) -> str:
     if isinstance(instr, ir.New):
         args = ", ".join(f"r{a}" for a in instr.args)
         stack = " [stack]" if instr.on_stack else ""
+        frame = " [frame]" if instr.frame_local else ""
         raw = " [skip-init]" if instr.skip_init else ""
-        return f"r{instr.dest} = new {instr.class_name}({args}){stack}{raw}"
+        return f"r{instr.dest} = new {instr.class_name}({args}){stack}{frame}{raw}"
     if isinstance(instr, ir.NewArray):
         layout = f" inline[{instr.inline_layout}]" if instr.inline_layout else ""
         parallel = " parallel" if instr.parallel_layout else ""

@@ -2,13 +2,17 @@
 inlining: method inlining (procedure integration) and field-load caching."""
 
 from .dce import DCEStats, eliminate_dead_code
+from .escape import ESCAPE_REJECT_STAGES, EscapeStats, apply_escape_optimization
 from .inliner import InlinerStats, inline_methods
 from .loadcse import LoadCSEStats, eliminate_redundant_loads
 
 __all__ = [
+    "apply_escape_optimization",
     "DCEStats",
     "eliminate_dead_code",
     "eliminate_redundant_loads",
+    "ESCAPE_REJECT_STAGES",
+    "EscapeStats",
     "inline_methods",
     "InlinerStats",
     "LoadCSEStats",

@@ -1,0 +1,414 @@
+"""Escape-directed allocation removal: scalar replacement + frame slots.
+
+Runs after method inlining.  Every allocation site the connection-graph
+analysis (``repro.analysis.escape``) proves *no-escape* is either
+
+- **scalar-replaced** — the object's fields become fresh registers, field
+  accesses become register moves, and the allocation is deleted — when
+  its shape allows (single definition of the destination register and
+  every use is a direct field access on it), or
+- **frame-allocated** — the ``New`` is flagged ``frame_local`` so the VM
+  carves it out of the per-activation frame region and reclaims it when
+  the frame pops — when it is not loop-resident (the frame region only
+  shrinks at return, so a loop would grow it without bound).
+
+To give scalar replacement a chance on ordinary ``new C(...)`` sites,
+no-escape allocations with an implicit constructor are first *exploded*
+into ``new C [skip-init]`` + an explicit ``CallStatic C::init`` —
+bit-identical semantics (same resolution, same static-call accounting) —
+and the method inliner reruns to splice small constructors inline.  The
+second classification pass then sees the constructor's field stores
+directly in the allocating method.  Both passes share an
+:class:`~repro.analysis.escape.EscapeCache`, so the rerun only recomputes
+callables the explosion actually touched.
+
+Every considered site leaves a record in the decision audit (kind
+``escape``) with the same shape the inlining candidates use; rejections
+carry one of the stages ``escape-global`` / ``escape-arg`` /
+``escape-loop`` / ``escape-shape``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.escape import (
+    ARG_ESCAPE,
+    EscapeCache,
+    EscapeResult,
+    EscapeSite,
+    GLOBAL_ESCAPE,
+    NO_ESCAPE,
+    analyze_escapes,
+)
+from ..ir import model as ir
+from .inliner import inline_methods
+
+#: Documented reject stages of the escape decision, in check order.
+ESCAPE_REJECT_STAGES = (
+    "escape-global",
+    "escape-arg",
+    "escape-loop",
+    "escape-shape",
+)
+
+
+@dataclass(slots=True)
+class EscapeStats:
+    """Outcome of the escape stage, attached to the optimize report."""
+
+    sites: int = 0
+    scalar_replaced: int = 0
+    stack_allocated: int = 0
+    exploded_inits: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    decisions: list[dict] = field(default_factory=list)
+    #: Local connection-graph cache traffic across both analysis passes.
+    local_hits: int = 0
+    local_misses: int = 0
+
+    def _record(
+        self,
+        site: EscapeSite,
+        *,
+        accepted: bool,
+        stage: str | None,
+        reason: str,
+        mode: str | None = None,
+    ) -> None:
+        self.sites += 1
+        if not accepted:
+            self.rejected[stage] = self.rejected.get(stage, 0) + 1
+        block_index, instr_index = site.position
+        if site.is_array:
+            what = f"new {site.class_name or ''}[]"
+        else:
+            what = f"new {site.class_name}"
+        self.decisions.append(
+            {
+                "candidate": f"{what} in {site.callable_name}",
+                "key": [site.callable_name, f"B{block_index}.{instr_index}"],
+                "kind": "escape",
+                "accepted": accepted,
+                "stage": stage,
+                "reason": reason,
+                "mode": mode,
+            }
+        )
+
+
+def apply_escape_optimization(
+    program: ir.IRProgram,
+    *,
+    splice_inits: bool = True,
+    cache: EscapeCache | None = None,
+) -> EscapeStats:
+    """Scalar-replace / frame-allocate the program's no-escape sites."""
+    if cache is None:
+        cache = EscapeCache()
+    stats = EscapeStats()
+    hits_before, misses_before = cache.hits, cache.misses
+
+    analysis = analyze_escapes(program, cache)
+    exploded = _explode_constructors(program, analysis)
+    stats.exploded_inits = exploded
+    if exploded:
+        if splice_inits:
+            inline_methods(program)
+        analysis = analyze_escapes(program, cache)
+    stats.local_hits = cache.hits - hits_before
+    stats.local_misses = cache.misses - misses_before
+
+    # Group scalar-eligible sites per callable so each callable is
+    # rewritten once.
+    scalar_plans: dict[str, list[_ScalarPlan]] = {}
+    for site in analysis.sites:
+        callable_ = program.lookup_callable(site.callable_name)
+        if callable_ is None:  # pragma: no cover - classification is fresh
+            continue
+        if site.state == GLOBAL_ESCAPE:
+            stats._record(site, accepted=False, stage="escape-global", reason=site.reason)
+            continue
+        if site.state == ARG_ESCAPE:
+            stats._record(site, accepted=False, stage="escape-arg", reason=site.reason)
+            continue
+        assert site.state == NO_ESCAPE
+        plan, scalar_reason = _scalar_plan(program, callable_, site)
+        if plan is not None:
+            scalar_plans.setdefault(site.callable_name, []).append(plan)
+            stats.scalar_replaced += 1
+            stats._record(
+                site,
+                accepted=True,
+                stage=None,
+                reason="fields scalarized into registers",
+                mode="scalar",
+            )
+            continue
+        if site.is_array:
+            stats._record(
+                site,
+                accepted=False,
+                stage="escape-shape",
+                reason=f"{scalar_reason}; arrays have no frame form",
+            )
+            continue
+        if site.in_loop:
+            stats._record(
+                site,
+                accepted=False,
+                stage="escape-loop",
+                reason=f"{scalar_reason}; loop-resident (frame region would grow per iteration)",
+            )
+            continue
+        _mark_frame_local(callable_, site.uid)
+        stats.stack_allocated += 1
+        stats._record(
+            site,
+            accepted=True,
+            stage=None,
+            reason=f"{scalar_reason}; allocated in the frame region",
+            mode="stack",
+        )
+
+    for name, plans in scalar_plans.items():
+        callable_ = program.lookup_callable(name)
+        assert callable_ is not None
+        _scalar_replace(callable_, plans)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Constructor explosion.
+
+
+def _explode_constructors(program: ir.IRProgram, analysis: EscapeResult) -> int:
+    """Split implicit constructors of no-escape object sites into explicit
+    ``CallStatic init`` calls (so the inliner can splice them)."""
+    candidates = {
+        site.uid
+        for site in analysis.sites
+        if site.state == NO_ESCAPE and not site.is_array
+    }
+    if not candidates:
+        return 0
+    exploded = 0
+    for callable_ in program.callables():
+        rewritten: list[ir.Block] | None = None
+        for block_index, block in enumerate(callable_.blocks):
+            new_instrs: list[ir.Instr] | None = None
+            for instr_index, instr in enumerate(block.instrs):
+                if (
+                    type(instr) is not ir.New
+                    or instr.uid not in candidates
+                    or instr.skip_init
+                ):
+                    if new_instrs is not None:
+                        new_instrs.append(instr)
+                    continue
+                resolved = program.resolve_method(instr.class_name, "init")
+                if resolved is None:
+                    if new_instrs is not None:
+                        new_instrs.append(instr)
+                    continue
+                if new_instrs is None:
+                    new_instrs = list(block.instrs[:instr_index])
+                result_reg = callable_.num_regs
+                callable_.num_regs += 1
+                new_instrs.append(replace(instr, args=(), skip_init=True))
+                new_instrs.append(
+                    ir.make_instr(
+                        ir.CallStatic,
+                        loc=instr.loc,
+                        dest=result_reg,
+                        recv=instr.dest,
+                        class_name=instr.class_name,
+                        method_name="init",
+                        args=instr.args,
+                    )
+                )
+                exploded += 1
+            if new_instrs is not None:
+                if rewritten is None:
+                    rewritten = list(callable_.blocks)
+                rewritten[block_index] = ir.Block(instrs=new_instrs)
+        if rewritten is not None:
+            callable_.blocks = rewritten
+    return exploded
+
+
+# ----------------------------------------------------------------------
+# Scalar replacement.
+
+
+@dataclass(slots=True)
+class _ScalarPlan:
+    """How to rewrite one scalar-replaceable site."""
+
+    site_uid: int
+    layout: list[str]
+    members: frozenset[int]  # registers aliasing the object (dest + moves)
+    alias_move_uids: frozenset[int]
+
+
+def _scalar_plan(
+    program: ir.IRProgram, callable_: ir.IRCallable, site: EscapeSite
+) -> tuple[_ScalarPlan | None, str | None]:
+    """A rewrite plan for the site, or (None, why it cannot be one).
+
+    The shape requirement: starting from the allocation's destination and
+    closing over ``Move`` aliases, every register in the group is defined
+    exactly once (the ``New`` or the joining move) and every use is a
+    direct field access on it or another alias move.  Then the object has
+    no identity, never meets a call, and its fields can live in
+    registers.
+    """
+    if site.is_array:
+        return None, "array state is indexed dynamically"
+    new_instr = _find_new(callable_, site.uid)
+    if new_instr is None:  # pragma: no cover - classification is fresh
+        return None, "allocation instruction not found"
+    if not new_instr.skip_init and program.resolve_method(new_instr.class_name, "init"):
+        return None, "constructor not inlined"
+    layout = program.layout(new_instr.class_name)
+    layout_set = set(layout)
+
+    defs: dict[int, list[ir.Instr]] = {}
+    uses: dict[int, list[ir.Instr]] = {}
+    for instr in callable_.instructions():
+        dest = instr.dst
+        if dest is not None:
+            defs.setdefault(dest, []).append(instr)
+        for reg in set(instr.sources()):
+            uses.setdefault(reg, []).append(instr)
+
+    members: set[int] = {site.dest}
+    alias_moves: set[int] = set()
+    worklist = [site.dest]
+    while worklist:
+        reg = worklist.pop()
+        if reg < callable_.num_formals:
+            return None, f"alias register r{reg} carries an incoming value"
+        reg_defs = defs.get(reg, [])
+        if len(reg_defs) != 1:
+            return None, f"alias register r{reg} has {len(reg_defs)} definitions"
+        the_def = reg_defs[0]
+        if reg == site.dest:
+            if the_def.uid != site.uid:
+                return None, "destination register is redefined"
+        elif not (type(the_def) is ir.Move and the_def.src in members):
+            # A member joined through a Move from the group but has another
+            # definition kind — conservatively give up.
+            return None, f"alias register r{reg} has a non-move definition"
+        for use in uses.get(reg, []):
+            kind = type(use)
+            if kind is ir.Move and use.src == reg:
+                if use.dest not in members:
+                    members.add(use.dest)
+                    worklist.append(use.dest)
+                alias_moves.add(use.uid)
+            elif kind is ir.GetField and use.obj == reg:
+                if use.field_name not in layout_set:
+                    return None, f"reads undeclared field .{use.field_name}"
+            elif kind is ir.SetField and use.obj == reg and use.src != reg:
+                if use.field_name not in layout_set:
+                    return None, f"writes undeclared field .{use.field_name}"
+            else:
+                return None, (
+                    f"used by {kind.__name__.lower()}"
+                    " (not a direct field access or alias move)"
+                )
+    return (
+        _ScalarPlan(
+            site_uid=site.uid,
+            layout=layout,
+            members=frozenset(members),
+            alias_move_uids=frozenset(alias_moves),
+        ),
+        None,
+    )
+
+
+def _find_new(callable_: ir.IRCallable, uid: int) -> ir.New | None:
+    for instr in callable_.instructions():
+        if instr.uid == uid and type(instr) is ir.New:
+            return instr
+    return None
+
+
+def _scalar_replace(callable_: ir.IRCallable, plans: list[_ScalarPlan]) -> None:
+    """Rewrite ``callable_`` so each planned site's fields live in registers."""
+    field_reg_of: dict[int, dict[str, int]] = {}  # member reg -> field -> reg
+    plan_of_uid: dict[int, _ScalarPlan] = {}
+    alias_move_uids: set[int] = set()
+    for plan in plans:
+        regs = {}
+        for field_name in plan.layout:
+            regs[field_name] = callable_.num_regs
+            callable_.num_regs += 1
+        # Alias groups of distinct sites are disjoint (a shared register
+        # would need two definitions and fail the plan), so keying the
+        # field registers by every member register is unambiguous.
+        for member in plan.members:
+            field_reg_of[member] = regs
+        plan_of_uid[plan.site_uid] = plan
+        alias_move_uids |= plan.alias_move_uids
+
+    for block_index, block in enumerate(callable_.blocks):
+        new_instrs: list[ir.Instr] = []
+        for instr in block.instrs:
+            kind = type(instr)
+            if kind is ir.New and instr.uid in plan_of_uid:
+                # The object is gone: materialize its nil-initialized
+                # fields as registers.
+                plan = plan_of_uid[instr.uid]
+                for field_name in plan.layout:
+                    new_instrs.append(
+                        ir.make_instr(
+                            ir.Const,
+                            loc=instr.loc,
+                            dest=field_reg_of[instr.dest][field_name],
+                            value=None,
+                        )
+                    )
+                continue
+            if instr.uid in alias_move_uids:
+                # The alias no longer carries a reference; nothing reads
+                # it after the rewrite, so pin it to nil (DCE sweeps it).
+                new_instrs.append(
+                    ir.make_instr(ir.Const, loc=instr.loc, dest=instr.dest, value=None)
+                )
+                continue
+            if kind is ir.GetField and instr.obj in field_reg_of:
+                new_instrs.append(
+                    ir.make_instr(
+                        ir.Move,
+                        loc=instr.loc,
+                        dest=instr.dest,
+                        src=field_reg_of[instr.obj][instr.field_name],
+                    )
+                )
+                continue
+            if kind is ir.SetField and instr.obj in field_reg_of:
+                new_instrs.append(
+                    ir.make_instr(
+                        ir.Move,
+                        loc=instr.loc,
+                        dest=field_reg_of[instr.obj][instr.field_name],
+                        src=instr.src,
+                    )
+                )
+                continue
+            new_instrs.append(instr)
+        callable_.blocks[block_index] = ir.Block(instrs=new_instrs)
+
+
+def _mark_frame_local(callable_: ir.IRCallable, uid: int) -> None:
+    for block_index, block in enumerate(callable_.blocks):
+        for instr_index, instr in enumerate(block.instrs):
+            if instr.uid == uid:
+                assert type(instr) is ir.New
+                instrs = list(block.instrs)
+                instrs[instr_index] = replace(instr, frame_local=True)
+                callable_.blocks[block_index] = ir.Block(instrs=instrs)
+                return

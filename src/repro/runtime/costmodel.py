@@ -39,6 +39,9 @@ class ExecutionStats:
     heap_writes: int = 0
     allocations: int = 0
     stack_allocations: int = 0
+    #: Escape-proven allocations served from the frame region (reclaimed
+    #: when the activation pops); charged like stack allocations.
+    frame_allocations: int = 0
     allocated_slots: int = 0
     allocated_bytes: int = 0
     dynamic_dispatches: int = 0
@@ -58,7 +61,7 @@ class ExecutionStats:
             self.instructions * m.base_instr
             + (self.heap_reads + self.heap_writes) * m.mem_access
             + self.allocations * m.alloc_base
-            + self.stack_allocations * m.stack_alloc
+            + (self.stack_allocations + self.frame_allocations) * m.stack_alloc
             + self.allocated_slots * m.alloc_per_slot
             + self.dynamic_dispatches * m.dynamic_dispatch
             + self.static_calls * m.static_call
@@ -80,6 +83,7 @@ class ExecutionStats:
             "heap_writes": self.heap_writes,
             "allocations": self.allocations,
             "stack_allocations": self.stack_allocations,
+            "frame_allocations": self.frame_allocations,
             "allocated_bytes": self.allocated_bytes,
             "dynamic_dispatches": self.dynamic_dispatches,
             "static_calls": self.static_calls,

@@ -75,15 +75,42 @@ class Heap:
     """Bump-allocated simulated heap holding objects and arrays."""
 
     #: Base of the simulated stack region, far from the heap so frame
-    #: temporaries do not dilute heap locality.
+    #: temporaries do not dilute heap locality.  The region only grows:
+    #: stack-like objects produced by the inlining transformation may be
+    #: copied by value into containers that outlive the allocating frame.
     STACK_BASE = 1 << 40
+    #: Base of the *frame* region for escape-proven allocations.  Unlike
+    #: ``STACK_BASE`` it is a real stack: :meth:`push_frame` /
+    #: :meth:`pop_frame` bracket each activation, the bump pointer rewinds
+    #: on pop, and popped records are deleted — a dangling reference (which
+    #: the escape analysis must make impossible) fails loudly instead of
+    #: silently reading stale state.
+    FRAME_BASE = 1 << 41
 
     def __init__(self, base_address: int = 0x10000) -> None:
         self._next_address = base_address
         self._next_stack_address = self.STACK_BASE
+        self._next_frame_address = self.FRAME_BASE
+        #: Addresses allocated by each open frame; the outermost list is a
+        #: root region for frame allocations made outside any bracket.
+        self._frame_allocs: list[list[int]] = [[]]
         self._objects: dict[int, _ObjectRecord] = {}
         self._arrays: dict[int, _ArrayRecord] = {}
         self.stats = HeapStats()
+
+    # ------------------------------------------------------------------
+    # Frame region.
+
+    def push_frame(self) -> int:
+        """Open a frame; returns the marker to hand back to pop_frame."""
+        self._frame_allocs.append([])
+        return self._next_frame_address
+
+    def pop_frame(self, marker: int) -> None:
+        """Reclaim every frame allocation made since the matching push."""
+        for address in self._frame_allocs.pop():
+            self._objects.pop(address, None)
+        self._next_frame_address = marker
 
     # ------------------------------------------------------------------
     # Allocation.
@@ -100,15 +127,26 @@ class Heap:
         self._next_address += aligned
         return address
 
+    def _bump_frame(self, size: int) -> int:
+        aligned = (size + SLOT_SIZE - 1) // SLOT_SIZE * SLOT_SIZE
+        address = self._next_frame_address
+        self._next_frame_address += aligned
+        self._frame_allocs[-1].append(address)
+        return address
+
     def alloc_object(
         self,
         class_name: str,
         layout: tuple[str, ...],
         on_stack: bool = False,
         alloc_site: str | None = None,
+        frame_local: bool = False,
     ) -> ObjectRef:
         size = OBJECT_HEADER + len(layout) * SLOT_SIZE
-        address = self._bump(size, on_stack)
+        if frame_local:
+            address = self._bump_frame(size)
+        else:
+            address = self._bump(size, on_stack)
         self._objects[address] = _ObjectRecord(
             class_name=class_name,
             layout=layout,

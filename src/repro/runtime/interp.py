@@ -91,6 +91,14 @@ class Interpreter:
         self.output: list[str] = []
         self._max_steps = max_steps
         self._depth = 0
+        # One program scan up front: frame push/pop bracketing in _call is
+        # only armed when the escape stage actually produced frame-local
+        # allocations, so untransformed programs pay nothing.
+        self._frame_regions = any(
+            type(instr) is ir.New and instr.frame_local
+            for callable_ in program.callables()
+            for instr in callable_.instructions()
+        )
         # Consulted only at run()-end (never in the dispatch loop), so the
         # default no-op tracer adds zero per-instruction overhead.
         self.tracer = tracer
@@ -154,9 +162,16 @@ class Interpreter:
             self.stats.max_call_depth = self._depth
         frame = _Frame(regs=[None] * callable_.num_regs)
         frame.regs[: len(args)] = args
+        if not self._frame_regions:
+            try:
+                return self._run_frame(callable_, frame)
+            finally:
+                self._depth -= 1
+        marker = self.heap.push_frame()
         try:
             return self._run_frame(callable_, frame)
         finally:
+            self.heap.pop_frame(marker)
             self._depth -= 1
 
     def _run_frame(self, callable_: ir.IRCallable, frame: _Frame) -> Value:
@@ -231,6 +246,7 @@ class Interpreter:
                         instr.loc,
                         instr.on_stack,
                         instr.skip_init,
+                        instr.frame_local,
                     )
                 elif kind is ir.NewArray:
                     regs[instr.dest] = self._new_array(
@@ -317,14 +333,32 @@ class Interpreter:
         loc: SourceLocation,
         on_stack: bool = False,
         skip_init: bool = False,
+        frame_local: bool = False,
     ) -> Value:
         cls = self.program.classes.get(class_name)
         if cls is None:
             raise ReproRuntimeError(f"unknown class {class_name!r}", loc)
         layout = tuple(self.program.layout(class_name))
         site = self._site(loc) if self._locality is not None else None
-        ref = self.heap.alloc_object(class_name, layout, on_stack, alloc_site=site)
-        if on_stack:
+        ref = self.heap.alloc_object(
+            class_name, layout, on_stack, alloc_site=site, frame_local=frame_local
+        )
+        if frame_local:
+            # Proven non-escaping by the escape analysis: carved out of the
+            # frame region, reclaimed at return.  The frame lines are
+            # simulated (unlike the legacy stack region) so the heatmap can
+            # show the same bytes being reused frame after frame.
+            self.stats.frame_allocations += 1
+            if self._locality is None:
+                self.cache.touch_range(ref.address, 8 + len(layout) * 8, is_write=True)
+            else:
+                self.cache.touch_range(
+                    ref.address,
+                    8 + len(layout) * 8,
+                    is_write=True,
+                    label=("frame-alloc", class_name, None, site),
+                )
+        elif on_stack:
             # Proven non-escaping by assignment specialization: charged as a
             # stack allocation; the (hot) stack lines are not simulated.
             self.stats.stack_allocations += 1

@@ -33,6 +33,7 @@ One long-lived process turns the compile pipeline into a service:
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import threading
 import time
@@ -343,7 +344,13 @@ class ReproService:
             extra=request.build if request.op == "run" else "",
         )
         timeout = request.timeout or self.request_timeout
-        # Warm path: content-addressed artifact store.
+        # Warm path: content-addressed artifact store.  The store keeps
+        # the reply in its canonical wire encoding, so a warm hit serves
+        # the stored bytes without unpickling the artifact or
+        # re-serializing the reply per request.
+        reply_bytes = self.store.get_reply_bytes(key)
+        if reply_bytes is not None:
+            return Response(id=request.id, result_bytes=reply_bytes, cached=True)
         artifact = self.store.get(key)
         if artifact is not None:
             return Response(id=request.id, result=artifact["reply"], cached=True)
@@ -379,7 +386,10 @@ class ReproService:
         try:
             product = await self._execute(task)
             if product.artifact is not None:
-                self.store.put_bytes(key, product.artifact)
+                reply_bytes = json.dumps(
+                    product.reply, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                self.store.put_bytes(key, product.artifact, reply_bytes=reply_bytes)
             if self.tracer.enabled:
                 self.tracer.merge(product.trace)
             return product.reply

@@ -20,6 +20,7 @@ protocol, queueing, cache, and compute included.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -40,11 +41,17 @@ def default_corpus() -> dict[str, str]:
 
 
 def percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample list."""
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sample list.
+
+    The nearest-rank definition is ``ceil(q * n)`` (1-based).  Note that
+    ``round(q * n + 0.5)`` is *not* an implementation of it: Python
+    rounds half to even, so e.g. ``n=2, q=0.5`` gave ``round(1.5) = 2``
+    — reporting the *larger* sample as the median.
+    """
     if not samples:
         raise ValueError("percentile of empty sample list")
     ordered = sorted(samples)
-    rank = max(1, min(len(ordered), round(q * len(ordered) + 0.5)))
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
     return ordered[rank - 1]
 
 

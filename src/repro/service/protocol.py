@@ -90,10 +90,17 @@ class Response:
     cached: bool = False
     coalesced: bool = False
     elapsed_ms: float | None = None
+    #: Pre-encoded canonical ``result`` JSON (no whitespace, sorted keys).
+    #: When set, :meth:`encode` splices these bytes verbatim instead of
+    #: re-serializing ``result`` — the warm path serves the byte string
+    #: the artifact store remembered from the cold compile.
+    result_bytes: bytes | None = None
 
     def encode(self) -> bytes:
         if self.ok:
-            payload: dict = {"id": self.id, "ok": True, "result": self.result}
+            payload: dict = {"id": self.id, "ok": True}
+            if self.result_bytes is None:
+                payload["result"] = self.result
             if self.cached:
                 payload["cached"] = True
             if self.coalesced:
@@ -104,9 +111,15 @@ class Response:
             payload["elapsed_ms"] = round(self.elapsed_ms, 3)
         # sort_keys: one canonical byte encoding, so the differential
         # tests can compare warm and cold replies bit-for-bit.
-        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
             "utf-8"
-        ) + b"\n"
+        )
+        if self.ok and self.result_bytes is not None:
+            # "result" sorts after every other ok-path key ("cached",
+            # "coalesced", "elapsed_ms", "id", "ok"), so splicing it last
+            # reproduces json.dumps(sort_keys=True) byte-for-byte.
+            encoded = encoded[:-1] + b',"result":' + self.result_bytes + b"}"
+        return encoded + b"\n"
 
 
 def _decode_line(line: bytes | str, what: str) -> dict:

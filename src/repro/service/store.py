@@ -74,10 +74,14 @@ class ArtifactStore:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.tracer = tracer
-        self._entries: OrderedDict[ArtifactKey, bytes] = OrderedDict()
+        #: key -> (pickled blob, canonical encoded reply bytes or None).
+        self._entries: OrderedDict[ArtifactKey, tuple[bytes, bytes | None]] = (
+            OrderedDict()
+        )
         self._total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.reply_bytes_hits = 0
         self.evictions = 0
         self.corrupt = 0
 
@@ -92,15 +96,35 @@ class ArtifactStore:
 
     def get_bytes(self, key: ArtifactKey) -> bytes | None:
         """The raw pickled blob, or ``None`` on miss (LRU-refreshing)."""
-        blob = self._entries.get(key)
-        if blob is None:
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
             self.tracer.count("service.store.miss")
             return None
         self.hits += 1
         self.tracer.count("service.store.hit")
         self._entries.move_to_end(key)
-        return blob
+        return entry[0]
+
+    def get_reply_bytes(self, key: ArtifactKey) -> bytes | None:
+        """The canonical encoded reply bytes, or ``None``.
+
+        A present entry without reply bytes (a pre-upgrade producer, or
+        an op whose reply is uncacheable) returns ``None`` *without*
+        counting a miss — the caller falls back to :meth:`get` and that
+        lookup does the counting.  A hit counts as a store hit plus
+        ``service.store.reply_bytes_hit`` so traces show how many warm
+        replies skipped the unpickle + re-encode entirely.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry[1] is None:
+            return None
+        self.hits += 1
+        self.reply_bytes_hits += 1
+        self.tracer.count("service.store.hit")
+        self.tracer.count("service.store.reply_bytes_hit")
+        self._entries.move_to_end(key)
+        return entry[1]
 
     def get(self, key: ArtifactKey) -> object | None:
         """The unpickled artifact, or ``None`` on miss.
@@ -127,12 +151,19 @@ class ArtifactStore:
         """Pickle ``value`` and store it; returns the stored bytes."""
         return self.put_bytes(key, pickle.dumps(value))
 
-    def put_bytes(self, key: ArtifactKey, blob: bytes) -> bytes:
-        """Store an already-pickled blob (what workers ship back)."""
+    def put_bytes(
+        self, key: ArtifactKey, blob: bytes, reply_bytes: bytes | None = None
+    ) -> bytes:
+        """Store an already-pickled blob (what workers ship back).
+
+        ``reply_bytes`` is the reply payload in its canonical wire
+        encoding; when given, warm hits can serve it via
+        :meth:`get_reply_bytes` without touching the pickle.
+        """
         if key in self._entries:
             self._drop(key)
-        self._entries[key] = blob
-        self._total_bytes += len(blob)
+        self._entries[key] = (blob, reply_bytes)
+        self._total_bytes += self._entry_bytes((blob, reply_bytes))
         self.tracer.count("service.store.put")
         while len(self._entries) > self.max_entries or (
             self.max_bytes is not None
@@ -140,17 +171,22 @@ class ArtifactStore:
             and len(self._entries) > 1
         ):
             evicted_key, evicted = self._entries.popitem(last=False)
-            self._total_bytes -= len(evicted)
+            self._total_bytes -= self._entry_bytes(evicted)
             self.evictions += 1
             self.tracer.count("service.store.evict")
             if evicted_key == key:
                 break
         return blob
 
+    @staticmethod
+    def _entry_bytes(entry: tuple[bytes, bytes | None]) -> int:
+        blob, reply_bytes = entry
+        return len(blob) + (len(reply_bytes) if reply_bytes is not None else 0)
+
     def _drop(self, key: ArtifactKey) -> None:
-        blob = self._entries.pop(key, None)
-        if blob is not None:
-            self._total_bytes -= len(blob)
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._total_bytes -= self._entry_bytes(entry)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -173,6 +209,7 @@ class ArtifactStore:
             "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "reply_bytes_hits": self.reply_bytes_hits,
             "hit_rate": round(self.hit_rate, 4),
             "evictions": self.evictions,
             "corrupt": self.corrupt,

@@ -50,6 +50,7 @@ def config_from_dict(payload: dict | None) -> CompileConfig:
             "devirtualize",
             "manual_only",
             "inline_methods_pass",
+            "escape_pass",
             "cache_loads_pass",
             "dce_pass",
             "max_rounds",

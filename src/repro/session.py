@@ -95,6 +95,7 @@ class CompileConfig:
     devirtualize: bool = True
     manual_only: bool = False
     inline_methods_pass: bool = True
+    escape_pass: bool = True
     cache_loads_pass: bool = True
     dce_pass: bool = True
     max_rounds: int = 1
@@ -145,6 +146,7 @@ BUILD_CONFIGS: dict[str, CompileConfig | None] = {
     "plain": None,
     "noinline": CompileConfig(inline=False),
     "inline": CompileConfig(inline=True),
+    "noescape": CompileConfig(inline=True, escape_pass=False),
     "manual": CompileConfig(manual_only=True),
 }
 
@@ -154,6 +156,7 @@ BUILD_OPTIONS: dict[str, dict[str, bool] | None] = {
     "plain": None,
     "noinline": {"inline": False},
     "inline": {"inline": True},
+    "noescape": {"inline": True, "escape_pass": False},
     "manual": {"manual_only": True},
 }
 
@@ -272,8 +275,9 @@ class Session:
         """The program of one named build configuration.
 
         ``"plain"`` (compiled, unoptimized), ``"noinline"``
-        (devirtualization only), ``"inline"`` (object inlining), or
-        ``"manual"`` (manually annotated inlining only).
+        (devirtualization only), ``"inline"`` (object inlining),
+        ``"noescape"`` (object inlining with the escape stage disabled),
+        or ``"manual"`` (manually annotated inlining only).
         """
         config = BUILD_CONFIGS[build]
         if config is None:
@@ -398,21 +402,17 @@ class SessionPool:
 # repro.ir / repro.inlining.pipeline / repro.runtime directly).
 
 
-def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.{name}() is deprecated; use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 def compile_source(source: str, path: str = "<string>") -> IRProgram:
     """Deprecated: compile mini-ICC++ source text to an :class:`IRProgram`.
 
     Use ``Session(source).compile()`` (or :func:`repro.ir.compile_source`
     when no session caching is wanted).
     """
-    _deprecated("compile_source", "Session(source).compile()")
+    warnings.warn(
+        "repro.compile_source() is deprecated; use Session(source).compile() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Session(source, path=path).compile()
 
 
@@ -426,7 +426,11 @@ def analyze(
     Use ``Session(program=...).analyze()`` (or
     :func:`repro.analysis.analyze`).
     """
-    _deprecated("analyze", "Session(program=program).analyze()")
+    warnings.warn(
+        "repro.analyze() is deprecated; use Session(program=program).analyze() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Session(program=program, config=config, tracer=tracer).analyze()
 
 
@@ -436,6 +440,7 @@ def optimize(
     devirtualize: bool = True,
     manual_only: bool = False,
     inline_methods_pass: bool = True,
+    escape_pass: bool = True,
     cache_loads_pass: bool = True,
     dce_pass: bool = True,
     max_rounds: int = 1,
@@ -448,7 +453,12 @@ def optimize(
     Use ``Session(program=...).optimize(CompileConfig(...))`` (or
     :func:`repro.inlining.pipeline.optimize`).
     """
-    _deprecated("optimize", "Session(program=program).optimize(CompileConfig(...))")
+    warnings.warn(
+        "repro.optimize() is deprecated; use "
+        "Session(program=program).optimize(CompileConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     session = Session(program=program, config=config, tracer=tracer)
     if analysis_cache is not None:
         session.analysis_cache = analysis_cache
@@ -458,6 +468,7 @@ def optimize(
             devirtualize=devirtualize,
             manual_only=manual_only,
             inline_methods_pass=inline_methods_pass,
+            escape_pass=escape_pass,
             cache_loads_pass=cache_loads_pass,
             dce_pass=dce_pass,
             max_rounds=max_rounds,
@@ -476,7 +487,11 @@ def run_program(
     Use ``Session(program=...).run()`` (or
     :func:`repro.runtime.run_program`).
     """
-    _deprecated("run_program", "Session(program=program).run()")
+    warnings.warn(
+        "repro.run_program() is deprecated; use Session(program=program).run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Session(program=program, tracer=tracer).run(
         cache_config=cache_config, **run_options
     )

@@ -169,11 +169,19 @@ def main() {
         assert "Cons.next" in rejected_names(plan)
 
     def test_allocation_halved(self):
-        base, opt, _ = check_equivalence(self.SOURCE)
-        # 4 cons + 4 recs -> 4 cons + 4 stack temps.
+        # With the escape stage ablated: 4 cons + 4 recs -> 4 cons +
+        # 4 stack temps (the paper's transform alone).
+        base, opt, _ = check_equivalence(self.SOURCE, escape_pass=False)
         assert base.stats.allocations == 8
         assert opt.stats.allocations == 4
         assert opt.stats.stack_allocations == 4
+
+    def test_escape_stage_dissolves_the_stack_temps(self):
+        # The full pipeline goes further: the Rec temps never escape the
+        # loop body, so scalar replacement turns them into registers.
+        _, opt, _ = check_equivalence(self.SOURCE)
+        assert opt.stats.allocations == 4
+        assert opt.stats.stack_allocations == 0
 
     def test_program_still_correct(self):
         base, _, _ = check_equivalence(self.SOURCE)

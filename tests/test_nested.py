@@ -54,11 +54,20 @@ class TestNestedInlining:
         assert any("m__p__v" in cls.fields for cls in flattened)
 
     def test_multi_round_allocation_win(self):
-        base, result, _ = run_nested(NESTED, max_rounds=4)
-        # 3 allocations per iteration -> 1 heap object per iteration.
+        # With the escape stage ablated (inlining alone): 3 allocations
+        # per iteration -> 1 heap object per iteration.
+        base, result, _ = run_nested(NESTED, max_rounds=4, escape_pass=False)
         assert base.stats.allocations == 15
         assert result.stats.allocations == 5
         assert result.stats.stack_allocations == 10
+
+    def test_escape_stage_dissolves_the_flattened_object(self):
+        # The flattened Outer never escapes the loop body, so the full
+        # pipeline scalar-replaces it too: zero allocations of any kind.
+        _, result, _ = run_nested(NESTED, max_rounds=4)
+        assert result.stats.allocations == 0
+        assert result.stats.stack_allocations == 0
+        assert result.stats.frame_allocations == 0
 
     def test_multi_round_beats_single_round(self):
         _, single, _ = run_nested(NESTED)
@@ -83,7 +92,9 @@ def main() {
 """
         base, result, report = run_nested(source, max_rounds=6)
         assert report.nested_rounds == 3
-        assert result.stats.allocations == 4  # only the A objects remain
+        # Only the A objects survive inlining, and those never escape
+        # the loop body, so the escape stage scalar-replaces them too.
+        assert result.stats.allocations == 0
         flattened = [
             cls for name, cls in report.program.classes.items()
             if cls.source_name and cls.source_name.startswith("A") and name != "A"

@@ -79,6 +79,31 @@ class TestProtocol:
         decoded = decode_response(encoded)
         assert decoded.ok and decoded.cached and decoded.result == {"x": 1}
 
+    @pytest.mark.parametrize(
+        "result",
+        [
+            {"b": 2, "a": 1},
+            {"nested": {"z": [1, 2, {"k": None}], "s": "text"}},
+            [1, "two", 3.5, False],
+        ],
+    )
+    def test_result_bytes_splice_matches_reserialization(self, result):
+        """Spliced pre-encoded bytes are bit-identical to a re-encode."""
+        result_bytes = json.dumps(
+            result, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        for kwargs in (
+            {},
+            {"cached": True},
+            {"cached": True, "coalesced": True, "elapsed_ms": 0.417},
+        ):
+            plain = Response(id=9, result=result, **kwargs).encode()
+            spliced = Response(
+                id=9, result_bytes=result_bytes, **kwargs
+            ).encode()
+            assert spliced == plain
+            assert decode_response(spliced).result == result
+
 
 class TestBasicOps:
     def test_ping_and_stats(self, service, sock):
@@ -129,6 +154,17 @@ class TestArtifactCache:
             r.result, sort_keys=True, separators=(",", ":")
         ).encode()
         assert canonical(cold) == canonical(warm)
+
+    def test_warm_reply_served_from_cached_bytes(self, service, sock):
+        # The warm path skips unpickle + re-encode: the store remembers
+        # the canonical reply bytes and the daemon splices them in.
+        config = CompileConfig().to_dict()
+        with ServiceClient(sock) as client:
+            cold = client.request("optimize", source=SOURCE, config=config)
+            warm = client.request("optimize", source=SOURCE, config=config)
+            stats = client.stats()
+        assert warm.cached and warm.result == cold.result
+        assert stats["store"]["reply_bytes_hits"] >= 1
 
     def test_cache_key_includes_config(self, service, sock):
         with ServiceClient(sock) as client:
@@ -250,6 +286,49 @@ class TestServiceTracing:
         second = make_run_dir(base)
         assert first != second
         assert os.path.isdir(first) and os.path.isdir(second)
+
+
+class TestPercentile:
+    def test_single_sample_is_every_percentile(self):
+        from repro.service.loadgen import percentile
+
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.95) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_of_two_is_the_lower_sample(self):
+        # Nearest rank = ceil(0.5 * 2) = 1.  The old round(q*n + 0.5)
+        # formula rounded 1.5 half-to-even up to rank 2 and reported the
+        # *larger* sample as the median.
+        from repro.service.loadgen import percentile
+
+        assert percentile([1.0, 9.0], 0.5) == 1.0
+
+    @pytest.mark.parametrize(
+        "n,q,expected_rank",
+        [
+            (1, 0.5, 1), (1, 0.95, 1), (1, 0.99, 1),
+            (2, 0.5, 1), (2, 0.95, 2), (2, 0.99, 2),
+            (3, 0.5, 2), (3, 0.95, 3), (3, 0.99, 3),
+            (4, 0.5, 2), (4, 0.95, 4), (4, 0.99, 4),
+        ],
+    )
+    def test_nearest_rank_boundaries(self, n, q, expected_rank):
+        from repro.service.loadgen import percentile
+
+        samples = [float(i + 1) for i in range(n)]
+        assert percentile(samples, q) == float(expected_rank)
+
+    def test_order_does_not_matter(self):
+        from repro.service.loadgen import percentile
+
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_empty_rejected(self):
+        from repro.service.loadgen import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
 
 
 class TestLoadgen:

@@ -155,5 +155,48 @@ class TestCorruption:
         stats = store.stats()
         assert set(stats) == {
             "entries", "bytes", "max_entries", "max_bytes",
-            "hits", "misses", "hit_rate", "evictions", "corrupt",
+            "hits", "misses", "reply_bytes_hits", "hit_rate",
+            "evictions", "corrupt",
         }
+
+
+class TestReplyBytes:
+    def test_hit_serves_bytes_and_counts_once(self):
+        store = ArtifactStore(max_entries=4)
+        key = _key()
+        store.put_bytes(key, pickle.dumps({"reply": 1}), reply_bytes=b'{"x":1}')
+        assert store.get_reply_bytes(key) == b'{"x":1}'
+        assert (store.hits, store.misses, store.reply_bytes_hits) == (1, 0, 1)
+
+    def test_absent_entry_probes_without_counting_a_miss(self):
+        # The caller falls back to get(), which does the counting — a
+        # warm-path probe must not double-book the outcome.
+        store = ArtifactStore(max_entries=4)
+        assert store.get_reply_bytes(_key()) is None
+        assert (store.hits, store.misses, store.reply_bytes_hits) == (0, 0, 0)
+
+    def test_entry_without_bytes_probes_without_counting(self):
+        store = ArtifactStore(max_entries=4)
+        key = _key()
+        store.put(key, {"reply": 1})  # no reply_bytes (pre-upgrade producer)
+        assert store.get_reply_bytes(key) is None
+        assert (store.hits, store.misses, store.reply_bytes_hits) == (0, 0, 0)
+        assert store.get(key) == {"reply": 1}
+        assert store.hits == 1
+
+    def test_reply_bytes_count_toward_the_byte_cap(self):
+        store = ArtifactStore(max_entries=4)
+        key = _key()
+        store.put_bytes(key, b"x" * 10, reply_bytes=b"y" * 30)
+        assert store.stats()["bytes"] == 40
+        store.put_bytes(key, b"x" * 10)  # overwrite drops the reply bytes
+        assert store.stats()["bytes"] == 10
+
+    def test_hit_refreshes_recency(self):
+        store = ArtifactStore(max_entries=2)
+        a, b, c = _key(kind="a"), _key(kind="b"), _key(kind="c")
+        store.put_bytes(a, b"1", reply_bytes=b"ra")
+        store.put_bytes(b, b"2", reply_bytes=b"rb")
+        assert store.get_reply_bytes(a) == b"ra"
+        store.put_bytes(c, b"3")  # b is now the oldest -> evicted
+        assert a in store and b not in store

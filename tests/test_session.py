@@ -129,6 +129,12 @@ class TestCompileConfig:
         with pytest.raises(ValueError):
             CompileConfig.for_build("plain")
 
+    def test_escape_pass_participates_in_the_content_key(self):
+        noescape = CompileConfig.for_build("noescape")
+        assert noescape.inline is True and noescape.escape_pass is False
+        assert noescape.content_key() != CompileConfig(inline=True).content_key()
+        assert "escape_pass" in CompileConfig().to_dict()
+
     def test_explicit_config_and_kwargs_share_the_memo(self):
         session = Session(SOURCE)
         via_config = session.optimize(CompileConfig(inline=True))
@@ -207,6 +213,27 @@ class TestClassicWrappers:
                 repro.optimize(repro.compile_source(SOURCE), inline=True).program
             )
         assert classic.output == Session(SOURCE).run("inline").output
+
+    def test_warnings_point_at_the_caller(self):
+        # stacklevel=2 in each shim: the warning must carry *this* file,
+        # not session.py, so a `-W error::DeprecationWarning` traceback
+        # lands on the deprecated call site.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            program = repro.compile_source(SOURCE, "wrap.icc")
+            repro.analyze(program)
+            report = repro.optimize(program, inline=True)
+            repro.run_program(report.program)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 4
+        for warning in deprecations:
+            assert warning.filename == __file__, (
+                f"{warning.message} attributed to {warning.filename}"
+            )
 
 
 def _stub_runs(analyze_s=0.100, transform_s=0.050, builds=("inline",)):

@@ -51,8 +51,18 @@ class TestRunningExample:
         assert info.container_field("x_pos") == mangle("lower_left", "x_pos")
 
     def test_allocations_become_stack(self):
-        base, opt, _ = check_equivalence(RECTANGLE_SOURCE)
+        # Inlining alone (escape stage ablated): the four points become
+        # stack temps copied into their rectangles.
+        base, opt, _ = check_equivalence(RECTANGLE_SOURCE, escape_pass=False)
         assert opt.stats.stack_allocations >= 4  # the four points
+        assert opt.stats.allocations < base.stats.allocations
+
+    def test_escape_stage_goes_further(self):
+        # The full pipeline scalar-replaces the point temps and moves
+        # the non-escaping rectangles into the frame region.
+        base, opt, _ = check_equivalence(RECTANGLE_SOURCE)
+        assert opt.stats.stack_allocations == 0
+        assert opt.stats.frame_allocations >= 1
         assert opt.stats.allocations < base.stats.allocations
 
     def test_dereferences_reduced(self):
@@ -155,9 +165,16 @@ class TestArrayInlining:
         )
 
     def test_element_allocation_elided(self):
-        base, opt, _ = check_equivalence(self.SOURCE)
+        # Inlining alone: the five elements become stack temps copied
+        # into the inline array.
+        base, opt, _ = check_equivalence(self.SOURCE, escape_pass=False)
         assert opt.stats.allocations < base.stats.allocations
         assert opt.stats.stack_allocations == 5
+
+    def test_escape_stage_dissolves_the_element_temps(self):
+        base, opt, _ = check_equivalence(self.SOURCE)
+        assert opt.stats.allocations < base.stats.allocations
+        assert opt.stats.stack_allocations == 0
 
     def test_view_mutation(self):
         check_equivalence(

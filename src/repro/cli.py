@@ -448,6 +448,35 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fault_plan(spec: str | None):
+    """A :class:`FaultPlan` from ``error=0.1,hang=0.05,...`` (or None).
+
+    Falls back to ``$REPRO_FAULT_PLAN`` (JSON) when no spec is given;
+    returns ``None`` when neither names an active plan.
+    """
+    from .service import FaultPlan
+
+    if spec is None:
+        plan = FaultPlan.from_env()
+        return plan if plan.active else None
+    short = {
+        "error": "error_rate",
+        "hang": "hang_rate",
+        "corrupt": "corrupt_rate",
+        "crash": "crash_rate",
+    }
+    payload: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = short.get(key.strip(), key.strip())
+        payload[key] = int(value) if key == "seed" else float(value)
+    plan = FaultPlan.from_dict(payload)
+    return plan if plan.active else None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run (or stop) the compile-service daemon."""
     from .service import ServiceClient, ServiceError, serve
@@ -469,6 +498,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.trace_dir:
         print(f"tracing to a fresh run directory under {args.trace_dir}", flush=True)
+    try:
+        fault_plan = _parse_fault_plan(getattr(args, "fault_plan", None))
+    except ValueError as error:
+        print(f"error: bad fault plan: {error}", file=sys.stderr)
+        return 2
+    if fault_plan is not None:
+        print(f"CHAOS MODE: injecting faults per {fault_plan.to_dict()}", flush=True)
     service = serve(
         args.socket,
         workers=args.workers,
@@ -476,6 +512,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         store_entries=args.store_entries,
         trace_dir=args.trace_dir,
         allow_test_ops=args.allow_test_ops,
+        fault_plan=fault_plan,
     )
     stats = service.describe()
     print(
@@ -491,6 +528,14 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     """Replay the benchmark corpus against a live daemon."""
     from .service import ServiceThread, report_entry, run_loadgen, write_report_json
 
+    try:
+        fault_plan = _parse_fault_plan(getattr(args, "fault_plan", None))
+    except ValueError as error:
+        print(f"error: bad fault plan: {error}", file=sys.stderr)
+        return 2
+    if fault_plan is not None and not args.self_host:
+        print("error: --fault-plan requires --self-host", file=sys.stderr)
+        return 2
     self_hosted = None
     socket_path = args.socket
     if args.self_host:
@@ -498,8 +543,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
         socket_path = f"{tempfile.mkdtemp(prefix='repro-loadgen-')}/service.sock"
         self_hosted = ServiceThread(
-            socket_path, workers=args.workers, trace_dir=args.trace_dir
+            socket_path,
+            workers=args.workers,
+            trace_dir=args.trace_dir,
+            fault_plan=fault_plan,
         ).start()
+    if fault_plan is not None:
+        print(f"CHAOS MODE: {fault_plan.to_dict()}", flush=True)
     try:
         try:
             report = run_loadgen(
@@ -509,6 +559,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 op=args.op,
                 build=args.build,
                 timeout=args.timeout,
+                verify=args.verify,
             )
         except OSError as error:
             print(
@@ -526,7 +577,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if not args.no_record:
         entry = report_entry(report, note=getattr(args, "note", None))
         _record_entry(args, entry, load_history(args.history))
-    return 1 if report.errors else 0
+    # Under chaos, error replies are expected (that is the point); what
+    # must never happen is a client-visible *incorrect* reply.
+    if report.incorrect:
+        return 1
+    if report.errors and fault_plan is None:
+        return 1
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -569,6 +626,83 @@ def cmd_heatmap(args: argparse.Namespace) -> int:
             before, after, top=args.top, names=(args.file[0], args.file[1])
         )
     )
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: generated programs across the build matrix."""
+    import json as json_module
+
+    from .fuzz import run_fuzz
+
+    client = None
+    self_hosted = None
+    if args.service:
+        import tempfile
+
+        from .service import ServiceClient, ServiceThread
+
+        socket_path = f"{tempfile.mkdtemp(prefix='repro-fuzz-')}/service.sock"
+        self_hosted = ServiceThread(socket_path, workers=args.workers).start()
+        client = ServiceClient(socket_path, tenant="fuzz", connect_retries=5)
+    try:
+        report = run_fuzz(
+            seeds=args.seeds,
+            start_seed=args.start_seed,
+            time_budget=args.time_budget,
+            corpus_dir=args.corpus,
+            max_steps=args.max_steps,
+            client=client,
+        )
+    finally:
+        if client is not None:
+            client.close()
+        if self_hosted is not None:
+            self_hosted.stop()
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    if report.archived:
+        print(f"archived {report.archived} reproducer(s) under {args.corpus}")
+    return 0 if report.ok else 1
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    """Shrink a divergence reproducer to a minimal program."""
+    from .fuzz import check_program, count_nodes, reduce_source
+    from .lang import parse_program
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 1
+    kind = args.kind
+    if kind is None:
+        result = check_program(source, seed=-1)
+        if not result.divergences:
+            print(
+                f"error: {args.file} does not diverge (nothing to reduce); "
+                "pass --kind to chase a specific divergence",
+                file=sys.stderr,
+            )
+            return 1
+        kind = result.divergences[0].kind
+        print(f"chasing divergence kind {kind!r}", flush=True)
+    before = count_nodes(parse_program(source))
+    reduced = reduce_source(source, kind, max_rounds=args.max_rounds)
+    after = count_nodes(parse_program(reduced))
+    print(f"reduced {before} -> {after} AST nodes", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(reduced)
+        print(f"wrote {args.out}")
+    else:
+        print(reduced, end="")
     return 0
 
 
@@ -758,6 +892,12 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument(
         "--allow-test-ops", action="store_true", help=argparse.SUPPRESS
     )
+    serve_parser.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="chaos mode: inject worker faults, e.g. "
+        "'error=0.05,hang=0.02,corrupt=0.02,crash=0.01' "
+        "(default: $REPRO_FAULT_PLAN if set)",
+    )
     serve_parser.set_defaults(func=cmd_serve)
 
     loadgen_parser = sub.add_parser(
@@ -782,7 +922,8 @@ def main(argv: list[str] | None = None) -> int:
         default="optimize", help="request op to replay (default optimize)",
     )
     loadgen_parser.add_argument(
-        "--build", choices=["plain", "noinline", "inline", "manual"],
+        "--build",
+        choices=["plain", "noinline", "inline", "noescape", "manual", "opt"],
         default="inline", help="build for --op run (default inline)",
     )
     loadgen_parser.add_argument(
@@ -815,7 +956,73 @@ def main(argv: list[str] | None = None) -> int:
         "--history", metavar="FILE", default=DEFAULT_HISTORY_PATH,
         help=f"perf-history ledger (default {DEFAULT_HISTORY_PATH})",
     )
+    loadgen_parser.add_argument(
+        "--verify", action="store_true",
+        help="check every OK reply against an in-process oracle; "
+        "incorrect replies fail the run",
+    )
+    loadgen_parser.add_argument(
+        "--fault-plan", metavar="SPEC",
+        help="chaos mode for --self-host: inject worker faults, e.g. "
+        "'error=0.05,crash=0.01' (combine with --verify)",
+    )
     loadgen_parser.set_defaults(func=cmd_loadgen)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: run generated programs across every "
+        "build config and flag divergences",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=100, metavar="N",
+        help="number of generated programs (default 100)",
+    )
+    fuzz_parser.add_argument(
+        "--start-seed", type=int, default=0, metavar="N",
+        help="first seed (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--time-budget", type=float, metavar="S",
+        help="stop after S seconds even if seeds remain",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", metavar="DIR",
+        help="archive offending programs (a few per triage bucket) under DIR",
+    )
+    fuzz_parser.add_argument(
+        "--report", metavar="FILE", help="write the triage report as JSON"
+    )
+    fuzz_parser.add_argument(
+        "--max-steps", type=int, default=2_000_000, metavar="N",
+        help="VM step budget for the reference build (default 2000000)",
+    )
+    fuzz_parser.add_argument(
+        "--service", action="store_true",
+        help="also round-trip every program through a private daemon and "
+        "compare its replies",
+    )
+    fuzz_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for --service (default 2)",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    reduce_parser = sub.add_parser(
+        "reduce", help="shrink a divergence reproducer to a minimal program"
+    )
+    reduce_parser.add_argument("file", help="mini-ICC++ source that diverges")
+    reduce_parser.add_argument(
+        "--kind", metavar="KIND",
+        help="divergence kind to preserve (default: auto-detect)",
+    )
+    reduce_parser.add_argument(
+        "--out", metavar="FILE", help="write the reduced program here"
+    )
+    reduce_parser.add_argument(
+        "--max-rounds", type=int, default=40, metavar="N",
+        help="greedy reduction passes (default 40)",
+    )
+    reduce_parser.set_defaults(func=cmd_reduce)
 
     export_parser = sub.add_parser(
         "export", help="convert a span trace for Perfetto or speedscope"

@@ -580,8 +580,23 @@ class Transformer:
             info = self.variants.variants.get(current)
             if info is not None:
                 current = info.parent
-            else:
-                current = self.program.classes[current].superclass
+                continue
+            cls = self.program.classes.get(current)
+            if cls is not None:
+                current = cls.superclass
+                continue
+            # A view class (array-element window) is not in the source
+            # program; its methods are clones of the element class's, so
+            # super calls inside them resolve through the element chain.
+            view = next(
+                (
+                    v
+                    for v in self.variants.view_classes.values()
+                    if v.name == current
+                ),
+                None,
+            )
+            current = view.element_class if view is not None else None
         return chain
 
     def _dynamic_name(self, contour_id: int, uid: int, action: tuple) -> str:

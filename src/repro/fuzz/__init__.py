@@ -1,0 +1,47 @@
+"""Adversarial program fuzzing for the inline-allocation pipeline.
+
+Three cooperating pieces:
+
+- :mod:`repro.fuzz.gen` — a seeded random generator of well-formed,
+  terminating mini-ICC++ programs (deep ownership chains, polymorphic
+  fields, array-of-object torture, recursion, escaping/non-escaping
+  allocation mixes).
+- :mod:`repro.fuzz.oracle` — a differential oracle running each program
+  across every build config (base/noinline/inline/noescape/opt),
+  in-process and optionally through the service daemon, comparing
+  outputs bit-for-bit and asserting structural invariants.
+- :mod:`repro.fuzz.reduce` — a delta-debugging reducer shrinking a
+  failing program to a minimal reproducer by AST-level chunk removal.
+
+:mod:`repro.fuzz.bugs` holds deliberately seeded transform bugs used by
+the tests to prove the oracle catches real miscompiles and the pipeline
+survives crashing stages.
+"""
+
+from .bugs import BUG_NAMES, seeded_bug
+from .gen import GenConfig, generate_source
+from .oracle import (
+    FUZZ_BUILDS,
+    CheckResult,
+    Divergence,
+    FuzzReport,
+    check_program,
+    run_fuzz,
+)
+from .reduce import count_nodes, reduce_program, reduce_source
+
+__all__ = [
+    "BUG_NAMES",
+    "CheckResult",
+    "Divergence",
+    "FUZZ_BUILDS",
+    "FuzzReport",
+    "GenConfig",
+    "check_program",
+    "count_nodes",
+    "generate_source",
+    "reduce_program",
+    "reduce_source",
+    "run_fuzz",
+    "seeded_bug",
+]

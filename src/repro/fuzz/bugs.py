@@ -1,0 +1,98 @@
+"""Seeded compiler bugs for oracle/reducer/degradation self-tests.
+
+A fuzzing rig that has never caught a bug proves nothing.  This module
+injects known defects into the optimization pipeline so the test suite
+can demonstrate the full robustness loop end to end:
+
+- ``const-flip`` — a *miscompile*: after dead-code elimination, every
+  integer constant is rebuilt off by one.  The IR stays perfectly
+  valid, so no validator or stage bracket can object — only the
+  differential oracle notices the wrong output.
+- ``crash-loadcse`` — the load-CSE stage raises.  The pipeline's stage
+  bracket must roll the program back and continue; the build degrades
+  to correct-but-slower, bit-identical to a build without the stage.
+- ``invalid-dce`` — dead-code elimination emits structurally invalid IR
+  (a ``Const`` of a list).  Post-stage validation trips, and the
+  bracket must roll back exactly as for a crash.
+
+Each bug is a context manager patching one stage function on
+``repro.inlining.pipeline``; the patch is always restored.  Because a
+:class:`~repro.session.Session` memoizes optimize reports per config,
+seed bugs **before** creating the session whose builds should be
+affected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+
+from ..ir import model as ir
+
+#: Bug names accepted by :func:`seeded_bug`.
+BUG_NAMES = ("const-flip", "crash-loadcse", "invalid-dce")
+
+
+def _flip_int_consts(program) -> None:
+    for callable_ in program.callables():
+        for block in callable_.blocks:
+            for index, instr in enumerate(block.instrs):
+                if (
+                    isinstance(instr, ir.Const)
+                    and isinstance(instr.value, int)
+                    and not isinstance(instr.value, bool)
+                ):
+                    block.instrs[index] = dataclasses.replace(
+                        instr, value=instr.value + 1
+                    )
+
+
+def _poison_one_const(program) -> None:
+    for callable_ in program.callables():
+        for block in callable_.blocks:
+            for index, instr in enumerate(block.instrs):
+                if isinstance(instr, ir.Const):
+                    block.instrs[index] = dataclasses.replace(
+                        instr, value=[instr.value]
+                    )
+                    return
+
+
+@contextmanager
+def seeded_bug(name: str):
+    """Patch one pipeline stage with the named defect for the duration."""
+    from ..inlining import pipeline
+
+    if name == "const-flip":
+        target = "eliminate_dead_code"
+        original = pipeline.eliminate_dead_code
+
+        def wrapper(program):
+            stats = original(program)
+            _flip_int_consts(program)
+            return stats
+
+    elif name == "crash-loadcse":
+        target = "eliminate_redundant_loads"
+        original = pipeline.eliminate_redundant_loads
+
+        def wrapper(program):
+            raise RuntimeError("injected loadcse crash")
+
+    elif name == "invalid-dce":
+        target = "eliminate_dead_code"
+        original = pipeline.eliminate_dead_code
+
+        def wrapper(program):
+            stats = original(program)
+            _poison_one_const(program)
+            return stats
+
+    else:
+        raise ValueError(f"unknown seeded bug {name!r}; pick from {BUG_NAMES}")
+
+    setattr(pipeline, target, wrapper)
+    try:
+        yield
+    finally:
+        setattr(pipeline, target, original)

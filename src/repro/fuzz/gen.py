@@ -1,0 +1,387 @@
+"""Seeded random generator of adversarial mini-ICC++ programs.
+
+Every program is **well-formed and terminating by construction** so the
+differential oracle never has to explain away a hang or a nil
+dereference:
+
+- Classes form an **ownership DAG**: class ``Ci`` may only hold object
+  fields of classes declared before it, so a constructor chain or a
+  recursive ``total()`` walk always bottoms out.
+- Subclasses extend earlier classes, override ``total``/``bump`` through
+  ``super`` calls, and get substituted for their bases at construction
+  sites — that is where polymorphic fields and megamorphic array slots
+  come from.
+- All loops run a constant number of iterations; recursive helpers
+  decrement an integer argument toward a base case; division and modulo
+  only ever see non-zero constant divisors.
+- Object-typed locals are always initialized with ``new``; globals (the
+  escape sinks) start ``nil`` and are only read under a ``!= nil``
+  guard.
+- Programs only print scalars (ints/floats/bools/strings), never object
+  references, so output is bit-comparable across builds.
+
+The generator is a pure function of ``(seed, GenConfig)``: the same pair
+always yields the same source text, which is what makes the corpus
+replayable and the reducer deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class GenConfig:
+    """Size/feature budget for one generated program."""
+
+    max_classes: int = 7
+    max_subclass_depth: int = 3
+    max_scalar_fields: int = 3
+    max_object_fields: int = 2
+    max_scenarios: int = 9
+    max_loop_iters: int = 8
+    max_array_len: int = 6
+    max_recursion_depth: int = 9
+    allow_arrays: bool = True
+    allow_recursion: bool = True
+    allow_globals: bool = True
+    allow_inline_annotations: bool = True
+    allow_floats: bool = True
+
+
+@dataclass(slots=True)
+class _ClassInfo:
+    name: str
+    index: int  # declaration order; ownership edges only point backwards
+    superclass: str | None
+    # Own (non-inherited) members only.
+    scalar_fields: list[str]
+    object_fields: list[tuple[str, str]]  # (field name, declared class)
+    depth: int  # inheritance depth (0 = base class)
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GenConfig) -> None:
+        self.rng = random.Random(seed)
+        self.config = config
+        self.classes: list[_ClassInfo] = []
+        self.globals: list[str] = []
+        self.rec_funcs: list[str] = []
+        self.lines: list[str] = []
+        self._tmp = 0
+
+    # ------------------------------------------------------------------
+    # Small helpers.
+
+    def _fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    def _int_expr(self, names: list[str], depth: int = 0) -> str:
+        """A random int-valued expression over int locals + constants."""
+        rng = self.rng
+        if depth >= 2 or not names or rng.random() < 0.35:
+            if names and rng.random() < 0.5:
+                return rng.choice(names)
+            return str(rng.randrange(0, 12))
+        op = rng.choice(["+", "-", "*", "%", "/"])
+        left = self._int_expr(names, depth + 1)
+        if op in ("%", "/"):
+            # Non-zero constant divisor; '/' on ints truncates like C.
+            return f"({left} {op} {rng.randrange(2, 7)})"
+        right = self._int_expr(names, depth + 1)
+        return f"({left} {op} {right})"
+
+    def _subclasses_of(self, name: str, before: int | None = None) -> list[str]:
+        """``name`` plus every (transitive) subclass of it.
+
+        ``before`` keeps substitution inside the ownership DAG: a
+        constructor of class ``Ci`` may only build classes with index
+        < i — a later subclass could (transitively) own ``Ci`` itself
+        and turn construction into an infinite cycle.
+        """
+        out = [name]
+        for cls in self.classes:
+            if cls.superclass in out:
+                out.append(cls.name)
+        if before is not None:
+            by_name = {c.name: c for c in self.classes}
+            out = [n for n in out if n in by_name and by_name[n].index < before]
+        return out
+
+    def _concrete(self, declared: str, before: int | None = None) -> str:
+        """A construction class for a field declared to hold ``declared``."""
+        choices = self._subclasses_of(declared, before) or [declared]
+        return self.rng.choice(choices)
+
+    # ------------------------------------------------------------------
+    # Classes.
+
+    def _gen_classes(self) -> None:
+        rng = self.rng
+        count = rng.randrange(2, self.config.max_classes + 1)
+        for index in range(count):
+            name = f"C{index}"
+            superclass: str | None = None
+            depth = 0
+            # Subclass an earlier class ~40% of the time (bounded depth).
+            candidates = [
+                c for c in self.classes if c.depth < self.config.max_subclass_depth
+            ]
+            if candidates and rng.random() < 0.4:
+                parent = rng.choice(candidates)
+                superclass = parent.name
+                depth = parent.depth + 1
+            scalar_fields = [
+                f"s{index}_{i}"
+                for i in range(rng.randrange(1, self.config.max_scalar_fields + 1))
+            ]
+            object_fields: list[tuple[str, str]] = []
+            # Ownership DAG: object fields reference earlier classes only.
+            if self.classes:
+                for i in range(rng.randrange(0, self.config.max_object_fields + 1)):
+                    target = rng.choice(self.classes).name
+                    object_fields.append((f"o{index}_{i}", target))
+            self.classes.append(
+                _ClassInfo(name, index, superclass, scalar_fields, object_fields, depth)
+            )
+
+    def _emit_class(self, cls: _ClassInfo) -> None:
+        rng = self.rng
+        head = f"class {cls.name}"
+        if cls.superclass is not None:
+            head += f" : {cls.superclass}"
+        self.lines.append(head + " {")
+        for fname in cls.scalar_fields:
+            self.lines.append(f"    var {fname};")
+        for fname, _target in cls.object_fields:
+            inline = (
+                "inline "
+                if self.config.allow_inline_annotations and rng.random() < 0.3
+                else ""
+            )
+            self.lines.append(f"    var {inline}{fname};")
+
+        # init(a): super first, then own scalars from `a`, then owned objects.
+        self.lines.append("    def init(a) {")
+        if cls.superclass is not None:
+            self.lines.append("        super.init(a + 1);")
+        for offset, fname in enumerate(cls.scalar_fields):
+            self.lines.append(f"        this.{fname} = a + {offset};")
+        for fname, target in cls.object_fields:
+            concrete = self._concrete(target, before=cls.index)
+            self.lines.append(f"        this.{fname} = new {concrete}(a + 2);")
+        self.lines.append("    }")
+
+        # total(): sum of every reachable scalar — the semantic fingerprint
+        # the oracle compares across builds.
+        self.lines.append("    def total() {")
+        terms = [f"this.{fname}" for fname in cls.scalar_fields]
+        terms += [f"this.{fname}.total()" for fname, _ in cls.object_fields]
+        if cls.superclass is not None:
+            terms.append("super.total()")
+        if not terms:
+            terms = ["0"]
+        self.lines.append(f"        return {' + '.join(terms)};")
+        self.lines.append("    }")
+
+        # bump(n): field mutation, sometimes propagated into children.
+        self.lines.append("    def bump(n) {")
+        if cls.scalar_fields:
+            field = rng.choice(cls.scalar_fields)
+            self.lines.append(f"        this.{field} = this.{field} + n;")
+        for fname, _ in cls.object_fields:
+            if rng.random() < 0.5:
+                self.lines.append(f"        this.{fname}.bump(n + 1);")
+        if cls.superclass is not None and rng.random() < 0.5:
+            self.lines.append("        super.bump(n);")
+        self.lines.append("        return this.total();")
+        self.lines.append("    }")
+        self.lines.append("}")
+        self.lines.append("")
+
+    # ------------------------------------------------------------------
+    # Helper functions.
+
+    def _gen_rec_funcs(self) -> None:
+        if not self.config.allow_recursion:
+            return
+        rng = self.rng
+        for index in range(rng.randrange(1, 3)):
+            name = f"rec{index}"
+            self.rec_funcs.append(name)
+            self.lines.append(f"def {name}(n) {{")
+            self.lines.append("    if (n <= 0) {")
+            self.lines.append(f"        return {rng.randrange(1, 5)};")
+            self.lines.append("    }")
+            if self.classes and rng.random() < 0.6:
+                # A per-activation allocation: non-escaping unless the
+                # callee's total() walk is considered escaping by analysis.
+                cls = rng.choice(self.classes).name
+                self.lines.append(f"    var t = new {cls}(n);")
+                self.lines.append(f"    return t.total() + {name}(n - 1);")
+            else:
+                self.lines.append(f"    return n + {name}(n - 1);")
+            self.lines.append("}")
+            self.lines.append("")
+
+    # ------------------------------------------------------------------
+    # main() scenarios.  Each emits statements into `body` and may extend
+    # the int-local name pool; all accumulate into `acc` (int) and
+    # `facc` (float).
+
+    def _scenario_alloc_total(self, body: list[str], ints: list[str]) -> None:
+        cls = self._concrete(self.rng.choice(self.classes).name)
+        obj = self._fresh("o")
+        body.append(f"    var {obj} = new {cls}({self._int_expr(ints)});")
+        body.append(f"    acc = acc + {obj}.total();")
+        if self.rng.random() < 0.5:
+            body.append(f"    acc = acc + {obj}.bump({self.rng.randrange(1, 4)});")
+
+    def _scenario_loop_mix(self, body: list[str], ints: list[str]) -> None:
+        rng = self.rng
+        iters = rng.randrange(2, self.config.max_loop_iters + 1)
+        i = self._fresh("i")
+        cls = self._concrete(rng.choice(self.classes).name)
+        body.append(f"    for (var {i} = 0; {i} < {iters}; {i} = {i} + 1) {{")
+        body.append(f"        var t = new {cls}({i});")
+        body.append(f"        acc = acc + t.total();")
+        if self.globals and rng.random() < 0.6:
+            # Escaping mix: some iterations leak the allocation globally.
+            slot = rng.choice(self.globals)
+            mod = rng.randrange(2, 4)
+            body.append(f"        if ({i} % {mod} == 0) {{")
+            body.append(f"            {slot} = t;")
+            body.append("        }")
+        body.append("    }")
+
+    def _scenario_array(self, body: list[str], ints: list[str]) -> None:
+        rng = self.rng
+        size = rng.randrange(1, self.config.max_array_len + 1)
+        arr = self._fresh("a")
+        i = self._fresh("i")
+        kind = "inline_array" if rng.random() < 0.4 else "array"
+        base = rng.choice(self.classes).name
+        variants = self._subclasses_of(base)
+        body.append(f"    var {arr} = {kind}({size});")
+        body.append(f"    for (var {i} = 0; {i} < {size}; {i} = {i} + 1) {{")
+        if len(variants) > 1 and rng.random() < 0.7:
+            # Megamorphic slots: alternate base and subclass per index.
+            other = rng.choice(variants[1:])
+            body.append(f"        if ({i} % 2 == 0) {{")
+            body.append(f"            {arr}[{i}] = new {base}({i});")
+            body.append("        } else {")
+            body.append(f"            {arr}[{i}] = new {other}({i} + 1);")
+            body.append("        }")
+        else:
+            body.append(f"        {arr}[{i}] = new {rng.choice(variants)}({i});")
+        body.append("    }")
+        body.append(f"    for (var {i} = 0; {i} < len({arr}); {i} = {i} + 1) {{")
+        body.append(f"        acc = acc + {arr}[{i}].total();")
+        body.append("    }")
+
+    def _scenario_recursion(self, body: list[str], ints: list[str]) -> None:
+        if not self.rec_funcs:
+            return self._scenario_while(body, ints)
+        fn = self.rng.choice(self.rec_funcs)
+        depth = self.rng.randrange(1, self.config.max_recursion_depth + 1)
+        body.append(f"    acc = acc + {fn}({depth});")
+
+    def _scenario_while(self, body: list[str], ints: list[str]) -> None:
+        w = self._fresh("w")
+        start = self.rng.randrange(1, self.config.max_loop_iters + 1)
+        body.append(f"    var {w} = {start};")
+        body.append(f"    while ({w} > 0) {{")
+        body.append(f"        acc = acc + {self._int_expr(ints + [w])};")
+        body.append(f"        {w} = {w} - 1;")
+        body.append("    }")
+        ints.append(w)
+
+    def _scenario_global_read(self, body: list[str], ints: list[str]) -> None:
+        if not self.globals:
+            return self._scenario_scalar(body, ints)
+        slot = self.rng.choice(self.globals)
+        body.append(f"    if ({slot} != nil) {{")
+        body.append(f"        acc = acc + {slot}.total();")
+        body.append("    }")
+
+    def _scenario_scalar(self, body: list[str], ints: list[str]) -> None:
+        name = self._fresh("v")
+        body.append(f"    var {name} = {self._int_expr(ints)};")
+        body.append(f"    acc = acc + {name};")
+        ints.append(name)
+
+    def _scenario_float(self, body: list[str], ints: list[str]) -> None:
+        if not self.config.allow_floats:
+            return self._scenario_scalar(body, ints)
+        rng = self.rng
+        expr = rng.choice(
+            [
+                f"sqrt(abs({self._int_expr(ints)}) + 1)",
+                f"float({self._int_expr(ints)}) / {rng.randrange(2, 5)}.0",
+                f"{rng.randrange(1, 9)}.5 * float({self._int_expr(ints)})",
+            ]
+        )
+        body.append(f"    facc = facc + {expr};")
+
+    def _scenario_branch(self, body: list[str], ints: list[str]) -> None:
+        rng = self.rng
+        cond = f"{self._int_expr(ints)} {rng.choice(['<', '<=', '>', '>=', '==', '!='])} {self._int_expr(ints)}"
+        body.append(f"    if ({cond}) {{")
+        body.append(f"        acc = acc + {rng.randrange(1, 9)};")
+        body.append("    } else {")
+        body.append(f"        acc = acc - {rng.randrange(1, 9)};")
+        body.append("    }")
+
+    def _scenario_print(self, body: list[str], ints: list[str]) -> None:
+        body.append("    print(acc);")
+
+    # ------------------------------------------------------------------
+    # Whole-program assembly.
+
+    def generate(self) -> str:
+        rng = self.rng
+        if self.config.allow_globals:
+            for index in range(rng.randrange(0, 3)):
+                self.globals.append(f"g{index}")
+                self.lines.append(f"var g{index};")
+            if self.globals:
+                self.lines.append("")
+
+        self._gen_classes()
+        for cls in self.classes:
+            self._emit_class(cls)
+        self._gen_rec_funcs()
+
+        scenarios = [
+            self._scenario_alloc_total,
+            self._scenario_loop_mix,
+            self._scenario_recursion,
+            self._scenario_while,
+            self._scenario_global_read,
+            self._scenario_scalar,
+            self._scenario_float,
+            self._scenario_branch,
+            self._scenario_print,
+        ]
+        if self.config.allow_arrays:
+            scenarios.append(self._scenario_array)
+
+        body: list[str] = ["    var acc = 0;", "    var facc = 0.0;"]
+        ints: list[str] = []
+        for _ in range(rng.randrange(3, self.config.max_scenarios + 1)):
+            rng.choice(scenarios)(body, ints)
+        body.append("    print(acc);")
+        if self.config.allow_floats:
+            body.append("    print(facc);")
+
+        self.lines.append("def main() {")
+        self.lines.extend(body)
+        self.lines.append("}")
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_source(seed: int, config: GenConfig | None = None) -> str:
+    """The mini-ICC++ program for ``seed`` (deterministic)."""
+    return _Generator(seed, config or GenConfig()).generate()

@@ -21,6 +21,7 @@ iterative caller splitting, with rejection as the sound fallback.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 from ..analysis import (
@@ -62,6 +63,9 @@ class OptimizeReport:
     nested_rounds: int = 1
     #: describe() of candidates accepted in rounds after the first.
     nested_candidates: list[str] = field(default_factory=list)
+    #: Scalar stages that failed and were rolled back (graceful
+    #: degradation): ``{"stage": name, "error": "Type: message"}``.
+    degraded_stages: list[dict] = field(default_factory=list)
 
     def accepted_candidates(self) -> list[Candidate]:
         return self.plan.accepted()
@@ -303,22 +307,56 @@ def optimize(
         escape_stats = None
         cse_stats = None
         dce_stats = None
+        degraded_stages: list[dict] = []
         if analysis_cache is not None:
             # The scalar passes below mutate the program in place; any
             # analysis cached for it (a nested round that accepted nothing
             # leaves its analyzed program as the final one) would go stale.
             analysis_cache.discard(outcome.program)
+
+        def _bracket(stage: str, span: str, fn):
+            """Run one scalar stage in an isolated try/verify bracket.
+
+            The stage mutates ``outcome.program`` in place; on an
+            exception — from the stage itself or from the IR validation
+            after it — the pre-stage snapshot is restored, a
+            ``stage.degraded`` event is emitted, and compilation
+            continues with the remaining stages.  A transform bug thus
+            yields a slower-but-correct build, never a crashed Session
+            (or daemon worker).  The snapshot is taken *outside* the
+            stage's span so phase timings stay comparable to the
+            unbracketed pipeline.
+            """
+            snapshot = pickle.dumps(outcome.program)
+            try:
+                with tracer.span(span):
+                    stats = fn(outcome.program)
+                validate_program(outcome.program)
+                return stats
+            except Exception as exc:  # noqa: BLE001 — any stage failure degrades
+                outcome.program = pickle.loads(snapshot)
+                record = {
+                    "stage": stage,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                degraded_stages.append(record)
+                tracer.event("stage.degraded", **record)
+                tracer.count("pipeline.stage_degraded")
+                return None
+
         if inline_methods_pass:
-            with tracer.span("opt.inline_methods"):
-                inliner_stats = inline_methods(outcome.program)
-            validate_program(outcome.program)
+            inliner_stats = _bracket(
+                "inline_methods", "opt.inline_methods", inline_methods
+            )
         if escape_pass:
-            with tracer.span("opt.escape"):
-                escape_stats = apply_escape_optimization(
-                    outcome.program, splice_inits=inline_methods_pass
-                )
-            validate_program(outcome.program)
-            if tracer.enabled:
+            escape_stats = _bracket(
+                "escape",
+                "opt.escape",
+                lambda program: apply_escape_optimization(
+                    program, splice_inits=inline_methods_pass
+                ),
+            )
+            if escape_stats is not None and tracer.enabled:
                 for record in escape_stats.decisions:
                     tracer.event("decision", **record)
                 tracer.count("escape.sites", escape_stats.sites)
@@ -327,13 +365,9 @@ def optimize(
                 tracer.count("escape.local_hits", escape_stats.local_hits)
                 tracer.count("escape.local_misses", escape_stats.local_misses)
         if cache_loads_pass:
-            with tracer.span("opt.loadcse"):
-                cse_stats = eliminate_redundant_loads(outcome.program)
-            validate_program(outcome.program)
+            cse_stats = _bracket("loadcse", "opt.loadcse", eliminate_redundant_loads)
         if dce_pass:
-            with tracer.span("opt.dce"):
-                dce_stats = eliminate_dead_code(outcome.program)
-            validate_program(outcome.program)
+            dce_stats = _bracket("dce", "opt.dce", eliminate_dead_code)
     return OptimizeReport(
         program=outcome.program,
         analysis=result,
@@ -346,6 +380,7 @@ def optimize(
         dce_stats=dce_stats,
         nested_rounds=nested_rounds,
         nested_candidates=nested_accepted,
+        degraded_stages=degraded_stages,
     )
 
 

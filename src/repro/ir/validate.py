@@ -46,6 +46,17 @@ def validate_callable(callable_: ir.IRCallable, program: ir.IRProgram | None = N
                 raise ValidationError(
                     f"{name}: dest register r{dest} out of range in B{block_index}"
                 )
+            if isinstance(instr, ir.Const) and not isinstance(
+                instr.value, (bool, int, float, str, type(None))
+            ):
+                # A transform writing a non-scalar constant is a compiler
+                # bug; catching it here lets the pipeline's stage
+                # brackets roll the stage back instead of letting a
+                # corrupt value leak into the VM.
+                raise ValidationError(
+                    f"{name}: Const of non-scalar {type(instr.value).__name__} "
+                    f"in B{block_index}"
+                )
         for successor in block.successors():
             if not (0 <= successor < num_blocks):
                 raise ValidationError(

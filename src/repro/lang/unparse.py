@@ -1,0 +1,195 @@
+"""AST -> source renderer for mini-ICC++.
+
+The delta-debugging reducer (:mod:`repro.fuzz.reduce`) shrinks a failing
+*AST* and needs each candidate back as source text to feed the normal
+compile pipeline; the fuzz corpus archives reduced programs as ``.icc``
+files for replay.  The renderer therefore guarantees a **round-trip**
+property rather than pretty output: ``parse(unparse(parse(s)))`` is the
+same tree as ``parse(s)``.  To that end every binary and unary operation
+is parenthesized explicitly, so operator precedence never has to be
+reconstructed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import ast
+
+_INDENT = "    "
+
+
+def unparse_program(program: ast.Program) -> str:
+    """Render a whole compilation unit as parseable source text."""
+    parts: list[str] = []
+    for decl in program.globals:
+        init = f" = {unparse_expr(decl.init)}" if decl.init is not None else ""
+        parts.append(f"var {decl.name}{init};")
+    if program.globals:
+        parts.append("")
+    for cls in program.classes:
+        parts.append(_render_class(cls))
+        parts.append("")
+    for func in program.functions:
+        parts.append(_render_callable("def", func.name, func.params, func.body, 0))
+        parts.append("")
+    while parts and parts[-1] == "":
+        parts.pop()
+    return "\n".join(parts) + "\n"
+
+
+def _render_class(cls: ast.ClassDecl) -> str:
+    header = f"class {cls.name}"
+    if cls.superclass is not None:
+        header += f" : {cls.superclass}"
+    lines = [header + " {"]
+    for fdecl in cls.fields:
+        inline = "inline " if fdecl.declared_inline else ""
+        lines.append(f"{_INDENT}var {inline}{fdecl.name};")
+    for method in cls.methods:
+        lines.append(
+            _render_callable("def", method.name, method.params, method.body, 1)
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_callable(
+    keyword: str, name: str, params: tuple[str, ...], body: tuple[ast.Stmt, ...], depth: int
+) -> str:
+    pad = _INDENT * depth
+    lines = [f"{pad}{keyword} {name}({', '.join(params)}) {{"]
+    for stmt in body:
+        lines.extend(_render_stmt(stmt, depth + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Statements.
+
+
+def _render_stmt(stmt: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    kind = type(stmt)
+    if kind is ast.ExprStmt:
+        return [f"{pad}{unparse_expr(stmt.expr)};"]
+    if kind is ast.VarDecl:
+        init = f" = {unparse_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}var {stmt.name}{init};"]
+    if kind is ast.Assign:
+        return [f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)};"]
+    if kind is ast.If:
+        lines = [f"{pad}if ({unparse_expr(stmt.condition)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(_render_stmt(inner, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(_render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if kind is ast.While:
+        lines = [f"{pad}while ({unparse_expr(stmt.condition)}) {{"]
+        for inner in stmt.body:
+            lines.extend(_render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if kind is ast.For:
+        init = _render_for_clause(stmt.init)
+        cond = unparse_expr(stmt.condition) if stmt.condition is not None else ""
+        step = _render_for_clause(stmt.step)
+        lines = [f"{pad}for ({init}; {cond}; {step}) {{"]
+        for inner in stmt.body:
+            lines.extend(_render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if kind is ast.Return:
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {unparse_expr(stmt.value)};"]
+    if kind is ast.Break:
+        return [f"{pad}break;"]
+    if kind is ast.Continue:
+        return [f"{pad}continue;"]
+    if kind is ast.Block:
+        lines = [f"{pad}{{"]
+        for inner in stmt.body:
+            lines.extend(_render_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"cannot unparse statement {kind.__name__}")
+
+
+def _render_for_clause(clause: ast.Stmt | None) -> str:
+    """A ``for`` header part: a statement rendered without ``;`` or pad."""
+    if clause is None:
+        return ""
+    rendered = _render_stmt(clause, 0)
+    if len(rendered) != 1:
+        raise TypeError(f"for-header clause must be one line, got {rendered}")
+    return rendered[0].rstrip(";")
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+
+
+def unparse_expr(expr: ast.Expr) -> str:
+    kind = type(expr)
+    if kind is ast.IntLiteral:
+        return str(expr.value)
+    if kind is ast.FloatLiteral:
+        return repr(expr.value)
+    if kind is ast.StringLiteral:
+        return json.dumps(expr.value)
+    if kind is ast.BoolLiteral:
+        return "true" if expr.value else "false"
+    if kind is ast.NilLiteral:
+        return "nil"
+    if kind is ast.NameRef:
+        return expr.name
+    if kind is ast.ThisRef:
+        return "this"
+    if kind is ast.FieldAccess:
+        return f"{_postfix_base(expr.obj)}.{expr.field_name}"
+    if kind is ast.IndexAccess:
+        return f"{_postfix_base(expr.array)}[{unparse_expr(expr.index)}]"
+    if kind is ast.UnaryOp:
+        return f"({expr.op}{unparse_expr(expr.operand)})"
+    if kind is ast.BinaryOp:
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    if kind is ast.NewObject:
+        return f"new {expr.class_name}({_args(expr.args)})"
+    if kind is ast.MethodCall:
+        return f"{_postfix_base(expr.receiver)}.{expr.method_name}({_args(expr.args)})"
+    if kind is ast.SuperCall:
+        return f"super.{expr.method_name}({_args(expr.args)})"
+    if kind is ast.FunctionCall:
+        return f"{expr.func_name}({_args(expr.args)})"
+    raise TypeError(f"cannot unparse expression {kind.__name__}")
+
+
+def _postfix_base(expr: ast.Expr) -> str:
+    """Receiver of a ``.``/``[]`` postfix: parenthesize non-postfix forms."""
+    rendered = unparse_expr(expr)
+    if rendered.startswith("("):
+        return rendered
+    if isinstance(
+        expr,
+        (
+            ast.NameRef,
+            ast.ThisRef,
+            ast.FieldAccess,
+            ast.IndexAccess,
+            ast.MethodCall,
+            ast.FunctionCall,
+            ast.SuperCall,
+        ),
+    ):
+        return rendered
+    return f"({rendered})"
+
+
+def _args(args: tuple[ast.Expr, ...]) -> str:
+    return ", ".join(unparse_expr(arg) for arg in args)

@@ -88,7 +88,10 @@ class JsonlSink:
         self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        line = json.dumps(event, separators=(",", ":")) + "\n"
+        # default=repr: a degraded pipeline stage may surface arbitrary
+        # exception payloads in its event fields; a trace sink must never
+        # be the thing that crashes the compile.
+        line = json.dumps(event, separators=(",", ":"), default=repr) + "\n"
         with self._lock:
             self._file.write(line)
 

@@ -4,7 +4,15 @@ from .builtins import BuiltinError, call_builtin
 from .cache import CacheConfig, CacheSimulator, CacheStats, LabelStats, LocalityStats
 from .costmodel import CostModel, ExecutionStats
 from .heap import ARRAY_HEADER, Heap, HeapError, HeapStats, OBJECT_HEADER, SLOT_SIZE
-from .interp import Interpreter, ReproRuntimeError, RunResult, StepLimitExceeded, run_program
+from .interp import (
+    HeapLimitExceeded,
+    Interpreter,
+    ReproRuntimeError,
+    ResourceLimitError,
+    RunResult,
+    StepLimitExceeded,
+    run_program,
+)
 from .profiler import CallableProfile, ProfileReport, ProfilingInterpreter, profile_program
 from .values import ArrayRef, ObjectRef, Value, ViewRef, format_value, is_truthy
 
@@ -25,6 +33,7 @@ __all__ = [
     "format_value",
     "Heap",
     "HeapError",
+    "HeapLimitExceeded",
     "HeapStats",
     "Interpreter",
     "is_truthy",
@@ -33,6 +42,7 @@ __all__ = [
     "OBJECT_HEADER",
     "ObjectRef",
     "ReproRuntimeError",
+    "ResourceLimitError",
     "RunResult",
     "run_program",
     "SLOT_SIZE",

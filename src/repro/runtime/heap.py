@@ -112,6 +112,16 @@ class Heap:
             self._objects.pop(address, None)
         self._next_frame_address = marker
 
+    @property
+    def frame_depth(self) -> int:
+        """Open frame regions including the root region.
+
+        A balanced run ends at depth 1: every ``push_frame`` saw its
+        matching ``pop_frame``.  The fuzz oracle asserts this on every
+        build's final heap.
+        """
+        return len(self._frame_allocs)
+
     # ------------------------------------------------------------------
     # Allocation.
 

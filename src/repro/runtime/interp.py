@@ -39,8 +39,22 @@ class ReproRuntimeError(Exception):
         self.location = location
 
 
-class StepLimitExceeded(ReproRuntimeError):
+class ResourceLimitError(ReproRuntimeError):
+    """A run exceeded one of its resource budgets (steps, heap cells).
+
+    The fuzzer and the compile service both need hang-proof execution:
+    catching this (rather than the broad :class:`ReproRuntimeError`)
+    distinguishes "the program was too big for its budget" from "the
+    program is wrong".
+    """
+
+
+class StepLimitExceeded(ResourceLimitError):
     """Raised when execution exceeds the configured instruction budget."""
+
+
+class HeapLimitExceeded(ResourceLimitError):
+    """Raised when heap allocation exceeds the configured cell budget."""
 
 
 @dataclass(slots=True)
@@ -73,6 +87,7 @@ class Interpreter:
         tracer=NULL_TRACER,
         attribute_locality: bool = False,
         locality_bucket_lines: int = 64,
+        max_heap_cells: int | None = None,
     ) -> None:
         self.program = program
         self.heap = Heap()
@@ -90,6 +105,7 @@ class Interpreter:
         self.globals: dict[str, Value] = {name: None for name in program.global_names}
         self.output: list[str] = []
         self._max_steps = max_steps
+        self._max_heap_cells = max_heap_cells
         self._depth = 0
         # One program scan up front: frame push/pop bracketing in _call is
         # only armed when the escape stage actually produced frame-local
@@ -319,6 +335,15 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Heap operations.
 
+    def _check_heap_budget(self, loc: SourceLocation | None) -> None:
+        if (
+            self._max_heap_cells is not None
+            and self.stats.allocated_slots > self._max_heap_cells
+        ):
+            raise HeapLimitExceeded(
+                f"exceeded {self._max_heap_cells} heap cells", loc
+            )
+
     @staticmethod
     def _site(loc: SourceLocation | None) -> str:
         """Attribution label for an allocation site (``file:line``)."""
@@ -366,6 +391,7 @@ class Interpreter:
             self.stats.allocations += 1
             self.stats.allocated_slots += len(layout) + 1  # +1 for the header
             self.stats.allocated_bytes += 8 + len(layout) * 8
+            self._check_heap_budget(loc)
             if self._locality is None:
                 self.cache.touch_range(ref.address, 8 + len(layout) * 8, is_write=True)
             else:
@@ -420,6 +446,7 @@ class Interpreter:
         self.stats.allocations += 1
         self.stats.allocated_slots += slots + 2  # +2 for the array header
         self.stats.allocated_bytes += 16 + slots * 8
+        self._check_heap_budget(loc)
         if self._locality is None:
             self.cache.touch_range(ref.address, 16 + slots * 8, is_write=True)
         else:
@@ -724,6 +751,7 @@ def run_program(
     tracer=NULL_TRACER,
     attribute_locality: bool = False,
     locality_bucket_lines: int = 64,
+    max_heap_cells: int | None = None,
 ) -> RunResult:
     """Convenience wrapper: interpret ``program`` from ``main``.
 
@@ -741,6 +769,7 @@ def run_program(
         tracer,
         attribute_locality=attribute_locality,
         locality_bucket_lines=locality_bucket_lines,
+        max_heap_cells=max_heap_cells,
     )
     with tracer.span("run"):
         return interpreter.run()

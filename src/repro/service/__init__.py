@@ -23,6 +23,7 @@ and SLO methodology: docs/SERVICE.md.
 """
 
 from .client import ServiceClient, ServiceError
+from .faults import FAULT_PLAN_ENV, FaultPlan, InjectedFault
 from .daemon import (
     DEFAULT_REQUEST_TIMEOUT,
     DEFAULT_SOCKET_PATH,
@@ -57,6 +58,9 @@ __all__ = [
     "ArtifactStore",
     "DEFAULT_REQUEST_TIMEOUT",
     "DEFAULT_SOCKET_PATH",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "InjectedFault",
     "LatencySummary",
     "LoadgenReport",
     "OPS",

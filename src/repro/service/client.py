@@ -15,7 +15,9 @@ methods (:meth:`optimize`, :meth:`run`, ...) raise
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import asdict, is_dataclass
 
 from .protocol import MAX_LINE_BYTES, ProtocolError, Request, Response, decode_response
@@ -26,7 +28,13 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """One connection to a running ``repro serve`` daemon."""
+    """One connection to a running ``repro serve`` daemon.
+
+    ``connect_retries`` > 0 makes :meth:`connect` retry a missing or
+    not-yet-listening socket with exponential backoff plus jitter —
+    the fix for the ``--self-host`` startup race where a client's first
+    connect can beat the daemon's bind.
+    """
 
     def __init__(
         self,
@@ -35,10 +43,14 @@ class ServiceClient:
         timeout: float = 300.0,
         tenant: str = "default",
         connect: bool = True,
+        connect_retries: int = 0,
+        retry_backoff: float = 0.05,
     ) -> None:
         self.socket_path = socket_path
         self.timeout = timeout
         self.tenant = tenant
+        self.connect_retries = max(0, connect_retries)
+        self.retry_backoff = retry_backoff
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 1
@@ -51,12 +63,30 @@ class ServiceClient:
     def connect(self) -> "ServiceClient":
         if self._sock is not None:
             return self
+        attempt = 0
+        while True:
+            try:
+                self._connect_once()
+                return self
+            except (FileNotFoundError, ConnectionRefusedError):
+                # The daemon has not bound (yet) — retriable; anything
+                # else (permissions, a non-socket path) is not.
+                if attempt >= self.connect_retries:
+                    raise
+                delay = self.retry_backoff * (2**attempt)
+                time.sleep(delay * (0.5 + random.random()))
+                attempt += 1
+
+    def _connect_once(self) -> None:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
-        sock.connect(self.socket_path)
+        try:
+            sock.connect(self.socket_path)
+        except OSError:
+            sock.close()
+            raise
         self._sock = sock
         self._file = sock.makefile("rwb")
-        return self
 
     def close(self) -> None:
         if self._file is not None:
@@ -90,6 +120,8 @@ class ServiceClient:
         config: object = None,
         build: str = "inline",
         timeout: float | None = None,
+        max_steps: int | None = None,
+        max_heap_cells: int | None = None,
     ) -> Response:
         """Send one request and block for its reply."""
         self.connect()
@@ -104,6 +136,8 @@ class ServiceClient:
             build=build,
             tenant=self.tenant,
             timeout=timeout,
+            max_steps=max_steps,
+            max_heap_cells=max_heap_cells,
         )
         self._next_id += 1
         self._file.write(request.encode())

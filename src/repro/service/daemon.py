@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import socket as socket_module
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -44,6 +45,7 @@ from dataclasses import dataclass
 from ..analysis import AnalysisConfig
 from ..obs import NULL_TRACER, tracer_to_file
 from ..session import SessionPool
+from .faults import FaultPlan
 from .protocol import ProtocolError, Request, Response, decode_request
 from .store import ArtifactKey, ArtifactStore
 from .worker import config_from_dict, service_work
@@ -92,6 +94,7 @@ class ServiceStats:
     coalesced: int = 0
     crashes: int = 0
     pool_rebuilds: int = 0
+    injected_corrupt: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -101,6 +104,7 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "crashes": self.crashes,
             "pool_rebuilds": self.pool_rebuilds,
+            "injected_corrupt": self.injected_corrupt,
         }
 
 
@@ -119,12 +123,14 @@ class ReproService:
         trace_dir: str | None = None,
         analysis: AnalysisConfig | None = None,
         allow_test_ops: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.socket_path = socket_path
         self.workers = max(1, workers)
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.allow_test_ops = allow_test_ops
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self.run_dir: str | None = None
         if trace_dir is not None:
             self.run_dir = make_run_dir(trace_dir)
@@ -159,12 +165,40 @@ class ReproService:
         self._idle.set()
         self._stopping = asyncio.Event()
         self._started_at = time.monotonic()
-        if os.path.exists(self.socket_path):
-            os.unlink(self.socket_path)
+        self._claim_socket()
         self._server = await asyncio.start_unix_server(
             self._handle_connection, path=self.socket_path
         )
         self.tracer.event("service.start", socket=self.socket_path, workers=self.workers)
+        if self.fault_plan.active:
+            self.tracer.event("service.fault_plan", **self.fault_plan.to_dict())
+
+    def _claim_socket(self) -> None:
+        """Take over the socket path — but never a *live* daemon's.
+
+        A path left behind by a SIGKILLed daemon still exists on disk but
+        nothing is listening; a connect probe tells the two cases apart.
+        Stale sockets are unlinked and rebound, live ones are an error
+        (silently stealing a serving daemon's socket would strand it).
+        """
+        if not os.path.exists(self.socket_path):
+            return
+        probe = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(self.socket_path)
+        except (ConnectionRefusedError, FileNotFoundError, OSError):
+            self.tracer.event("service.stale_socket", socket=self.socket_path)
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+        else:
+            raise RuntimeError(
+                f"another daemon is already listening on {self.socket_path}"
+            )
+        finally:
+            probe.close()
 
     async def serve(self) -> None:
         """Run until a graceful shutdown is requested, then drain."""
@@ -337,12 +371,14 @@ class ReproService:
 
     async def _dispatch_work(self, request: Request) -> Response:
         config = config_from_dict(request.config).resolved(self._analysis)
-        key = ArtifactKey.for_request(
-            request.op,
-            request.source,
-            config,
-            extra=request.build if request.op == "run" else "",
-        )
+        extra = ""
+        if request.op == "run":
+            extra = request.build
+            # Budgets change the reply (result vs. clean resource-limit
+            # error), so they are part of the artifact's address.
+            if request.max_steps is not None or request.max_heap_cells is not None:
+                extra += f":steps={request.max_steps}:cells={request.max_heap_cells}"
+        key = ArtifactKey.for_request(request.op, request.source, config, extra=extra)
         timeout = request.timeout or self.request_timeout
         # Warm path: content-addressed artifact store.  The store keeps
         # the reply in its canonical wire encoding, so a warm hit serves
@@ -367,6 +403,12 @@ class ReproService:
                 "build": request.build,
                 "tenant": request.tenant,
             }
+            if request.max_steps is not None:
+                task["max_steps"] = request.max_steps
+            if request.max_heap_cells is not None:
+                task["max_heap_cells"] = request.max_heap_cells
+            if self.fault_plan.active:
+                task["faults"] = self.fault_plan.to_dict()
             producer = asyncio.ensure_future(self._produce(key, task))
             # Consume the exception even if every waiter times out first.
             producer.add_done_callback(
@@ -386,10 +428,20 @@ class ReproService:
         try:
             product = await self._execute(task)
             if product.artifact is not None:
-                reply_bytes = json.dumps(
-                    product.reply, sort_keys=True, separators=(",", ":")
-                ).encode("utf-8")
-                self.store.put_bytes(key, product.artifact, reply_bytes=reply_bytes)
+                if product.injected == "corrupt":
+                    # Chaos mode damaged the stored blob.  Store it with
+                    # *no* reply-bytes fast path: the next warm lookup
+                    # must go through get() and exercise the store's
+                    # corrupt-pickle-as-miss recovery (recompile), never
+                    # serve bytes derived from the damaged pickle.
+                    self.stats.injected_corrupt += 1
+                    self.tracer.count("service.fault.corrupt")
+                    self.store.put_bytes(key, product.artifact)
+                else:
+                    reply_bytes = json.dumps(
+                        product.reply, sort_keys=True, separators=(",", ":")
+                    ).encode("utf-8")
+                    self.store.put_bytes(key, product.artifact, reply_bytes=reply_bytes)
             if self.tracer.enabled:
                 self.tracer.merge(product.trace)
             return product.reply

@@ -106,6 +106,8 @@ class _Sample:
     cached: bool
     coalesced: bool
     error: str | None = None
+    #: Verify mode: an ok reply whose result differed from the oracle.
+    incorrect: bool = False
 
 
 @dataclass(slots=True)
@@ -127,6 +129,10 @@ class LoadgenReport:
     cached_replies: int
     coalesced_replies: int
     server: dict = field(default_factory=dict)
+    #: Verify mode: ok replies compared against an in-process oracle.
+    verified: bool = False
+    incorrect: int = 0
+    incorrect_samples: list[str] = field(default_factory=list)
 
     @property
     def throughput_rps(self) -> float:
@@ -158,6 +164,9 @@ class LoadgenReport:
             "coalesced_replies": self.coalesced_replies,
             "warm_speedup_p50": round(speedup, 2) if speedup is not None else None,
             "server": self.server,
+            "verified": self.verified,
+            "incorrect": self.incorrect,
+            "incorrect_samples": self.incorrect_samples[:5],
         }
 
     def render(self) -> str:
@@ -182,6 +191,13 @@ class LoadgenReport:
         speedup = self.warm_speedup()
         if speedup is not None:
             lines.append(f"warm p50 speedup over cold p50: {speedup:.1f}x")
+        if self.verified:
+            lines.append(
+                f"verify: {self.incorrect} incorrect ok-replies "
+                f"(every ok reply checked against the in-process oracle)"
+            )
+            for sample in self.incorrect_samples[:5]:
+                lines.append(f"  INCORRECT: {sample}")
         store = self.server.get("store") if isinstance(self.server, dict) else None
         if store:
             lines.append(
@@ -206,6 +222,7 @@ def run_loadgen(
     config: CompileConfig | None = None,
     timeout: float | None = None,
     tenant: str = "loadgen",
+    verify: bool = False,
 ) -> LoadgenReport:
     """Replay ``corpus`` against the daemon; returns the measured report.
 
@@ -213,6 +230,16 @@ def run_loadgen(
     requests and a C-program corpus each program is compiled cold once
     and then served warm ~R/C - 1 times — which is what makes the
     cold/warm latency split meaningful.
+
+    ``verify=True`` (chaos mode's correctness net) first computes every
+    corpus reply **in-process** via the same worker entry point the
+    daemon dispatches to — with no fault plan, since faults are threaded
+    through the daemon's task dicts and never ambient state — then
+    checks every ok reply from the daemon bit-for-bit against that
+    oracle.  Error replies (injected faults, timeouts) are visible
+    failures and therefore acceptable under chaos; an *ok* reply with
+    wrong content is the one unforgivable outcome, counted in
+    ``report.incorrect``.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
@@ -223,6 +250,24 @@ def run_loadgen(
         raise ValueError("loadgen corpus is empty")
     names = list(corpus)
     config_dict = (config or CompileConfig()).to_dict()
+    expected: dict[str, object] = {}
+    if verify:
+        from .worker import service_work
+
+        for name in names:
+            product = service_work(
+                {
+                    "op": op,
+                    "source": corpus[name],
+                    "path": f"{name}.icc",
+                    "config": config_dict,
+                    "build": build,
+                    "tenant": tenant,
+                }
+            )
+            # The daemon's replies cross a JSON wire; canonicalize the
+            # oracle's dict the same way so the comparison is fair.
+            expected[name] = json.loads(json.dumps(product.reply, sort_keys=True))
     work: list[int] = list(range(requests))
     cursor = {"next": 0}
     lock = threading.Lock()
@@ -231,7 +276,7 @@ def run_loadgen(
 
     def _worker() -> None:
         try:
-            client = ServiceClient(socket_path, tenant=tenant)
+            client = ServiceClient(socket_path, tenant=tenant, connect_retries=5)
         except OSError as error:
             with lock:
                 samples.append(
@@ -265,6 +310,8 @@ def run_loadgen(
                         coalesced=response.coalesced,
                         error=None if response.ok else response.error,
                     )
+                    if verify and response.ok and response.result != expected[name]:
+                        sample.incorrect = True
                 except (ServiceError, OSError) as error:
                     sample = _Sample(
                         name, time.perf_counter() - started, False, False, False, str(error)
@@ -297,6 +344,7 @@ def run_loadgen(
     failed = [s for s in samples if not s.ok]
     cold = [s.seconds for s in ok if not s.cached and not s.coalesced]
     warm = [s.seconds for s in ok if s.cached]
+    incorrect = [s for s in ok if s.incorrect]
     return LoadgenReport(
         socket_path=socket_path,
         op=op,
@@ -313,6 +361,9 @@ def run_loadgen(
         cached_replies=sum(1 for s in ok if s.cached),
         coalesced_replies=sum(1 for s in ok if s.coalesced),
         server=server_stats,
+        verified=verify,
+        incorrect=len(incorrect),
+        incorrect_samples=[s.benchmark for s in incorrect],
     )
 
 

@@ -61,12 +61,17 @@ class Request:
     build: str = "inline"
     tenant: str = "default"
     timeout: float | None = None
+    #: Run-op resource budgets (steps / heap cells); ``None`` = unlimited.
+    #: Budgets change the answer (result vs. clean ResourceLimitError
+    #: reply), so the daemon folds them into the artifact address.
+    max_steps: int | None = None
+    max_heap_cells: int | None = None
 
     def encode(self) -> bytes:
         payload: dict = {"op": self.op}
         if self.id is not None:
             payload["id"] = self.id
-        for name in ("source", "path", "config", "timeout"):
+        for name in ("source", "path", "config", "timeout", "max_steps", "max_heap_cells"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -156,6 +161,13 @@ def decode_request(line: bytes | str) -> Request:
         if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
             raise ProtocolError("`timeout` must be a positive number of seconds")
         timeout = float(timeout)
+    budgets = {}
+    for name in ("max_steps", "max_heap_cells"):
+        value = payload.get(name)
+        if value is not None:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ProtocolError(f"`{name}` must be a positive integer")
+        budgets[name] = value
     return Request(
         op=op,
         id=payload.get("id"),
@@ -165,6 +177,8 @@ def decode_request(line: bytes | str) -> Request:
         build=payload.get("build") if isinstance(payload.get("build"), str) else "inline",
         tenant=payload.get("tenant") if isinstance(payload.get("tenant"), str) else "default",
         timeout=timeout,
+        max_steps=budgets["max_steps"],
+        max_heap_cells=budgets["max_heap_cells"],
     )
 
 

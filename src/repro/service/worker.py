@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import time
 from dataclasses import dataclass
 
 from ..analysis import AnalysisConfig
 from ..obs import MemorySink, Tracer, TraceShard
 from ..session import CompileConfig, SessionPool
+from .faults import FaultPlan, InjectedFault, corrupt_bytes, draw
 
 
 def config_from_dict(payload: dict | None) -> CompileConfig:
@@ -75,10 +77,16 @@ class WorkProduct:
     artifact: bytes | None
     trace: TraceShard
     elapsed_s: float
+    #: Set when a fault plan damaged this product ("corrupt"); the
+    #: daemon must then not trust the artifact's fast paths.
+    injected: str | None = None
 
 
 #: Per-worker-process warm sessions (compiled IR + analysis fixpoints).
 _SESSIONS: SessionPool | None = None
+
+#: Per-process fault-draw counter (reproducible chaos given one worker).
+_FAULT_COUNTER = 0
 
 
 def _sessions() -> SessionPool:
@@ -114,6 +122,27 @@ def service_work(task: dict) -> WorkProduct:
         # Robustness-test op (gated daemon-side): die like a segfaulting
         # worker would — no exception, no cleanup, just a dead process.
         os._exit(1)
+    # Chaos mode: the daemon threads its FaultPlan through the task dict
+    # (never the environment), so direct in-process calls — the loadgen
+    # verify oracle, tests — are never fault-injected.
+    fault = "none"
+    rng: random.Random | None = None
+    plan = FaultPlan.from_dict(task.get("faults"))
+    if plan.active:
+        global _FAULT_COUNTER
+        _FAULT_COUNTER += 1
+        # Deterministic per (plan seed, worker pid, request ordinal) so a
+        # single-worker chaos run replays identically.
+        rng = random.Random(
+            plan.seed * 1_000_003 + os.getpid() * 7_919 + _FAULT_COUNTER
+        )
+        fault = draw(plan, rng)
+        if fault == "crash":
+            os._exit(1)
+        if fault == "hang":
+            time.sleep(plan.hang_seconds)
+        elif fault == "error":
+            raise InjectedFault(f"injected worker fault (op {op!r})")
     started = time.perf_counter()
     tracer = Tracer(MemorySink())
     config = config_from_dict(task.get("config"))
@@ -156,7 +185,13 @@ def service_work(task: dict) -> WorkProduct:
                 program = session.optimize(
                     _build_config(build, config), tracer=tracer
                 ).program
-            result = session_run(session, program, tracer)
+            result = session_run(
+                session,
+                program,
+                tracer,
+                max_steps=task.get("max_steps"),
+                max_heap_cells=task.get("max_heap_cells"),
+            )
             reply = {
                 "op": op,
                 "build": build,
@@ -166,11 +201,19 @@ def service_work(task: dict) -> WorkProduct:
             artifact = pickle.dumps({"program": program, "summary": None, "reply": reply})
         else:
             raise ValueError(f"unsupported worker op {op!r}")
+    injected: str | None = None
+    if fault == "corrupt" and artifact is not None and rng is not None:
+        # The *reply* stays correct — only the stored blob is damaged, so
+        # the recovery under test is the store's corrupt-pickle-as-miss
+        # path on the next warm lookup, never a wrong client answer.
+        artifact = corrupt_bytes(artifact, rng)
+        injected = "corrupt"
     return WorkProduct(
         reply=reply,
         artifact=artifact,
         trace=tracer.shard(),
         elapsed_s=time.perf_counter() - started,
+        injected=injected,
     )
 
 
@@ -181,15 +224,27 @@ def _build_config(build: str, config: CompileConfig) -> CompileConfig:
     base = {
         "noinline": {"inline": False},
         "inline": {"inline": True},
+        "noescape": {"inline": True, "escape_pass": False},
         "manual": {"manual_only": True},
+        "opt": {"inline": True, "max_rounds": 3},
     }.get(build)
     if base is None:
         raise ValueError(f"unknown build {build!r}")
     return dataclasses.replace(config, **base)
 
 
-def session_run(session, program, tracer):
-    """Execute ``program`` on the VM under the worker tracer."""
+def session_run(session, program, tracer, max_steps=None, max_heap_cells=None):
+    """Execute ``program`` on the VM under the worker tracer.
+
+    Budgets make execution hang-proof: a runaway program raises
+    :class:`repro.runtime.ResourceLimitError`, which the daemon maps to
+    a clean error reply instead of a worker timeout kill.
+    """
     from ..runtime import run_program as _run_program
 
-    return _run_program(program, tracer=tracer)
+    kwargs: dict = {}
+    if max_steps is not None:
+        kwargs["max_steps"] = int(max_steps)
+    if max_heap_cells is not None:
+        kwargs["max_heap_cells"] = int(max_heap_cells)
+    return _run_program(program, tracer=tracer, **kwargs)

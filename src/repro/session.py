@@ -148,16 +148,18 @@ BUILD_CONFIGS: dict[str, CompileConfig | None] = {
     "inline": CompileConfig(inline=True),
     "noescape": CompileConfig(inline=True, escape_pass=False),
     "manual": CompileConfig(manual_only=True),
+    "opt": CompileConfig(inline=True, max_rounds=3),
 }
 
 #: Legacy name -> kwargs mapping, kept for callers of the old
 #: ``Session.optimize(**options)`` convenience form.
-BUILD_OPTIONS: dict[str, dict[str, bool] | None] = {
+BUILD_OPTIONS: dict[str, dict[str, object] | None] = {
     "plain": None,
     "noinline": {"inline": False},
     "inline": {"inline": True},
     "noescape": {"inline": True, "escape_pass": False},
     "manual": {"manual_only": True},
+    "opt": {"inline": True, "max_rounds": 3},
 }
 
 

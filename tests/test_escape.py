@@ -385,3 +385,66 @@ class TestBenchmarkDifferential:
             compile_source(TestScalarReplacement.SOURCE), escape_pass=False
         )
         assert report.escape_stats is None
+
+
+class TestFrameSoundnessPublicAPI:
+    """Frame-region invariants observed through the Session API only."""
+
+    RECURSIVE_SOURCE = """
+        class P { var v; def init(v) { this.v = v; } def get() { return this.v; } }
+        def work(n) {
+            if (n == 0) { return 0; }
+            var p = new P(n);
+            return p.get() + work(n - 1);
+        }
+        def main() { print(work(6)); }
+    """
+
+    def test_recursive_frame_allocs_end_balanced(self):
+        # Every activation that pushed a frame popped it: the run ends at
+        # depth one (the entry region), with correct output.
+        session = Session(self.RECURSIVE_SOURCE)
+        base = session.run("plain")
+        opt = session.run("inline")
+        assert opt.output == base.output == ["21"]
+        assert opt.heap.frame_depth == 1
+
+    def test_exception_unwinds_do_not_leak_frames(self):
+        from repro.runtime import ReproRuntimeError
+
+        source = """
+            class P { var v; def init(v) { this.v = v; } }
+            def work(n) {
+                var p = new P(n);
+                if (n == 3) { return p.v / 0; }
+                return work(n + 1);
+            }
+            def main() { print(work(0)); }
+        """
+        session = Session(source)
+        with pytest.raises(ReproRuntimeError):
+            session.run("inline")
+
+    def test_degraded_escape_stage_never_unbalances_frames(self):
+        # A crashing escape stage must roll back to the pre-stage
+        # program: no half-rewritten callable may leave a push without
+        # its pop. The oracle-grade check is output + final frame depth.
+        from repro.inlining import pipeline as pipeline_module
+
+        original = pipeline_module.apply_escape_optimization
+
+        def sabotaged(program, **kwargs):
+            original(program, **kwargs)  # mutate for real, then die
+            raise RuntimeError("injected escape-stage crash")
+
+        base = Session(self.RECURSIVE_SOURCE).run("plain")
+        pipeline_module.apply_escape_optimization = sabotaged
+        try:
+            session = Session(self.RECURSIVE_SOURCE)
+            report = session.optimize(inline=True)
+            result = session.run("inline")
+        finally:
+            pipeline_module.apply_escape_optimization = original
+        assert [d["stage"] for d in report.degraded_stages] == ["escape"]
+        assert result.output == base.output
+        assert result.heap.frame_depth == 1

@@ -235,6 +235,38 @@ class TestVMLimits:
         with pytest.raises(StepLimitExceeded):
             Interpreter(program, max_steps=10_000).run()
 
+    def test_step_limit_is_a_resource_limit_error(self):
+        # Callers (the fuzz oracle, the daemon) catch the common base to
+        # distinguish budget exhaustion from genuine crashes.
+        from repro.runtime import ResourceLimitError
+
+        assert issubclass(StepLimitExceeded, ResourceLimitError)
+        assert issubclass(ResourceLimitError, ReproRuntimeError)
+
+    def test_heap_cell_budget_on_objects(self):
+        from repro.runtime import HeapLimitExceeded
+
+        source = (
+            "class A { var f; def init(v) { this.f = v; } }\n"
+            "def main() { var i = 0; while (i < 1000) "
+            "{ var a = new A(i); i = i + 1; } }"
+        )
+        with pytest.raises(HeapLimitExceeded):
+            run_source(source, max_heap_cells=50)
+        # A generous budget lets the same program finish.
+        run_source(source, max_heap_cells=100_000)
+
+    def test_heap_cell_budget_on_arrays(self):
+        from repro.runtime import HeapLimitExceeded
+
+        source = "def main() { var a = array(5000); print(len(a)); }"
+        with pytest.raises(HeapLimitExceeded):
+            run_source(source, max_heap_cells=100)
+
+    def test_step_budget_via_run_kwargs(self):
+        with pytest.raises(StepLimitExceeded):
+            run_source("def main() { while (true) { } }", max_steps=5_000)
+
     def test_missing_main(self):
         program = compile_source("def helper() { }")
         with pytest.raises(ReproRuntimeError):

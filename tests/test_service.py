@@ -386,3 +386,134 @@ class TestLoadgen:
         payload = json.loads(open(out_json).read())
         assert payload["errors"] == 0
         assert payload["latency"]["count"] == 12
+
+
+class TestChaosAndRobustness:
+    """Fault injection, stale sockets, budgets: the daemon must degrade
+    to clean error replies, never to wrong answers or a dead process."""
+
+    def test_stale_socket_is_reclaimed(self, sock):
+        import socket as socket_module
+
+        # A daemon SIGKILLed mid-serve leaves its bound path on disk
+        # with nothing listening behind it.
+        stale = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        stale.bind(sock)
+        stale.close()
+        assert os.path.exists(sock)
+        with ServiceThread(sock, workers=1) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                assert client.ping()
+
+    def test_live_socket_is_not_stolen(self, service, sock):
+        import asyncio
+
+        from repro.service.daemon import ReproService
+
+        async def try_start():
+            usurper = ReproService(sock, workers=1)
+            await usurper.start()
+
+        with pytest.raises(RuntimeError, match="already listening"):
+            asyncio.run(try_start())
+        # The original daemon is unharmed.
+        with ServiceClient(sock) as client:
+            assert client.ping()
+
+    def test_client_connect_retry_waits_for_bind(self, sock):
+        import time
+
+        handle_box = {}
+
+        def late_start():
+            time.sleep(0.3)
+            handle_box["handle"] = ServiceThread(sock, workers=1).start()
+
+        starter = threading.Thread(target=late_start)
+        starter.start()
+        try:
+            # Without retries this connect would FileNotFoundError
+            # immediately; with backoff it outwaits the bind.
+            with ServiceClient(sock, connect_retries=8) as client:
+                assert client.ping()
+        finally:
+            starter.join()
+            handle_box["handle"].stop()
+
+    def test_injected_error_becomes_clean_error_reply(self, sock):
+        from repro.service import FaultPlan
+
+        plan = FaultPlan(error_rate=1.0)
+        with ServiceThread(sock, workers=1, fault_plan=plan) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                response = client.request("run", source=SOURCE, build="plain")
+                assert not response.ok
+                assert "InjectedFault" in response.error
+                # The daemon itself is fine: ops that skip the worker
+                # pool still answer.
+                assert client.ping()
+
+    def test_worker_crash_is_survived(self, sock):
+        from repro.service import FaultPlan
+
+        plan = FaultPlan(crash_rate=1.0)
+        with ServiceThread(sock, workers=1, fault_plan=plan) as handle:
+            with ServiceClient(handle.socket_path, timeout=60.0) as client:
+                response = client.request("run", source=SOURCE, build="plain")
+                assert not response.ok  # the request fails cleanly...
+                assert client.ping()  # ...and the daemon keeps serving
+
+    def test_corrupt_artifact_never_reaches_clients(self, sock):
+        from repro.service import FaultPlan
+
+        plan = FaultPlan(corrupt_rate=1.0)
+        with ServiceThread(sock, workers=1, fault_plan=plan) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                first = client.run(SOURCE, build="plain")
+                second = client.run(SOURCE, build="plain")
+                assert first.result["output"] == ["5"]
+                # The poisoned store entry is detected on the warm path
+                # (corrupt-pickle-as-miss) and recompiled, so the second
+                # reply is correct too — just not warm.
+                assert second.result["output"] == ["5"]
+                stats = client.stats()
+                assert stats["injected_corrupt"] >= 1
+
+    def test_resource_budget_is_a_clean_error_reply(self, service, sock):
+        with ServiceClient(sock) as client:
+            response = client.request(
+                "run",
+                source="def main() { while (true) { } }",
+                build="plain",
+                max_steps=10_000,
+            )
+            assert not response.ok
+            assert "StepLimitExceeded" in response.error
+            assert client.ping()
+
+    def test_budget_is_part_of_the_cache_key(self, service, sock):
+        # Same program, different budgets: replies must not alias.
+        source = "def main() { var i = 0; while (i < 100000) { i = i + 1; } print(i); }"
+        with ServiceClient(sock) as client:
+            tight = client.request("run", source=source, build="plain", max_steps=1_000)
+            roomy = client.request("run", source=source, build="plain")
+            assert not tight.ok and "StepLimitExceeded" in tight.error
+            assert roomy.ok and roomy.result["output"] == ["100000"]
+
+    def test_chaos_loadgen_has_zero_incorrect_replies(self, sock):
+        from repro.service import FaultPlan, run_loadgen
+
+        plan = FaultPlan(error_rate=0.1, corrupt_rate=0.1, seed=7)
+        with ServiceThread(sock, workers=1, fault_plan=plan):
+            report = run_loadgen(
+                sock,
+                requests=30,
+                concurrency=3,
+                op="run",
+                build="plain",
+                corpus={"a": SOURCE, "b": OTHER_SOURCE},
+                verify=True,
+            )
+        assert report.verified
+        assert report.incorrect == 0
+        assert report.incorrect_samples == []

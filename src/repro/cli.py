@@ -4,6 +4,7 @@ Usage::
 
     repro serve [--socket PATH] [--workers N] [--trace-dir DIR] | repro serve --stop
     repro loadgen [--requests N] [--concurrency N] [--op OP] [--json FILE]
+    repro metrics [SOCKET] [--prom | --watch [--interval S]]
     repro run PROGRAM.icc [--inline | --manual | --noinline] [--trace FILE] [--locality]
     repro analyze PROGRAM.icc [--json] [--trace FILE]
     repro ir PROGRAM.icc [--optimized]
@@ -12,8 +13,8 @@ Usage::
     repro bench --check [--repeat N] [--history FILE] [--baseline FILE]
     repro bench --check-baseline | --update-baseline [--baseline FILE] [--jobs N]
     repro perf record | list | diff REV1 REV2 | trend METRIC [--history FILE]
-    repro export chrome TRACE [-o FILE]
-    repro export flame TRACE [-o FILE]
+    repro export chrome TRACE [TRACE2 ...] [-o FILE]
+    repro export flame TRACE [TRACE2 ...] [-o FILE]
     repro trace FILE [FILE ...]
     repro heatmap TRACE [TRACE2]
 
@@ -42,8 +43,12 @@ Compile service: ``repro serve`` runs the asyncio compile daemon on a
 local socket (content-addressed artifact cache, process-pool workers,
 per-request timeouts, graceful shutdown — see docs/SERVICE.md);
 ``repro loadgen`` replays the benchmark corpus against it at a chosen
-concurrency and reports throughput + p50/p95/p99 latency, recording
-the run into the perf-history ledger.
+concurrency and reports throughput + p50/p95/p99 latency (client-side
+*and* daemon-histogram-derived, cross-checked to agree within one
+bucket), recording the run into the perf-history ledger.  ``repro
+metrics`` scrapes a live daemon's metrics registry — a human panel by
+default, Prometheus text exposition with ``--prom``, or a refreshing
+TTY dashboard with ``--watch``.
 
 (also runnable as ``python -m repro.cli ...``)
 """
@@ -426,22 +431,30 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    """Convert a span JSONL trace for Perfetto or speedscope."""
+    """Convert span JSONL trace(s) for Perfetto or speedscope.
+
+    Multiple trace files merge into one export: spans carrying W3C-style
+    hex ids in their meta (``trace_id``/``span_id``/``parent_span``) are
+    stitched across files, so a client trace plus the daemon's
+    ``service.jsonl`` renders each request as one connected tree.
+    """
+    files = list(args.file)
+    shown = files[0] if len(files) == 1 else f"{files[0]} (+{len(files) - 1} more)"
     if args.export_format == "chrome":
-        out = args.output or f"{args.file}.chrome.json"
+        out = args.output or f"{files[0]}.chrome.json"
         exporter, what = export_chrome_file, "trace event(s)"
     else:
-        out = args.output or f"{args.file}.collapsed.txt"
+        out = args.output or f"{files[0]}.collapsed.txt"
         exporter, what = export_collapsed_file, "stack(s)"
     try:
-        count = exporter(args.file, out)
+        count = exporter(files if len(files) > 1 else files[0], out)
     except OSError as error:
-        print(f"error: cannot export {args.file}: {error}", file=sys.stderr)
+        print(f"error: cannot export {shown}: {error}", file=sys.stderr)
         return 1
     print(f"wrote {count} {what} to {out}")
     if count == 0:
         print(
-            f"note: no span events found in {args.file} "
+            f"note: no span events found in {shown} "
             "(was it recorded with --trace?)",
             file=sys.stderr,
         )
@@ -513,6 +526,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         allow_test_ops=args.allow_test_ops,
         fault_plan=fault_plan,
+        slo_p99=args.slo_p99,
+        slo_error_rate=args.slo_error_rate,
     )
     stats = service.describe()
     print(
@@ -580,9 +595,96 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     # Under chaos, error replies are expected (that is the point); what
     # must never happen is a client-visible *incorrect* reply.
     if report.incorrect:
+        if args.verify:
+            _print_failure_digest(socket_path, report)
         return 1
-    if report.errors and fault_plan is None:
+    if fault_plan is None:
+        if report.errors:
+            return 1
+        # The two latency measurement paths (client wall clock vs the
+        # daemon's request histogram) must agree within one bucket; a
+        # wider drift is a metrics bug, and under a clean run it fails
+        # the loadgen just like an error reply would.
+        if report.percentile_check is not None and not report.percentile_check["ok"]:
+            print(
+                "error: client and daemon latency percentiles disagree by more "
+                "than one histogram bucket",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _print_failure_digest(socket_path: str, report) -> int:
+    """Chaos triage: the daemon's metrics digest, printed on verify failure.
+
+    The digest tells the triager at a glance what the daemon thinks
+    happened — injected fault counts by kind, error rate, cache hit rate
+    — next to the loadgen's client-side view of the same run.
+    """
+    from .obs.metrics import render_digest
+
+    snapshot = report.metrics_snapshot
+    if not snapshot:
+        try:
+            from .service import ServiceClient
+
+            with ServiceClient(socket_path) as client:
+                snapshot = client.metrics()
+        except (OSError, RuntimeError):
+            snapshot = None
+    if snapshot:
+        print("-- daemon metrics digest at failure --", file=sys.stderr)
+        print(render_digest(snapshot), file=sys.stderr)
+    return 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a live daemon's metrics registry.
+
+    Three renderings of the same ``metrics``-op snapshot: the human
+    digest panel (default), Prometheus text exposition (``--prom``, for
+    scrapers and CI assertions), and a refreshing TTY dashboard
+    (``--watch``, Ctrl-C to stop).
+    """
+    import time as _time
+
+    from .obs.metrics import render_digest, render_prom
+    from .service import ServiceClient, ServiceError
+
+    def _scrape() -> dict | None:
+        try:
+            with ServiceClient(args.socket, timeout=args.timeout) as client:
+                return client.metrics()
+        except (ServiceError, OSError) as error:
+            print(
+                f"error: cannot scrape daemon at {args.socket}: {error}",
+                file=sys.stderr,
+            )
+            return None
+
+    if args.watch:
+        try:
+            while True:
+                snapshot = _scrape()
+                if snapshot is None:
+                    return 1
+                # Home + clear-to-end keeps the panel flicker-free.
+                sys.stdout.write("\x1b[H\x1b[2J")
+                print(f"repro metrics @ {args.socket}  (every {args.interval:g}s)")
+                print()
+                print(render_digest(snapshot))
+                sys.stdout.flush()
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+    snapshot = _scrape()
+    if snapshot is None:
         return 1
+    if args.prom:
+        sys.stdout.write(render_prom(snapshot))
+    else:
+        print(render_digest(snapshot))
     return 0
 
 
@@ -863,7 +965,12 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser = sub.add_parser(
         "serve", help="run the compile-service daemon on a local socket"
     )
-    from .service.daemon import DEFAULT_REQUEST_TIMEOUT, DEFAULT_SOCKET_PATH
+    from .service.daemon import (
+        DEFAULT_REQUEST_TIMEOUT,
+        DEFAULT_SLO_ERROR_RATE,
+        DEFAULT_SLO_P99,
+        DEFAULT_SOCKET_PATH,
+    )
 
     serve_parser.add_argument(
         "--socket", metavar="PATH", default=DEFAULT_SOCKET_PATH,
@@ -898,7 +1005,43 @@ def main(argv: list[str] | None = None) -> int:
         "'error=0.05,hang=0.02,corrupt=0.02,crash=0.01' "
         "(default: $REPRO_FAULT_PLAN if set)",
     )
+    serve_parser.add_argument(
+        "--slo-p99", type=float, default=DEFAULT_SLO_P99, metavar="S",
+        help=f"p99 latency target in seconds, exported as the "
+        f"service_slo_p99_seconds gauge (default {DEFAULT_SLO_P99:g})",
+    )
+    serve_parser.add_argument(
+        "--slo-error-rate", type=float, default=DEFAULT_SLO_ERROR_RATE, metavar="R",
+        help=f"error-rate target in [0,1], exported as the "
+        f"service_slo_error_rate gauge (default {DEFAULT_SLO_ERROR_RATE:g})",
+    )
     serve_parser.set_defaults(func=cmd_serve)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="scrape a live daemon's metrics (digest, --prom, or --watch)",
+    )
+    metrics_parser.add_argument(
+        "socket", nargs="?", default=DEFAULT_SOCKET_PATH, metavar="SOCKET",
+        help=f"daemon socket (default {DEFAULT_SOCKET_PATH})",
+    )
+    metrics_parser.add_argument(
+        "--prom", action="store_true",
+        help="Prometheus text exposition instead of the human digest",
+    )
+    metrics_parser.add_argument(
+        "--watch", action="store_true",
+        help="refreshing TTY dashboard (Ctrl-C to stop)",
+    )
+    metrics_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period for --watch (default 2s)",
+    )
+    metrics_parser.add_argument(
+        "--timeout", type=float, default=10.0, metavar="S",
+        help="scrape connection timeout (default 10s)",
+    )
+    metrics_parser.set_defaults(func=cmd_metrics)
 
     loadgen_parser = sub.add_parser(
         "loadgen",
@@ -1033,7 +1176,11 @@ def main(argv: list[str] | None = None) -> int:
         help="Chrome trace-event JSON (load in ui.perfetto.dev); one "
         "timeline lane per merged worker shard",
     )
-    chrome_parser.add_argument("file", help="span JSONL trace (from --trace)")
+    chrome_parser.add_argument(
+        "file", nargs="+",
+        help="span JSONL trace(s); several files (e.g. a client trace + "
+        "the daemon's service.jsonl) merge and stitch into one timeline",
+    )
     chrome_parser.add_argument(
         "-o", "--output", metavar="FILE",
         help="output path (default TRACE.chrome.json)",
@@ -1043,7 +1190,10 @@ def main(argv: list[str] | None = None) -> int:
         "flame",
         help="collapsed stacks with self-time weights (speedscope / flamegraph.pl)",
     )
-    flame_parser.add_argument("file", help="span JSONL trace (from --trace)")
+    flame_parser.add_argument(
+        "file", nargs="+",
+        help="span JSONL trace(s); several files merge into one profile",
+    )
     flame_parser.add_argument(
         "-o", "--output", metavar="FILE",
         help="output path (default TRACE.collapsed.txt)",

@@ -22,6 +22,7 @@ iterative caller splitting, with rejection as the sound fallback.
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass, field
 
 from ..analysis import (
@@ -38,6 +39,7 @@ from ..opt.inliner import InlinerStats, inline_methods
 from ..opt.loadcse import LoadCSEStats, eliminate_redundant_loads
 from ..ir import model as ir
 from ..ir.validate import validate_program
+from ..obs.metrics import NULL_METRICS
 from ..obs.tracer import NULL_TRACER
 from .decisions import Candidate, DecisionEngine, InlinePlan
 
@@ -224,6 +226,7 @@ def optimize(
     config: AnalysisConfig | None = None,
     tracer=NULL_TRACER,
     analysis_cache: AnalysisCache | None = None,
+    metrics=NULL_METRICS,
 ) -> OptimizeReport:
     """Analyze and transform ``program``; returns the new program + report.
 
@@ -255,8 +258,14 @@ def optimize(
     analysis results by (program, config) across this and other
     ``optimize`` calls — e.g. the three benchmark builds of one program,
     or a :class:`repro.Session`'s repeated pipelines.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) receives
+    per-stage wall-time histograms, degradation counts, and the escape
+    pass's reject-stage totals.  The default :data:`NULL_METRICS` costs
+    nothing: all instrumentation is behind ``metrics.enabled`` guards.
     """
     config = config or AnalysisConfig()
+    optimize_started = time.perf_counter() if metrics.enabled else 0.0
     nesting = max_rounds > 1 and inline and not manual_only
     preference = "inner" if nesting else "outer"
 
@@ -328,6 +337,7 @@ def optimize(
             unbracketed pipeline.
             """
             snapshot = pickle.dumps(outcome.program)
+            stage_started = time.perf_counter() if metrics.enabled else 0.0
             try:
                 with tracer.span(span):
                     stats = fn(outcome.program)
@@ -342,7 +352,20 @@ def optimize(
                 degraded_stages.append(record)
                 tracer.event("stage.degraded", **record)
                 tracer.count("pipeline.stage_degraded")
+                if metrics.enabled:
+                    metrics.counter(
+                        "pipeline_stage_degraded_total",
+                        "Scalar stages rolled back after a failure",
+                        labels=("stage",),
+                    ).labels(stage=stage).inc()
                 return None
+            finally:
+                if metrics.enabled:
+                    metrics.histogram(
+                        "pipeline_stage_seconds",
+                        "Pipeline stage wall time",
+                        labels=("stage",),
+                    ).labels(stage=stage).observe(time.perf_counter() - stage_started)
 
         if inline_methods_pass:
             inliner_stats = _bracket(
@@ -364,10 +387,24 @@ def optimize(
                 tracer.count("escape.stack_allocated", escape_stats.stack_allocated)
                 tracer.count("escape.local_hits", escape_stats.local_hits)
                 tracer.count("escape.local_misses", escape_stats.local_misses)
+            if escape_stats is not None and metrics.enabled:
+                rejects = metrics.counter(
+                    "escape_rejects_total",
+                    "Escape-analysis sites rejected, by audit stage",
+                    labels=("stage",),
+                )
+                for stage_name, count in escape_stats.rejected.items():
+                    rejects.labels(stage=stage_name).inc(count)
         if cache_loads_pass:
             cse_stats = _bracket("loadcse", "opt.loadcse", eliminate_redundant_loads)
         if dce_pass:
             dce_stats = _bracket("dce", "opt.dce", eliminate_dead_code)
+    if metrics.enabled:
+        metrics.histogram(
+            "pipeline_stage_seconds",
+            "Pipeline stage wall time",
+            labels=("stage",),
+        ).labels(stage="optimize").observe(time.perf_counter() - optimize_started)
     return OptimizeReport(
         program=outcome.program,
         analysis=result,

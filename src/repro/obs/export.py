@@ -75,6 +75,9 @@ class SpanForest:
 
     roots: list[SpanNode] = field(default_factory=list)
     by_id: dict[int, SpanNode] = field(default_factory=dict)
+    #: Spans carrying a hex ``span_id`` in their meta (the service's
+    #: cross-process correlation ids) indexed by that hex id.
+    by_hex: dict[str, SpanNode] = field(default_factory=dict)
     unpaired: int = 0
 
 
@@ -85,6 +88,14 @@ def build_span_forest(events: Iterable[dict]) -> SpanForest:
     shard-interleaved streams reconstruct correctly.  Begins without an
     end (crashed or still-running spans) are counted in ``unpaired`` and
     excluded, as are ends without a begin.
+
+    A second, cross-process stitch pass then runs: a span that would be
+    a root but carries a hex ``parent_span`` meta naming another loaded
+    span's ``span_id`` meta is reparented under it.  This is how the
+    service's per-process lanes (client, daemon accept/dispatch, worker)
+    reassemble into one tree per request — local integer parent links
+    can't cross a ``Tracer.merge`` (ids are remapped), but meta travels
+    verbatim (see :mod:`repro.obs.tracecontext`).
     """
     forest = SpanForest()
     open_spans: dict[int, SpanNode] = {}
@@ -112,8 +123,37 @@ def build_span_forest(events: Iterable[dict]) -> SpanForest:
             forest.by_id[node.id] = node
     forest.unpaired += len(open_spans)
     for node in forest.by_id.values():
+        hex_id = node.meta.get("span_id")
+        if isinstance(hex_id, str) and hex_id:
+            forest.by_hex.setdefault(hex_id, node)
+    for node in forest.by_id.values():
+        if node.parent is None or node.parent not in forest.by_id:
+            hex_parent = node.meta.get("parent_span")
+            stitched = (
+                forest.by_hex.get(hex_parent)
+                if isinstance(hex_parent, str)
+                else None
+            )
+            if stitched is not None and stitched is not node:
+                # Refuse a stitch that would create a cycle (malformed
+                # meta in a hand-edited trace must not hang the walkers).
+                ancestor, cyclic = stitched, False
+                while ancestor is not None:
+                    if ancestor is node:
+                        cyclic = True
+                        break
+                    ancestor = (
+                        forest.by_id.get(ancestor.parent)
+                        if ancestor.parent is not None
+                        else None
+                    )
+                if not cyclic:
+                    # Rewrite the local link too, so lane resolution
+                    # (_lane_of) and flamegraph walks see one tree.
+                    node.parent = stitched.id
+    for node in forest.by_id.values():
         parent = forest.by_id.get(node.parent) if node.parent is not None else None
-        if parent is not None:
+        if parent is not None and parent is not node:
             parent.children.append(node)
         else:
             forest.roots.append(node)
@@ -188,6 +228,38 @@ def chrome_trace_events(events: Iterable[dict]) -> list[dict]:
         if node.meta:
             record["args"] = dict(node.meta)
         body.append(record)
+
+    # Coalesced requests link to the one shared dispatch span they
+    # joined: meta ``link_span`` names the dispatch's hex id.  Chrome
+    # flow events ("s" start at the linking span, "f" finish at the
+    # dispatch) draw the arrow without pretending a parent/child edge.
+    flow_id = 0
+    for node in forest.by_id.values():
+        link_hex = node.meta.get("link_span")
+        if not isinstance(link_hex, str):
+            continue
+        target = forest.by_hex.get(link_hex)
+        if target is None or target is node:
+            continue
+        flow_id += 1
+        common = {"cat": "coalesce", "name": "coalesced", "pid": TRACE_PID, "id": flow_id}
+        body.append(
+            {
+                **common,
+                "ph": "s",
+                "tid": _lane_of(node, forest, lanes),
+                "ts": _microseconds(node.start),
+            }
+        )
+        body.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "tid": _lane_of(target, forest, lanes),
+                "ts": _microseconds(target.start + target.duration),
+            }
+        )
 
     # Instant events land on the lane of the innermost span open at their
     # position in stream order (one tracer's — or one merged shard's —
@@ -310,11 +382,41 @@ def load_trace_events(path: str) -> tuple[list[dict], int]:
         return read_events(handle)
 
 
-def export_chrome_file(trace_path: str, out_path: str) -> int:
-    events, _ = load_trace_events(trace_path)
-    return write_chrome_trace(out_path, events)
+def _load_many(trace_paths: str | Iterable[str]) -> list[dict]:
+    """Concatenated events of one or many trace files.
+
+    Multi-file input exists for cross-process stitching: a client trace
+    plus the daemon's ``service.jsonl`` loaded together lets the hex-id
+    pass connect the client span to the daemon/worker tree.
+    """
+    if isinstance(trace_paths, str):
+        trace_paths = [trace_paths]
+    events: list[dict] = []
+    offset = 0
+    for path in trace_paths:
+        loaded, _ = load_trace_events(path)
+        # Each file numbers its spans locally from 1, so concatenating
+        # raw streams would collide ids across files (breaking begin/end
+        # pairing).  Shift every file's ids past the previous maximum —
+        # the same globally-unique-ids move Tracer.merge makes in-process.
+        max_id = offset
+        for record in loaded:
+            span_id = record.get("id")
+            if isinstance(span_id, int):
+                record["id"] = span_id + offset
+                parent = record.get("parent")
+                if isinstance(parent, int):
+                    record["parent"] = parent + offset
+                if record["id"] > max_id:
+                    max_id = record["id"]
+        offset = max_id
+        events.extend(loaded)
+    return events
 
 
-def export_collapsed_file(trace_path: str, out_path: str) -> int:
-    events, _ = load_trace_events(trace_path)
-    return write_collapsed(out_path, events)
+def export_chrome_file(trace_path: str | Iterable[str], out_path: str) -> int:
+    return write_chrome_trace(out_path, _load_many(trace_path))
+
+
+def export_collapsed_file(trace_path: str | Iterable[str], out_path: str) -> int:
+    return write_collapsed(out_path, _load_many(trace_path))

@@ -1,0 +1,78 @@
+"""W3C-traceparent-shaped request correlation ids.
+
+The tracer's span ids are *local* integers — :meth:`Tracer.merge`
+remaps them freely, so they cannot name a span across processes.  For
+request correlation the service stack instead stamps globally-unique hex
+ids into span **meta** (which merge preserves verbatim):
+
+- ``trace_id``  — 32 hex chars, minted once per client request.
+- ``span_id``   — 16 hex chars, minted by whichever process opens the
+  span (client, daemon accept, daemon dispatch, worker).
+- ``parent_span`` — the hex ``span_id`` of the causal parent, possibly
+  in another process.
+
+On the wire this travels as a single ``traceparent`` request field in
+the W3C shape ``00-{trace_id}-{parent_span_id}-01``.  The parse is
+deliberately lenient (returns ``None`` on anything malformed): tracing
+must never fail a request.
+
+``repro export chrome`` stitches the per-process lanes back into one
+tree by resolving ``parent_span`` hex ids across all loaded events — see
+:func:`repro.obs.export.build_span_forest`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_HEX = set("0123456789abcdef")
+
+
+def mint_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return os.urandom(16).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+@dataclass(slots=True, frozen=True)
+class TraceContext:
+    """A request's correlation identity at one hop."""
+
+    trace_id: str
+    span_id: str
+
+    def to_traceparent(self) -> str:
+        return format_traceparent(self.trace_id, self.span_id)
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """``00-{trace}-{span}-01`` (version 00, sampled flag set)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def _is_hex(value: str, length: int) -> bool:
+    return len(value) == length and all(c in _HEX for c in value)
+
+
+def parse_traceparent(value: object) -> TraceContext | None:
+    """Parse a traceparent header value; ``None`` on anything malformed.
+
+    Accepts any version field and ignores the flags — the ids are all we
+    use.  All-zero ids are invalid per the W3C spec and rejected.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) < 3:
+        return None
+    trace_id, span_id = parts[1], parts[2]
+    if not _is_hex(trace_id, 32) or not _is_hex(span_id, 16):
+        return None
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

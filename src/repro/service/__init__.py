@@ -26,6 +26,8 @@ from .client import ServiceClient, ServiceError
 from .faults import FAULT_PLAN_ENV, FaultPlan, InjectedFault
 from .daemon import (
     DEFAULT_REQUEST_TIMEOUT,
+    DEFAULT_SLO_ERROR_RATE,
+    DEFAULT_SLO_P99,
     DEFAULT_SOCKET_PATH,
     ReproService,
     ServiceThread,
@@ -38,6 +40,7 @@ from .loadgen import (
     LoadgenReport,
     default_corpus,
     percentile,
+    percentile_crosscheck,
     report_entry,
     run_loadgen,
     write_report_json,
@@ -57,6 +60,8 @@ __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_SLO_ERROR_RATE",
+    "DEFAULT_SLO_P99",
     "DEFAULT_SOCKET_PATH",
     "FAULT_PLAN_ENV",
     "FaultPlan",
@@ -78,6 +83,7 @@ __all__ = [
     "default_corpus",
     "make_run_dir",
     "percentile",
+    "percentile_crosscheck",
     "report_entry",
     "run_loadgen",
     "serve",

@@ -11,6 +11,15 @@ the daemon is built to serve.
 (inspect ``.ok``/``.error``/``.cached`` yourself); the convenience
 methods (:meth:`optimize`, :meth:`run`, ...) raise
 :class:`ServiceError` on error replies instead.
+
+Every request mints a fresh W3C-shaped trace context
+(:mod:`repro.obs.tracecontext`) and sends it as the ``traceparent``
+field; the daemon binds its spans for the request under those ids.  A
+client constructed with a real ``tracer`` additionally opens a
+``service.client`` span per request carrying the same hex ids in its
+meta, so exporting the client trace *together with* the daemon's
+``service.jsonl`` stitches client → daemon → worker into one tree
+(``repro export chrome client.jsonl service.jsonl``).
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ import socket
 import time
 from dataclasses import asdict, is_dataclass
 
+from ..obs import NULL_TRACER
+from ..obs.tracecontext import format_traceparent, mint_span_id, mint_trace_id
 from .protocol import MAX_LINE_BYTES, ProtocolError, Request, Response, decode_response
 
 
@@ -45,12 +56,17 @@ class ServiceClient:
         connect: bool = True,
         connect_retries: int = 0,
         retry_backoff: float = 0.05,
+        tracer=NULL_TRACER,
     ) -> None:
         self.socket_path = socket_path
         self.timeout = timeout
         self.tenant = tenant
         self.connect_retries = max(0, connect_retries)
         self.retry_backoff = retry_backoff
+        self.tracer = tracer
+        #: Correlation ids of the most recent request (tests, triage).
+        self.last_trace_id: str | None = None
+        self.last_traceparent: str | None = None
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 1
@@ -127,6 +143,11 @@ class ServiceClient:
         self.connect()
         if is_dataclass(config) and not isinstance(config, type):
             config = asdict(config)
+        trace_id = mint_trace_id()
+        span_id = mint_span_id()
+        traceparent = format_traceparent(trace_id, span_id)
+        self.last_trace_id = trace_id
+        self.last_traceparent = traceparent
         request = Request(
             op=op,
             id=self._next_id,
@@ -138,11 +159,15 @@ class ServiceClient:
             timeout=timeout,
             max_steps=max_steps,
             max_heap_cells=max_heap_cells,
+            traceparent=traceparent,
         )
         self._next_id += 1
-        self._file.write(request.encode())
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES + 1)
+        with self.tracer.span(
+            "service.client", op=op, trace_id=trace_id, span_id=span_id
+        ):
+            self._file.write(request.encode())
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES + 1)
         if not line:
             self.close()
             raise ServiceError(
@@ -171,6 +196,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._checked(self.request("stats")).result
+
+    def metrics(self) -> dict:
+        """The daemon's live metrics-registry snapshot (read-only)."""
+        return self._checked(self.request("metrics")).result
 
     def compile(self, source: str, path: str | None = None) -> Response:
         return self._checked(self.request("compile", source=source, path=path))

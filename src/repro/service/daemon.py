@@ -44,8 +44,10 @@ from dataclasses import dataclass
 
 from ..analysis import AnalysisConfig
 from ..obs import NULL_TRACER, tracer_to_file
+from ..obs.metrics import MetricsRegistry, digest
+from ..obs.tracecontext import mint_span_id, parse_traceparent
 from ..session import SessionPool
-from .faults import FaultPlan
+from .faults import FaultPlan, InjectedFault
 from .protocol import ProtocolError, Request, Response, decode_request
 from .store import ArtifactKey, ArtifactStore
 from .worker import config_from_dict, service_work
@@ -59,9 +61,44 @@ DEFAULT_REQUEST_TIMEOUT = 120.0
 #: How long a graceful shutdown waits for in-flight requests.
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
+#: Default latency/error SLO targets (``repro metrics`` renders burn
+#: against these; override with ``--slo-p99`` / ``--slo-error-rate``).
+DEFAULT_SLO_P99 = 0.25
+DEFAULT_SLO_ERROR_RATE = 0.01
+
 
 class WorkerCrashed(RuntimeError):
     """A request's worker died twice (original + one requeue)."""
+
+
+class _RequestTrace:
+    """One request's trace binding inside the daemon.
+
+    ``lane`` is a per-request :meth:`Tracer.child` (the daemon's event
+    loop interleaves requests, and a tracer's span stack is
+    single-owner); ``trace_id`` is the client-minted hex id (``None``
+    when the request carried no usable traceparent) and ``accept_hex``
+    the hex id of the daemon's accept span — the parent the dispatch
+    span names.
+    """
+
+    __slots__ = ("lane", "trace_id", "parent_hex", "accept_hex")
+
+    def __init__(
+        self,
+        lane,
+        trace_id: str | None,
+        parent_hex: str | None,
+        accept_hex: str | None,
+    ) -> None:
+        self.lane = lane
+        self.trace_id = trace_id
+        self.parent_hex = parent_hex
+        self.accept_hex = accept_hex
+
+
+#: The inert request binding used whenever the daemon is untraced.
+_NULL_REQUEST_TRACE = _RequestTrace(NULL_TRACER, None, None, None)
 
 
 def make_run_dir(base: str) -> str:
@@ -124,6 +161,8 @@ class ReproService:
         analysis: AnalysisConfig | None = None,
         allow_test_ops: bool = False,
         fault_plan: FaultPlan | None = None,
+        slo_p99: float = DEFAULT_SLO_P99,
+        slo_error_rate: float = DEFAULT_SLO_ERROR_RATE,
     ) -> None:
         self.socket_path = socket_path
         self.workers = max(1, workers)
@@ -137,8 +176,62 @@ class ReproService:
             self.tracer = tracer_to_file(os.path.join(self.run_dir, "service.jsonl"))
         else:
             self.tracer = NULL_TRACER
+        #: Always-on live metrics (cheap dict updates; the ``metrics`` op
+        #: and ``repro metrics`` read a snapshot of this registry).
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "service_requests_total", "Requests received, by op", labels=("op",)
+        )
+        self._m_errors = m.counter(
+            "service_errors_total", "Error replies, by op", labels=("op",)
+        )
+        self._m_timeouts = m.counter(
+            "service_timeouts_total", "Requests that hit their timeout"
+        )
+        self._m_request_seconds = m.histogram(
+            "service_request_seconds",
+            "Request wall time as seen by the daemon",
+            labels=("op", "code"),
+        )
+        self._m_queue_depth = m.gauge(
+            "service_queue_depth", "Requests currently being handled"
+        )
+        self._m_inflight = m.gauge(
+            "service_inflight_dispatches", "Distinct worker dispatches in flight"
+        )
+        self._m_coalesced = m.counter(
+            "service_coalesced_total", "Requests that joined an in-flight dispatch"
+        )
+        self._m_coalesce_width = m.histogram(
+            "service_coalesce_width",
+            "Requests sharing one worker dispatch",
+            buckets=(1, 2, 4, 8, 16, 32),
+        )
+        self._m_crashes = m.counter(
+            "service_worker_crashes_total", "Worker-pool breaks observed"
+        )
+        self._m_rebuilds = m.counter(
+            "service_pool_rebuilds_total", "Worker pools rebuilt after a break"
+        )
+        self._m_faults = m.counter(
+            "service_faults_total", "Injected chaos faults", labels=("kind",)
+        )
+        self._m_uptime = m.gauge("service_uptime_seconds", "Daemon uptime")
+        self._m_drain = m.gauge(
+            "service_drain_seconds", "Wall time of the last graceful drain"
+        )
+        m.gauge("service_slo_p99_seconds", "Configured p99 latency target").set(slo_p99)
+        m.gauge("service_slo_error_rate", "Configured error-rate target").set(
+            slo_error_rate
+        )
+        self.slo_p99 = slo_p99
+        self.slo_error_rate = slo_error_rate
         self.store = ArtifactStore(
-            max_entries=store_entries, max_bytes=store_bytes, tracer=self.tracer
+            max_entries=store_entries,
+            max_bytes=store_bytes,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         #: In-process sessions: the ``compile`` op and per-tenant lanes.
         self.sessions = SessionPool(config=analysis, tracer=self.tracer)
@@ -146,6 +239,11 @@ class ReproService:
         self._analysis = analysis
         self._pool: ProcessPoolExecutor | None = None
         self._inflight: dict[ArtifactKey, asyncio.Task] = {}
+        #: Per-inflight-key coalesce bookkeeping: waiter count (observed
+        #: into the width histogram when the dispatch resolves) and the
+        #: dispatch span's hex id (the target coalesced requests link to).
+        self._inflight_waiters: dict[ArtifactKey, int] = {}
+        self._inflight_hex: dict[ArtifactKey, str | None] = {}
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -219,6 +317,7 @@ class ReproService:
             pass  # loop already closed: nothing left to stop
 
     async def _drain_and_close(self) -> None:
+        drain_started = time.perf_counter()
         # 1. No new connections.
         if self._server is not None:
             self._server.close()
@@ -245,10 +344,24 @@ class ReproService:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         self.sessions.close()
+        drain_s = time.perf_counter() - drain_started
+        self._m_drain.set(round(drain_s, 6))
+        self._refresh_gauges()
+        # The terminal record: a trace directory ending in
+        # ``service.shutdown`` drained cleanly; one that just stops is a
+        # crash or a SIGKILL.  The final snapshot digest makes postmortem
+        # triage start from numbers.
         self.tracer.event(
-            "service.stop",
+            "service.shutdown",
+            uptime_s=round(time.monotonic() - self._started_at, 3),
+            drain_s=round(drain_s, 6),
             requests=self.stats.requests,
+            errors=self.stats.errors,
+            timeouts=self.stats.timeouts,
+            coalesced=self.stats.coalesced,
+            crashes=self.stats.crashes,
             store=self.store.stats(),
+            metrics=digest(self.metrics.to_dict()).to_dict(),
         )
         self.tracer.close()
         if os.path.exists(self.socket_path):
@@ -301,14 +414,22 @@ class ReproService:
             request = decode_request(line)
         except ProtocolError as error:
             self.stats.errors += 1
+            self._m_errors.labels(op="invalid").inc()
             return Response(ok=False, error=str(error))
         self.stats.requests += 1
         self.tracer.count(f"service.op.{request.op}")
+        self._m_requests.labels(op=request.op).inc()
+        self._m_queue_depth.set(self._busy)
+        rctx = self._bind_request_trace(request)
         try:
-            response = await self._handle_request(request)
+            with rctx.lane.span(
+                "service.accept", **self._accept_meta(request, rctx)
+            ):
+                response = await self._handle_request(request, rctx)
         except asyncio.TimeoutError:
             self.stats.timeouts += 1
             self.stats.errors += 1
+            self._m_timeouts.inc()
             timeout = request.timeout or self.request_timeout
             response = Response(
                 id=request.id, ok=False, error=f"timeout after {timeout:g}s"
@@ -316,12 +437,28 @@ class ReproService:
         except WorkerCrashed as error:
             self.stats.errors += 1
             response = Response(id=request.id, ok=False, error=str(error))
+        except InjectedFault as error:
+            # Chaos mode: the worker raised before any product existed,
+            # so the daemon attributes the fault (see service_work).
+            self.stats.errors += 1
+            self._m_faults.labels(kind="error").inc()
+            response = Response(
+                id=request.id, ok=False, error=f"{type(error).__name__}: {error}"
+            )
         except Exception as error:  # compile errors, bad configs, ...
             self.stats.errors += 1
             response = Response(
                 id=request.id, ok=False, error=f"{type(error).__name__}: {error}"
             )
+        finally:
+            if rctx.lane is not NULL_TRACER:
+                self.tracer.merge(rctx.lane)
+        if not response.ok:
+            self._m_errors.labels(op=request.op).inc()
         response.elapsed_ms = (time.perf_counter() - started) * 1e3
+        self._m_request_seconds.labels(
+            op=request.op, code="ok" if response.ok else "error"
+        ).observe(response.elapsed_ms / 1e3)
         self.tracer.event(
             "service.request",
             op=request.op,
@@ -332,15 +469,44 @@ class ReproService:
         )
         return response
 
+    def _bind_request_trace(self, request: Request) -> _RequestTrace:
+        """The per-request tracer lane + propagated hex ids (or the
+        shared inert binding when the daemon is untraced)."""
+        if not self.tracer.enabled:
+            return _NULL_REQUEST_TRACE
+        ctx = parse_traceparent(request.traceparent)
+        return _RequestTrace(
+            lane=self.tracer.child(),
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_hex=ctx.span_id if ctx is not None else None,
+            accept_hex=mint_span_id(),
+        )
+
+    @staticmethod
+    def _accept_meta(request: Request, rctx: _RequestTrace) -> dict:
+        meta: dict = {"op": request.op}
+        if rctx.accept_hex is not None:
+            meta["span_id"] = rctx.accept_hex
+        if rctx.trace_id is not None:
+            meta["trace_id"] = rctx.trace_id
+        if rctx.parent_hex is not None:
+            meta["parent_span"] = rctx.parent_hex
+        return meta
+
     # ------------------------------------------------------------------
     # Request handling.
 
-    async def _handle_request(self, request: Request) -> Response:
+    async def _handle_request(
+        self, request: Request, rctx: _RequestTrace = _NULL_REQUEST_TRACE
+    ) -> Response:
         op = request.op
         if op == "ping":
             return Response(id=request.id, result="pong")
         if op == "stats":
             return Response(id=request.id, result=self.describe())
+        if op == "metrics":
+            self._refresh_gauges()
+            return Response(id=request.id, result=self.metrics.to_dict())
         if op == "shutdown":
             # Reply first; the drain starts once this response is on the
             # wire (the connection loop holds the busy count until then).
@@ -367,9 +533,11 @@ class ReproService:
             return Response(
                 id=request.id, ok=False, error="op 'crash' requires --allow-test-ops"
             )
-        return await self._dispatch_work(request)
+        return await self._dispatch_work(request, rctx)
 
-    async def _dispatch_work(self, request: Request) -> Response:
+    async def _dispatch_work(
+        self, request: Request, rctx: _RequestTrace = _NULL_REQUEST_TRACE
+    ) -> Response:
         config = config_from_dict(request.config).resolved(self._analysis)
         extra = ""
         if request.op == "run":
@@ -384,10 +552,14 @@ class ReproService:
         # the reply in its canonical wire encoding, so a warm hit serves
         # the stored bytes without unpickling the artifact or
         # re-serializing the reply per request.
-        reply_bytes = self.store.get_reply_bytes(key)
+        with rctx.lane.span("service.cache", op=request.op):
+            reply_bytes = self.store.get_reply_bytes(key)
+            if reply_bytes is None:
+                artifact = self.store.get(key)
+            else:
+                artifact = None
         if reply_bytes is not None:
             return Response(id=request.id, result_bytes=reply_bytes, cached=True)
-        artifact = self.store.get(key)
         if artifact is not None:
             return Response(id=request.id, result=artifact["reply"], cached=True)
         # In-flight coalescing: identical concurrent requests share one
@@ -409,24 +581,70 @@ class ReproService:
                 task["max_heap_cells"] = request.max_heap_cells
             if self.fault_plan.active:
                 task["faults"] = self.fault_plan.to_dict()
-            producer = asyncio.ensure_future(self._produce(key, task))
+            dispatch_hex = mint_span_id() if self.tracer.enabled else None
+            if dispatch_hex is not None:
+                # The worker opens its service.work span under the
+                # dispatch span; hex ids survive the merge, local ids
+                # don't (see repro.obs.tracecontext).
+                task["trace"] = {
+                    "trace_id": rctx.trace_id,
+                    "parent_span": dispatch_hex,
+                }
+            producer = asyncio.ensure_future(
+                self._produce(key, task, rctx, dispatch_hex)
+            )
             # Consume the exception even if every waiter times out first.
             producer.add_done_callback(
                 lambda t: t.exception() if not t.cancelled() else None
             )
             self._inflight[key] = producer
+            self._inflight_hex[key] = dispatch_hex
+            self._inflight_waiters[key] = 0
+            self._m_inflight.set(len(self._inflight))
+        self._inflight_waiters[key] = self._inflight_waiters.get(key, 0) + 1
         if coalesced:
             self.stats.coalesced += 1
             self.tracer.count("service.coalesced")
+            self._m_coalesced.inc()
+            link_hex = self._inflight_hex.get(key)
+            if rctx.lane.enabled and link_hex is not None:
+                # A zero-duration marker span on the waiter's lane whose
+                # ``link_span`` meta names the shared dispatch — the
+                # chrome exporter draws it as a flow arrow.
+                with rctx.lane.span(
+                    "service.coalesce",
+                    op=request.op,
+                    span_id=mint_span_id(),
+                    link_span=link_hex,
+                ):
+                    pass
         # shield(): a waiter's timeout must not cancel the shared work —
         # it keeps running and lands in the store for the next asker.
         reply = await asyncio.wait_for(asyncio.shield(producer), timeout)
         return Response(id=request.id, result=reply, coalesced=coalesced)
 
-    async def _produce(self, key: ArtifactKey, task: dict) -> dict:
+    async def _produce(
+        self,
+        key: ArtifactKey,
+        task: dict,
+        rctx: _RequestTrace = _NULL_REQUEST_TRACE,
+        dispatch_hex: str | None = None,
+    ) -> dict:
         """Run one work item in the pool; store the artifact on success."""
+        # The producer outlives its initiating request (waiters may time
+        # out while the work proceeds), so the dispatch span lives on its
+        # own tracer lane, parented to the accept span by hex id.
+        lane = self.tracer.child() if self.tracer.enabled else NULL_TRACER
+        meta: dict = {"op": task["op"]}
+        if dispatch_hex is not None:
+            meta["span_id"] = dispatch_hex
+            if rctx.trace_id is not None:
+                meta["trace_id"] = rctx.trace_id
+            if rctx.accept_hex is not None:
+                meta["parent_span"] = rctx.accept_hex
         try:
-            product = await self._execute(task)
+            with lane.span("service.dispatch", **meta):
+                product = await self._execute(task)
             if product.artifact is not None:
                 if product.injected == "corrupt":
                     # Chaos mode damaged the stored blob.  Store it with
@@ -444,9 +662,18 @@ class ReproService:
                     self.store.put_bytes(key, product.artifact, reply_bytes=reply_bytes)
             if self.tracer.enabled:
                 self.tracer.merge(product.trace)
+            if product.metrics:
+                self.metrics.merge_snapshot(product.metrics)
             return product.reply
         finally:
             self._inflight.pop(key, None)
+            self._inflight_hex.pop(key, None)
+            width = self._inflight_waiters.pop(key, 0)
+            if width:
+                self._m_coalesce_width.observe(width)
+            self._m_inflight.set(len(self._inflight))
+            if lane is not NULL_TRACER:
+                self.tracer.merge(lane)
 
     async def _execute(self, task: dict):
         """Dispatch to the pool; rebuild + requeue once on a crash."""
@@ -458,6 +685,12 @@ class ReproService:
             except BrokenProcessPool:
                 self.stats.crashes += 1
                 self.tracer.count("service.worker.crash")
+                self._m_crashes.inc()
+                if self.fault_plan.crash_rate > 0:
+                    # A broken pool under a crash-injecting plan is (with
+                    # overwhelming likelihood) the injection firing; the
+                    # dead worker could not report it itself.
+                    self._m_faults.labels(kind="crash").inc()
                 self._discard_pool(pool)
                 if attempt == 2:
                     raise WorkerCrashed(
@@ -475,10 +708,17 @@ class ReproService:
             self._pool = None
             self.stats.pool_rebuilds += 1
             self.tracer.count("service.pool.rebuild")
+            self._m_rebuilds.inc()
         pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Introspection.
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges, updated at scrape (not per request)."""
+        self._m_uptime.set(round(time.monotonic() - self._started_at, 3))
+        self._m_inflight.set(len(self._inflight))
+        self._m_queue_depth.set(self._busy)
 
     def describe(self) -> dict:
         """The ``stats`` op payload."""

@@ -26,6 +26,12 @@ import time
 from dataclasses import dataclass, field
 
 from ..obs.history import environment, make_entry
+from ..obs.metrics import (
+    _histogram_series,
+    bucket_index,
+    digest as metrics_digest,
+    quantile_from_buckets,
+)
 from ..session import CompileConfig
 from .client import ServiceClient, ServiceError
 
@@ -133,6 +139,17 @@ class LoadgenReport:
     verified: bool = False
     incorrect: int = 0
     incorrect_samples: list[str] = field(default_factory=list)
+    #: Daemon-side percentiles derived from its `service_request_seconds`
+    #: histogram (``{"p50_s": ..., "p95_s": ..., "p99_s": ..., "count": ...}``).
+    daemon_latency: dict | None = None
+    #: The client-vs-daemon percentile agreement verdict (see
+    #: :func:`percentile_crosscheck`); ``None`` if the scrape failed.
+    percentile_check: dict | None = None
+    #: The daemon's full metrics-registry snapshot, scraped right after
+    #: the run (before a self-hosted daemon is torn down) — chaos triage
+    #: renders its digest when verify fails.  ``to_dict`` carries only
+    #: the digest; the raw snapshot stays in-process.
+    metrics_snapshot: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -167,6 +184,13 @@ class LoadgenReport:
             "verified": self.verified,
             "incorrect": self.incorrect,
             "incorrect_samples": self.incorrect_samples[:5],
+            "daemon_latency": self.daemon_latency,
+            "percentile_check": self.percentile_check,
+            "daemon_digest": (
+                metrics_digest(self.metrics_snapshot).to_dict()
+                if self.metrics_snapshot
+                else None
+            ),
         }
 
     def render(self) -> str:
@@ -191,6 +215,24 @@ class LoadgenReport:
         speedup = self.warm_speedup()
         if speedup is not None:
             lines.append(f"warm p50 speedup over cold p50: {speedup:.1f}x")
+        if self.daemon_latency:
+            d = self.daemon_latency
+            lines.append(
+                f"daemon       p50 {d['p50_s'] * 1e3:9.2f}ms   "
+                f"p95 {d['p95_s'] * 1e3:9.2f}ms   "
+                f"p99 {d['p99_s'] * 1e3:9.2f}ms   "
+                f"(histogram, n={d['count']})"
+            )
+        if self.percentile_check is not None:
+            verdict = "agree" if self.percentile_check.get("ok") else "DISAGREE"
+            detail = "  ".join(
+                f"{q} Δ{abs(item['client_bucket'] - item['daemon_bucket'])}"
+                for q, item in sorted(self.percentile_check.get("quantiles", {}).items())
+            )
+            lines.append(
+                f"percentiles: client vs daemon histograms {verdict} "
+                f"(within one bucket)  [{detail}]"
+            )
         if self.verified:
             lines.append(
                 f"verify: {self.incorrect} incorrect ok-replies "
@@ -210,6 +252,62 @@ class LoadgenReport:
             for sample in self.error_samples[:5]:
                 lines.append(f"  error: {sample}")
         return "\n".join(lines)
+
+
+def percentile_crosscheck(
+    client: "LatencySummary", snapshot: dict, op: str | None = None
+) -> tuple[dict | None, dict | None]:
+    """Compare client-measured percentiles with the daemon's histogram.
+
+    The client computes nearest-rank percentiles over exact samples; the
+    daemon can only answer with the **upper boundary** of the bucket the
+    target rank landed in.  The strongest check both sides can honor is
+    therefore bucket-level agreement: map each client percentile into the
+    daemon's bucket layout (:func:`bucket_index`) and demand it lands
+    within one bucket of the daemon's answer.  A drift of two or more
+    buckets means the two measurement paths disagree about the latency
+    distribution itself — a lost-sample or mislabeled-series bug, not
+    noise.
+
+    Returns ``(daemon_latency, percentile_check)``; both ``None`` when
+    the snapshot has no ok-request histogram to compare against.
+    """
+    # Restrict to the loadgen's own op when given: the daemon's histogram
+    # also counts stats/metrics scrapes, which would skew the comparison
+    # population against the client's samples.
+    match = {"code": "ok"} if op is None else {"code": "ok", "op": op}
+    merged = _histogram_series(snapshot, "service_request_seconds", match)
+    if merged is None and op is not None:
+        merged = _histogram_series(snapshot, "service_request_seconds", {"code": "ok"})
+    if merged is None:
+        return None, None
+    boundaries, counts, _total_sum, total_count = merged
+    daemon = {
+        "p50_s": quantile_from_buckets(boundaries, counts, 0.50),
+        "p95_s": quantile_from_buckets(boundaries, counts, 0.95),
+        "p99_s": quantile_from_buckets(boundaries, counts, 0.99),
+        "count": total_count,
+    }
+    quantiles: dict[str, dict] = {}
+    all_ok = True
+    for label, client_value in (
+        ("p50", client.p50),
+        ("p95", client.p95),
+        ("p99", client.p99),
+    ):
+        daemon_value = daemon[f"{label}_s"]
+        client_bucket = bucket_index(boundaries, client_value)
+        daemon_bucket = bucket_index(boundaries, daemon_value)
+        ok = abs(client_bucket - daemon_bucket) <= 1
+        all_ok = all_ok and ok
+        quantiles[label] = {
+            "client_s": round(client_value, 6),
+            "daemon_s": daemon_value,
+            "client_bucket": client_bucket,
+            "daemon_bucket": daemon_bucket,
+            "ok": ok,
+        }
+    return daemon, {"ok": all_ok, "quantiles": quantiles}
 
 
 def run_loadgen(
@@ -334,9 +432,11 @@ def run_loadgen(
     duration = time.perf_counter() - started
 
     server_stats: dict = {}
+    metrics_snapshot: dict = {}
     try:
         with ServiceClient(socket_path, tenant=tenant) as client:
             server_stats = client.stats()
+            metrics_snapshot = client.metrics()
     except (ServiceError, OSError):
         pass
 
@@ -345,6 +445,13 @@ def run_loadgen(
     cold = [s.seconds for s in ok if not s.cached and not s.coalesced]
     warm = [s.seconds for s in ok if s.cached]
     incorrect = [s for s in ok if s.incorrect]
+    latency = LatencySummary.from_samples([s.seconds for s in ok])
+    daemon_latency: dict | None = None
+    percentile_check: dict | None = None
+    if latency is not None and metrics_snapshot:
+        daemon_latency, percentile_check = percentile_crosscheck(
+            latency, metrics_snapshot, op=op
+        )
     return LoadgenReport(
         socket_path=socket_path,
         op=op,
@@ -355,7 +462,7 @@ def run_loadgen(
         duration_s=duration,
         errors=len(failed),
         error_samples=[f"{s.benchmark}: {s.error}" for s in failed],
-        latency=LatencySummary.from_samples([s.seconds for s in ok]),
+        latency=latency,
         cold=LatencySummary.from_samples(cold),
         warm=LatencySummary.from_samples(warm),
         cached_replies=sum(1 for s in ok if s.cached),
@@ -364,6 +471,9 @@ def run_loadgen(
         verified=verify,
         incorrect=len(incorrect),
         incorrect_samples=[s.benchmark for s in incorrect],
+        daemon_latency=daemon_latency,
+        percentile_check=percentile_check,
+        metrics_snapshot=metrics_snapshot,
     )
 
 
@@ -390,6 +500,13 @@ def report_entry(report: LoadgenReport, note: str | None = None) -> dict:
         phases["latency_cold_p50"] = [report.cold.p50]
     if report.warm:
         phases["latency_warm_p50"] = [report.warm.p50]
+    if report.daemon_latency:
+        # The daemon's histogram-derived percentiles ride along with the
+        # client-side ones, so `repro perf trend` can surface a drift
+        # between the two measurement paths as readily as a regression.
+        phases["latency_daemon_p50"] = [report.daemon_latency["p50_s"]]
+        phases["latency_daemon_p95"] = [report.daemon_latency["p95_s"]]
+        phases["latency_daemon_p99"] = [report.daemon_latency["p99_s"]]
     benchmarks = {
         "service": {
             report.op: {

@@ -24,9 +24,15 @@ Response::
 Ops: ``ping`` (liveness), ``compile`` (parse+lower, answered in-process),
 ``analyze`` / ``optimize`` / ``run`` (CPU-bound; dispatched to the worker
 pool through the artifact store), ``stats`` (store/pool/daemon counters),
-``shutdown`` (graceful drain).  ``crash`` kills the worker mid-request
-and exists only for robustness tests (the daemon rejects it unless
-started with ``allow_test_ops``).
+``metrics`` (read-only canonical snapshot of the live metrics registry,
+see :mod:`repro.obs.metrics`), ``shutdown`` (graceful drain).  ``crash``
+kills the worker mid-request and exists only for robustness tests (the
+daemon rejects it unless started with ``allow_test_ops``).
+
+Requests may carry a ``traceparent`` field (W3C shape,
+``00-{trace_id}-{parent_span_id}-01``): the daemon binds its spans for
+that request under the client-minted ids so the merged trace stitches
+into one tree per request.  Malformed values are ignored, never fatal.
 """
 
 from __future__ import annotations
@@ -35,7 +41,10 @@ import json
 from dataclasses import dataclass, field
 
 #: Ops the daemon understands.  ``crash`` is test-only.
-OPS = ("ping", "compile", "analyze", "optimize", "run", "stats", "shutdown", "crash")
+OPS = (
+    "ping", "compile", "analyze", "optimize", "run",
+    "stats", "metrics", "shutdown", "crash",
+)
 
 #: Ops that carry source text and are answered through the worker pool
 #: and the artifact store.
@@ -66,12 +75,18 @@ class Request:
     #: reply), so the daemon folds them into the artifact address.
     max_steps: int | None = None
     max_heap_cells: int | None = None
+    #: W3C-shaped trace context (``00-{trace_id}-{span_id}-01``) minted
+    #: by the client; additive, so old daemons simply ignore it.
+    traceparent: str | None = None
 
     def encode(self) -> bytes:
         payload: dict = {"op": self.op}
         if self.id is not None:
             payload["id"] = self.id
-        for name in ("source", "path", "config", "timeout", "max_steps", "max_heap_cells"):
+        for name in (
+            "source", "path", "config", "timeout",
+            "max_steps", "max_heap_cells", "traceparent",
+        ):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -179,6 +194,11 @@ def decode_request(line: bytes | str) -> Request:
         timeout=timeout,
         max_steps=budgets["max_steps"],
         max_heap_cells=budgets["max_heap_cells"],
+        traceparent=(
+            payload.get("traceparent")
+            if isinstance(payload.get("traceparent"), str)
+            else None
+        ),
     )
 
 

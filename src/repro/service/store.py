@@ -32,7 +32,8 @@ import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..obs import NULL_TRACER
+from ..obs import NULL_METRICS, NULL_TRACER
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..session import CompileConfig, source_key
 
 
@@ -68,12 +69,45 @@ class ArtifactStore:
         max_entries: int = 256,
         max_bytes: int | None = None,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.tracer = tracer
+        self.metrics = metrics
+        # Pre-bound label children: the hot path is one dict update, no
+        # kwargs allocation (and NULL_METRICS makes all of these the one
+        # shared inert instrument).
+        hits = metrics.counter(
+            "service_store_hits_total", "Artifact-store hits", labels=("path",)
+        )
+        self._m_hit_artifact = hits.labels(path="artifact")
+        self._m_hit_reply_bytes = hits.labels(path="reply_bytes")
+        self._m_miss = metrics.counter(
+            "service_store_misses_total", "Artifact-store misses"
+        )
+        self._m_evict = metrics.counter(
+            "service_store_evictions_total", "Artifact-store LRU evictions"
+        )
+        self._m_corrupt = metrics.counter(
+            "service_store_corrupt_total", "Corrupt cache entries discarded"
+        )
+        self._m_put = metrics.counter(
+            "service_store_puts_total", "Artifacts stored"
+        )
+        self._m_entries = metrics.gauge(
+            "service_store_entries", "Live artifact-store entries"
+        )
+        self._m_bytes = metrics.gauge(
+            "service_store_bytes", "Artifact-store resident bytes"
+        )
+        self._m_artifact_bytes = metrics.histogram(
+            "service_artifact_bytes",
+            "Stored artifact blob size",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
         #: key -> (pickled blob, canonical encoded reply bytes or None).
         self._entries: OrderedDict[ArtifactKey, tuple[bytes, bytes | None]] = (
             OrderedDict()
@@ -100,9 +134,11 @@ class ArtifactStore:
         if entry is None:
             self.misses += 1
             self.tracer.count("service.store.miss")
+            self._m_miss.inc()
             return None
         self.hits += 1
         self.tracer.count("service.store.hit")
+        self._m_hit_artifact.inc()
         self._entries.move_to_end(key)
         return entry[0]
 
@@ -123,6 +159,7 @@ class ArtifactStore:
         self.reply_bytes_hits += 1
         self.tracer.count("service.store.hit")
         self.tracer.count("service.store.reply_bytes_hit")
+        self._m_hit_reply_bytes.inc()
         self._entries.move_to_end(key)
         return entry[1]
 
@@ -144,6 +181,9 @@ class ArtifactStore:
             self.misses += 1
             self.corrupt += 1
             self.tracer.count("service.store.corrupt")
+            self._m_hit_artifact.dec()
+            self._m_miss.inc()
+            self._m_corrupt.inc()
             self._drop(key)
             return None
 
@@ -165,6 +205,8 @@ class ArtifactStore:
         self._entries[key] = (blob, reply_bytes)
         self._total_bytes += self._entry_bytes((blob, reply_bytes))
         self.tracer.count("service.store.put")
+        self._m_put.inc()
+        self._m_artifact_bytes.observe(len(blob))
         while len(self._entries) > self.max_entries or (
             self.max_bytes is not None
             and self._total_bytes > self.max_bytes
@@ -174,8 +216,10 @@ class ArtifactStore:
             self._total_bytes -= self._entry_bytes(evicted)
             self.evictions += 1
             self.tracer.count("service.store.evict")
+            self._m_evict.inc()
             if evicted_key == key:
                 break
+        self._update_size_gauges()
         return blob
 
     @staticmethod
@@ -187,10 +231,16 @@ class ArtifactStore:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._total_bytes -= self._entry_bytes(entry)
+            self._update_size_gauges()
 
     def clear(self) -> None:
         self._entries.clear()
         self._total_bytes = 0
+        self._update_size_gauges()
+
+    def _update_size_gauges(self) -> None:
+        self._m_entries.set(len(self._entries))
+        self._m_bytes.set(self._total_bytes)
 
     # ------------------------------------------------------------------
     # Introspection.

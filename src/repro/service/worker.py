@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass
 
 from ..analysis import AnalysisConfig
-from ..obs import MemorySink, Tracer, TraceShard
+from ..obs import MemorySink, MetricsRegistry, Tracer, TraceShard, mint_span_id
 from ..session import CompileConfig, SessionPool
 from .faults import FaultPlan, InjectedFault, corrupt_bytes, draw
 
@@ -80,6 +80,10 @@ class WorkProduct:
     #: Set when a fault plan damaged this product ("corrupt"); the
     #: daemon must then not trust the artifact's fast paths.
     injected: str | None = None
+    #: Metrics-registry snapshot (:meth:`MetricsRegistry.to_dict`) —
+    #: worker-side deltas (per-op latency, pipeline stage timings,
+    #: self-reportable fault kinds) the daemon folds into its registry.
+    metrics: dict | None = None
 
 
 #: Per-worker-process warm sessions (compiled IR + analysis fixpoints).
@@ -145,20 +149,38 @@ def service_work(task: dict) -> WorkProduct:
             raise InjectedFault(f"injected worker fault (op {op!r})")
     started = time.perf_counter()
     tracer = Tracer(MemorySink())
+    metrics = MetricsRegistry()
+    # Hang and corrupt are the only fault kinds a worker can self-report:
+    # crash never returns and error raises before any product exists —
+    # the daemon attributes those two (see ReproService).
+    if fault in ("hang", "corrupt"):
+        metrics.counter(
+            "service_faults_total", "Injected chaos faults", labels=("kind",)
+        ).labels(kind=fault).inc()
     config = config_from_dict(task.get("config"))
     session = _sessions().session(
         task["source"], tenant=task.get("tenant", "default"), path=task.get("path")
     )
     artifact: bytes | None = None
-    with tracer.span("service.work", op=op, pid=os.getpid()):
+    # The propagated trace context: the daemon's dispatch span is this
+    # span's causal parent; the hex ids in the meta survive the trace
+    # merge (local integer ids do not) and drive export-time stitching.
+    trace_ctx = task.get("trace") or {}
+    span_meta: dict = {"op": op, "pid": os.getpid()}
+    if trace_ctx.get("trace_id"):
+        span_meta["trace_id"] = trace_ctx["trace_id"]
+        span_meta["span_id"] = mint_span_id()
+        if trace_ctx.get("parent_span"):
+            span_meta["parent_span"] = trace_ctx["parent_span"]
+    with tracer.span("service.work", **span_meta):
         if op == "analyze":
-            report = session.optimize(config, tracer=tracer)
+            report = session.optimize(config, tracer=tracer, metrics=metrics)
             reply = {"op": op, **analysis_summary(report)}
             artifact = pickle.dumps(
                 {"program": report.program, "summary": analysis_summary(report), "reply": reply}
             )
         elif op == "optimize":
-            report = session.optimize(config, tracer=tracer)
+            report = session.optimize(config, tracer=tracer, metrics=metrics)
             summary = analysis_summary(report)
             stats = report.clone_stats
             reply = {
@@ -183,7 +205,7 @@ def service_work(task: dict) -> WorkProduct:
                 program = session.compile()
             else:
                 program = session.optimize(
-                    _build_config(build, config), tracer=tracer
+                    _build_config(build, config), tracer=tracer, metrics=metrics
                 ).program
             result = session_run(
                 session,
@@ -208,12 +230,17 @@ def service_work(task: dict) -> WorkProduct:
         # path on the next warm lookup, never a wrong client answer.
         artifact = corrupt_bytes(artifact, rng)
         injected = "corrupt"
+    elapsed = time.perf_counter() - started
+    metrics.histogram(
+        "service_worker_op_seconds", "Worker wall time per op", labels=("op",)
+    ).labels(op=op).observe(elapsed)
     return WorkProduct(
         reply=reply,
         artifact=artifact,
         trace=tracer.shard(),
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=elapsed,
         injected=injected,
+        metrics=metrics.to_dict(),
     )
 
 

@@ -61,7 +61,7 @@ from .inlining.pipeline import optimize as _optimize
 from .ir import compile_source as _compile_source
 from .ir import format_program
 from .ir.model import IRProgram
-from .obs import NULL_TRACER
+from .obs import NULL_METRICS, NULL_TRACER
 from .obs.history import config_key as _config_key
 from .runtime import CacheConfig, RunResult
 from .runtime import run_program as _run_program
@@ -238,7 +238,12 @@ class Session:
         return self._analysis
 
     def optimize(
-        self, config: CompileConfig | None = None, *, tracer=None, **options
+        self,
+        config: CompileConfig | None = None,
+        *,
+        tracer=None,
+        metrics=None,
+        **options,
     ) -> OptimizeReport:
         """Run the inlining pipeline; one cached report per config.
 
@@ -251,7 +256,10 @@ class Session:
         ``config.analysis``, falling back to the session's
         ``AnalysisConfig``.  ``tracer`` overrides the session tracer for
         this call (see :meth:`analyze` — memoized reports are returned
-        without re-tracing).
+        without re-tracing).  ``metrics`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`) receives per-stage
+        pipeline observations for this call; like the tracer, a memoized
+        report records nothing new.
         """
         if config is not None and options:
             raise TypeError(
@@ -267,6 +275,7 @@ class Session:
                 self.compile(),
                 config=resolved.analysis,
                 tracer=self.tracer if tracer is None else tracer,
+                metrics=NULL_METRICS if metrics is None else metrics,
                 analysis_cache=self.analysis_cache,
                 **resolved.pipeline_options(),
             )
